@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 11: performance of bandwidth-only compression and Buddy
+ * Compression relative to an ideal large-memory GPU, across interconnect
+ * bandwidths of 50/100/150/200 GB/s (full-duplex per direction).
+ *
+ * Paper reference points: bandwidth-only compression ~+5.5% average
+ * (best on DL, slowdowns for 354.cg / 360.ilbdc / FF_Lulesh); Buddy at
+ * 150 GB/s within ~1% (HPC) / ~2.2% (DL) of ideal; AlexNet -6.5% at
+ * 150 GB/s and ~-35% at 50 GB/s; >20% average slowdown at 50 GB/s.
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "gpusim/runner.h"
+#include "workloads/benchmark.h"
+
+using namespace buddy;
+
+int
+main()
+{
+    std::printf("=== Figure 11: performance vs. ideal large-memory GPU "
+                "===\n(speedup > 1.0 is faster than ideal)\n\n");
+
+    RunnerConfig cfg;
+
+    Table t({"benchmark", "bw-only", "buddy@50", "buddy@100", "buddy@150",
+             "buddy@200", "meta-hit", "buddy-miss%"});
+    GeoMean bw_all, b50, b100, b150, b200;
+    GeoMean hpc150, dl150;
+
+    for (const auto &spec : benchmarkRegistry()) {
+        const auto perf = runBenchmarkPerf(spec, cfg);
+        const auto &ideal = perf.ideal;
+
+        const double s_bw =
+            BenchmarkPerf::speedup(ideal, perf.bandwidthOnly);
+        const double s50 = BenchmarkPerf::speedup(ideal, perf.buddy.at(50));
+        const double s100 =
+            BenchmarkPerf::speedup(ideal, perf.buddy.at(100));
+        const double s150 =
+            BenchmarkPerf::speedup(ideal, perf.buddy.at(150));
+        const double s200 =
+            BenchmarkPerf::speedup(ideal, perf.buddy.at(200));
+
+        bw_all.add(s_bw);
+        b50.add(s50);
+        b100.add(s100);
+        b150.add(s150);
+        b200.add(s200);
+        (spec.suite == Suite::DeepLearning ? dl150 : hpc150).add(s150);
+
+        t.addRow({spec.name, strfmt("%.3f", s_bw), strfmt("%.3f", s50),
+                  strfmt("%.3f", s100), strfmt("%.3f", s150),
+                  strfmt("%.3f", s200),
+                  strfmt("%.3f", perf.buddy.at(150).metadataHitRate),
+                  strfmt("%.2f",
+                         100 * perf.buddy.at(150).buddyAccessFraction)});
+    }
+    t.addRow({"GMEAN", strfmt("%.3f", bw_all.value()),
+              strfmt("%.3f", b50.value()), strfmt("%.3f", b100.value()),
+              strfmt("%.3f", b150.value()), strfmt("%.3f", b200.value()),
+              "", ""});
+    t.print();
+
+    std::printf("\nGMEAN buddy@150: HPC %.3f, DL %.3f\n", hpc150.value(),
+                dl150.value());
+    std::printf("paper: bw-only avg +5.5%%; buddy@150 within 1%% (HPC) / "
+                "2.2%% (DL); AlexNet 0.935@150, ~0.65-0.75@50\n");
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 13: the DL training case study (Section 4.4).
+ *
+ *  13a  memory footprint vs. mini-batch size (AlexNet's transition at
+ *       ~batch 96, everything else at or below 32);
+ *  13b  projected images/s vs. mini-batch (plateau after ~64-128);
+ *  13c  speedup from the larger mini-batch Buddy Compression fits in a
+ *       12 GB GPU (paper: ~14% average, BigLSTM 28%, VGG16 30%);
+ *  13d  validation accuracy vs. mini-batch (small batches fall short of
+ *       peak accuracy; batch 64 converges slower than larger batches).
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "dlmodel/dlmodel.h"
+
+using namespace buddy;
+
+int
+main()
+{
+    const double kDeviceBytes = 12.0 * 1024 * 1024 * 1024; // Titan Xp
+
+    // ------------------------------------------------------- 13a
+    std::printf("=== Figure 13a: footprint (GB) vs. mini-batch ===\n\n");
+    const std::vector<unsigned> batches = {8,  16, 32,  64,
+                                           96, 128, 192, 256};
+    {
+        std::vector<std::string> headers = {"network"};
+        for (const unsigned b : batches)
+            headers.push_back(strfmt("b=%u", b));
+        headers.push_back("max@12GB");
+        Table t(headers);
+        for (const auto &net : dlNetworks()) {
+            std::vector<std::string> row = {net.name};
+            for (const unsigned b : batches)
+                row.push_back(strfmt(
+                    "%.1f", footprintBytes(net, b) / (1024.0 * 1024 *
+                                                      1024)));
+            row.push_back(strfmt("%u", maxBatch(net, kDeviceBytes)));
+            t.addRow(row);
+        }
+        t.print();
+    }
+
+    // ------------------------------------------------------- 13b
+    std::printf("\n=== Figure 13b: projected images/s (normalized to "
+                "batch 8) ===\n\n");
+    {
+        std::vector<std::string> headers = {"network"};
+        for (const unsigned b : batches)
+            headers.push_back(strfmt("b=%u", b));
+        Table t(headers);
+        for (const auto &net : dlNetworks()) {
+            std::vector<std::string> row = {net.name};
+            const double base = imagesPerSec(net, 8);
+            for (const unsigned b : batches)
+                row.push_back(
+                    strfmt("%.2f", imagesPerSec(net, b) / base));
+            t.addRow(row);
+        }
+        t.print();
+    }
+
+    // ------------------------------------------------------- 13c
+    std::printf("\n=== Figure 13c: speedup from Buddy Compression's "
+                "larger batch (12 GB GPU) ===\n\n");
+    {
+        Table t({"network", "batch(plain)", "batch(buddy)", "ratio",
+                 "speedup"});
+        RunningStat mean;
+        for (const auto &net : dlNetworks()) {
+            const unsigned b0 = maxBatch(net, kDeviceBytes);
+            const unsigned b1 =
+                maxBatch(net, kDeviceBytes * net.buddyRatio);
+            const double s = buddySpeedup(net, kDeviceBytes);
+            mean.add(s);
+            t.addRow({net.name, strfmt("%u", b0), strfmt("%u", b1),
+                      strfmt("%.2fx", net.buddyRatio),
+                      strfmt("%.2fx", s)});
+        }
+        t.addRow({"MEAN", "", "", "", strfmt("%.2fx", mean.mean())});
+        t.print();
+        std::printf("\npaper: ~1.14x average; BigLSTM 1.28x, VGG16 "
+                    "1.30x\n");
+    }
+
+    // ------------------------------------------------------- 13d
+    std::printf("\n=== Figure 13d: validation accuracy vs. mini-batch "
+                "(ResNet50/CIFAR100-like, 100 epochs) ===\n\n");
+    {
+        Table t({"batch", "acc@25", "acc@50", "acc@100", "final"});
+        for (const unsigned b : {16u, 32u, 64u, 128u, 256u}) {
+            const auto curve = convergenceCurve(b, 100);
+            t.addRow({strfmt("%u", b),
+                      strfmt("%.3f", curve[24].accuracy),
+                      strfmt("%.3f", curve[49].accuracy),
+                      strfmt("%.3f", curve[99].accuracy),
+                      strfmt("%.3f", finalAccuracy(b))});
+        }
+        t.print();
+        std::printf("\npaper: batches 16/32 never reach peak accuracy; "
+                    "64 reaches it but converges slower; 128-256 train "
+                    "fastest\n");
+    }
+    return 0;
+}

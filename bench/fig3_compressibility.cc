@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 3: average BPC compression ratio of the allocated memory across
+ * ten snapshots of each benchmark's run, using the optimistic 8-size
+ * quantization (0/8/16/32/64/80/96/128 B), plus Table-style gmeans.
+ *
+ * Paper reference points: HPC gmean ~2.5x, DL gmean ~1.85x; 355.seismic
+ * starts near-zero and asymptotes to ~2x; 354.cg and 370.bt barely
+ * compress.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "compress/bpc.h"
+#include "workloads/analysis.h"
+#include "workloads/benchmark.h"
+#include "workloads/image.h"
+
+using namespace buddy;
+
+int
+main()
+{
+    std::printf("=== Figure 3: workload compressibility (BPC, optimistic "
+                "8-size quantization) ===\n\n");
+
+    const BpcCompressor bpc;
+    const u64 model_bytes = 32 * MiB; // scaled image per benchmark
+    AnalysisConfig cfg;
+    cfg.maxSamplesPerAllocation = 3000;
+
+    Table t({"benchmark", "suite", "ratio(avg)", "snap0", "snap9"});
+    GeoMean hpc, dl;
+
+    for (const auto &spec : benchmarkRegistry()) {
+        const WorkloadModel model(spec, model_bytes);
+        const double avg = averageOptimisticRatio(model, bpc, cfg);
+        const double first =
+            analyzeSnapshot(model, 0, bpc, cfg).optimisticRatio;
+        const double last =
+            analyzeSnapshot(model, model.snapshots() - 1, bpc, cfg)
+                .optimisticRatio;
+
+        if (spec.suite == Suite::DeepLearning)
+            dl.add(avg);
+        else
+            hpc.add(avg);
+
+        t.addRow({spec.name,
+                  spec.suite == Suite::DeepLearning ? "DL" : "HPC",
+                  strfmt("%.2f", avg), strfmt("%.2f", first),
+                  strfmt("%.2f", last)});
+    }
+    t.addRow({"GMEAN_HPC", "HPC", strfmt("%.2f", hpc.value()), "", ""});
+    t.addRow({"GMEAN_DL", "DL", strfmt("%.2f", dl.value()), "", ""});
+    t.print();
+
+    std::printf("\npaper: GMEAN_HPC ~2.5, GMEAN_DL ~1.85; seismic rises "
+                "from near-zero data to ~2x-compressible over the run\n");
+    return 0;
+}

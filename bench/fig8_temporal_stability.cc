@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 8: buddy-memory access fraction across the snapshots of a DL
+ * training run at *fixed* target compression ratios.
+ *
+ * Paper reference points: SqueezeNet held at 1.49x and ResNet50 at
+ * 1.64x; although individual entries churn between snapshots, the
+ * changes balance out, so the buddy-access fraction stays roughly
+ * constant over the iteration.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "compress/bpc.h"
+#include "core/profiler.h"
+#include "workloads/analysis.h"
+#include "workloads/benchmark.h"
+#include "workloads/image.h"
+
+using namespace buddy;
+
+int
+main()
+{
+    std::printf("=== Figure 8: buddy accesses over a DL iteration at "
+                "fixed targets ===\n\n");
+
+    const BpcCompressor bpc;
+    AnalysisConfig acfg;
+    acfg.maxSamplesPerAllocation = 2500;
+    const Profiler prof; // final-design policy picks the fixed targets
+
+    for (const char *name : {"SqueezeNetv1.1", "ResNet50"}) {
+        const auto &spec = findBenchmark(name);
+        const WorkloadModel model(spec, 32 * MiB);
+
+        // Choose the static targets once from the merged profile.
+        const auto merged = mergedProfiles(model, bpc, acfg);
+        const auto decision = prof.decide(merged);
+
+        std::printf("%s: fixed compression ratio %.2fx, targets:", name,
+                    decision.compressionRatio);
+        for (std::size_t a = 0; a < merged.size(); ++a)
+            std::printf(" %s=%s", merged[a].name().c_str(),
+                        targetName(decision.targets[a]));
+        std::printf("\n");
+
+        Table t({"snapshot", "buddy-access%", "entries-churned%"});
+        double prev_overflow = -1;
+        for (unsigned s = 0; s < model.snapshots(); ++s) {
+            const auto snap = analyzeSnapshot(model, s, bpc, acfg);
+            double logical = 0, overflow = 0;
+            for (std::size_t a = 0; a < snap.profiles.size(); ++a) {
+                const auto &p = snap.profiles[a];
+                logical += static_cast<double>(p.bytes());
+                overflow += static_cast<double>(p.bytes()) *
+                            p.overflowFraction(decision.targets[a]);
+            }
+            const double frac = overflow / logical;
+
+            // Churn between consecutive snapshots (entry-level change).
+            double churned = 0;
+            if (s > 0) {
+                u8 a_buf[kEntryBytes], b_buf[kEntryBytes];
+                u64 diff = 0, n = 0;
+                for (u64 e = 0; e < 2000; ++e) {
+                    model.entryData(1, e * 3, s - 1, a_buf);
+                    model.entryData(1, e * 3, s, b_buf);
+                    if (std::memcmp(a_buf, b_buf, kEntryBytes) != 0)
+                        ++diff;
+                    ++n;
+                }
+                churned = static_cast<double>(diff) /
+                          static_cast<double>(n);
+            }
+            t.addRow({strfmt("%u", s), strfmt("%.2f", 100 * frac),
+                      strfmt("%.0f", 100 * churned)});
+            prev_overflow = frac;
+        }
+        (void)prev_overflow;
+        t.print();
+        std::printf("\n");
+    }
+    std::printf("paper: SqueezeNet 1.49x / ResNet50 1.64x; buddy "
+                "fraction roughly flat despite heavy per-entry churn\n");
+    return 0;
+}

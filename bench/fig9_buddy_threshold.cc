@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 9: sensitivity to the Buddy Threshold (10% - 40%), plus the
+ * best-achievable compression ratio with unconstrained buddy accesses.
+ *
+ * Paper reference points: HPC buddy accesses stay tiny at every
+ * threshold (homogeneous regions); DL compression and buddy accesses
+ * both grow with the threshold; FF_HPGMG only captures its compressible
+ * stripes at thresholds far above the 30% default; 30% is chosen as the
+ * balance point.
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "compress/bpc.h"
+#include "core/profiler.h"
+#include "workloads/analysis.h"
+#include "workloads/benchmark.h"
+#include "workloads/image.h"
+
+using namespace buddy;
+
+int
+main()
+{
+    std::printf("=== Figure 9: Buddy Threshold sensitivity ===\n\n");
+
+    const BpcCompressor bpc;
+    AnalysisConfig acfg;
+    acfg.maxSamplesPerAllocation = 2500;
+    const std::vector<double> thresholds = {0.10, 0.20, 0.30, 0.40};
+
+    std::vector<std::string> headers = {"benchmark"};
+    for (const double th : thresholds) {
+        headers.push_back(strfmt("r@%.0f%%", th * 100));
+        headers.push_back(strfmt("b@%.0f%%", th * 100));
+    }
+    headers.push_back("best");
+    Table t(headers);
+
+    std::vector<GeoMean> hpc_r(thresholds.size()), dl_r(thresholds.size());
+    std::vector<RunningStat> hpc_b(thresholds.size()),
+        dl_b(thresholds.size());
+
+    for (const auto &spec : benchmarkRegistry()) {
+        const WorkloadModel model(spec, 32 * MiB);
+        const auto profiles = mergedProfiles(model, bpc, acfg);
+
+        std::vector<std::string> row = {spec.name};
+        double best = 1.0;
+        for (std::size_t i = 0; i < thresholds.size(); ++i) {
+            ProfilerConfig cfg;
+            cfg.buddyThreshold = thresholds[i];
+            const auto d = Profiler(cfg).decide(profiles);
+            row.push_back(strfmt("%.2f", d.compressionRatio));
+            row.push_back(strfmt("%.1f", 100 * d.buddyAccessFraction));
+            best = d.bestAchievableRatio;
+            const bool dl = spec.suite == Suite::DeepLearning;
+            (dl ? dl_r : hpc_r)[i].add(d.compressionRatio);
+            (dl ? dl_b : hpc_b)[i].add(d.buddyAccessFraction);
+        }
+        row.push_back(strfmt("%.2f", best));
+        t.addRow(row);
+    }
+
+    std::vector<std::string> hrow = {"GMEAN_HPC"}, drow = {"GMEAN_DL"};
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        hrow.push_back(strfmt("%.2f", hpc_r[i].value()));
+        hrow.push_back(strfmt("%.2f", 100 * hpc_b[i].mean()));
+        drow.push_back(strfmt("%.2f", dl_r[i].value()));
+        drow.push_back(strfmt("%.2f", 100 * dl_b[i].mean()));
+    }
+    hrow.push_back("");
+    drow.push_back("");
+    t.addRow(hrow);
+    t.addRow(drow);
+    t.print();
+
+    std::printf("\npaper: HPC buddy%% stays near zero at all "
+                "thresholds; DL ratio and buddy%% grow with the "
+                "threshold; 30%% balances the two\n");
+    return 0;
+}

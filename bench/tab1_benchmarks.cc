@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table 1: the GPU benchmarks used, with their memory footprints.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "workloads/benchmark.h"
+
+using namespace buddy;
+
+int
+main()
+{
+    std::printf("=== Table 1: GPU benchmarks used ===\n\n");
+    Table t({"benchmark", "suite", "footprint", "allocations"});
+    for (const auto &b : benchmarkRegistry()) {
+        const char *suite = b.suite == Suite::SpecAccel ? "SpecAccel"
+                            : b.suite == Suite::FastForward
+                                ? "FastForward"
+                                : "DL Training";
+        std::string fp;
+        if (b.footprintBytes >= GiB) {
+            fp = strfmt("%.2fGB", static_cast<double>(b.footprintBytes) /
+                                      static_cast<double>(GiB));
+        } else {
+            fp = strfmt("%.2fMB", static_cast<double>(b.footprintBytes) /
+                                      static_cast<double>(MiB));
+        }
+        t.addRow({b.name, suite, fp,
+                  strfmt("%zu", b.allocations.size())});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 2: performance-simulation parameters, as configured in this
+ * reproduction (plus the scaling used by the simulator).
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "gpusim/config.h"
+
+using namespace buddy;
+
+int
+main()
+{
+    std::printf("=== Table 2: performance simulation parameters ===\n\n");
+    const SimConfig c;
+    Table t({"parameter", "value"});
+    t.addRow({"Core clock", strfmt("%.1f GHz", c.coreGhz)});
+    t.addRow({"Warp scheduling", "greedy-then-oldest (ready-ordered)"});
+    t.addRow({"Warps per SM", strfmt("%u (of 64 architectural)",
+                                     c.warpsPerSm)});
+    t.addRow({"L1 per SM", strfmt("%zu KB, %u-way, 128B lines",
+                                  c.l1Bytes / KiB, c.l1Ways)});
+    t.addRow({"Shared L2", strfmt("%zu MB, %u-way, 32 slices, "
+                                  "128B lines, 32B sectors",
+                                  c.l2Bytes / MiB, c.l2Ways)});
+    t.addRow({"Device memory",
+              strfmt("%u HBM2 channels, %.0f GB/s", c.dramChannels,
+                     c.deviceGBps)});
+    t.addRow({"Interconnect",
+              strfmt("6 NVLink2 bricks, %.0f GB/s full-duplex",
+                     c.linkGBps)});
+    t.addRow({"Metadata cache",
+              strfmt("%zu KB total, %u-way, %u slices, 32B entries",
+                     c.metadataCache.totalBytes / KiB,
+                     c.metadataCache.ways, c.metadataCache.slices)});
+    t.addRow({"Codec latency",
+              strfmt("%llu core cycles (11 DRAM cycles)",
+                     static_cast<unsigned long long>(c.codecLatency))});
+    t.addRow({"Modelled SMs",
+              strfmt("%u (bandwidth/L2 scaled from %u)", c.sms,
+                     c.referenceSms)});
+    t.addRow({"L2 MSHRs", strfmt("%u (scaled: %u)", c.l2Mshrs,
+                                 c.scaledMshrs())});
+    t.print();
+    return 0;
+}

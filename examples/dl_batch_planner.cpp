@@ -1,0 +1,56 @@
+/**
+ * @file
+ * DL capacity planner: given a GPU memory budget, report for every
+ * network the largest trainable mini-batch with and without Buddy
+ * Compression, the projected throughput gain, and whether the batch
+ * reaches the sizes that batch normalization needs (Section 4.4).
+ *
+ *   ./examples/dl_batch_planner [gpu-memory-GB]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "dlmodel/dlmodel.h"
+
+using namespace buddy;
+
+int
+main(int argc, char **argv)
+{
+    double gb = 12.0;
+    if (argc > 1)
+        gb = std::atof(argv[1]);
+    const double capacity = gb * 1024.0 * 1024.0 * 1024.0;
+
+    std::printf("=== DL mini-batch planner for a %.0f GB GPU ===\n\n",
+                gb);
+
+    Table t({"network", "batch", "batch+buddy", "imgs/s gain",
+             "BN>=32?", "note"});
+    for (const auto &net : dlNetworks()) {
+        const unsigned b0 = maxBatch(net, capacity);
+        const unsigned b1 = maxBatch(net, capacity * net.buddyRatio);
+        const double gain =
+            b0 ? buddySpeedup(net, capacity) : 0.0;
+
+        std::string note;
+        if (b0 == 0)
+            note = "does not fit without compression!";
+        else if (b0 < 32 && b1 >= 32)
+            note = "buddy enables effective batch-norm";
+        else if (b0 < 64 && b1 >= 64)
+            note = "buddy reaches the throughput plateau";
+
+        t.addRow({net.name, b0 ? strfmt("%u", b0) : "-",
+                  b1 ? strfmt("%u", b1) : "-",
+                  b0 ? strfmt("%.0f%%", 100 * (gain - 1.0)) : "-",
+                  b1 >= 32 ? "yes" : "no", note});
+    }
+    t.print();
+
+    std::printf("\nBatch normalization wants >=32 samples; most nets "
+                "need 64-128 for peak throughput (Figure 13).\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Bit-granularity serialization used by the compression codecs.
+ *
+ * Compressed memory entries are variable-length bit strings; BitWriter and
+ * BitReader provide LSB-first bit packing so that encode/decode pairs are
+ * bit-exact and the compressed size in bits can be measured precisely.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace buddy {
+
+/** Append-only LSB-first bit packer. */
+class BitWriter
+{
+  public:
+    BitWriter() = default;
+
+    /** Append the low @p nbits bits of @p value (nbits in [0, 64]). */
+    void
+    put(u64 value, unsigned nbits)
+    {
+        BUDDY_CHECK(nbits <= 64, "BitWriter::put supports at most 64 bits");
+        for (unsigned i = 0; i < nbits; ++i) {
+            putBit((value >> i) & 1u);
+        }
+    }
+
+    /** Append a single bit. */
+    void
+    putBit(bool bit)
+    {
+        const std::size_t byte = bitCount_ / 8;
+        const unsigned off = bitCount_ % 8;
+        if (byte >= bytes_.size())
+            bytes_.push_back(0);
+        if (bit)
+            bytes_[byte] |= static_cast<u8>(1u << off);
+        ++bitCount_;
+    }
+
+    /** Number of bits written so far. */
+    std::size_t sizeBits() const { return bitCount_; }
+
+    /** Number of bytes needed to hold the written bits (rounded up). */
+    std::size_t sizeBytes() const { return (bitCount_ + 7) / 8; }
+
+    /** Backing byte storage (padded with zero bits in the last byte). */
+    const std::vector<u8> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<u8> bytes_;
+    std::size_t bitCount_ = 0;
+};
+
+/** LSB-first bit unpacker over a byte buffer produced by BitWriter. */
+class BitReader
+{
+  public:
+    BitReader(const u8 *data, std::size_t size_bits)
+        : data_(data), sizeBits_(size_bits)
+    {}
+
+    explicit BitReader(const BitWriter &w)
+        : data_(w.bytes().data()), sizeBits_(w.sizeBits())
+    {}
+
+    /** Read @p nbits bits (LSB first) as an unsigned value. */
+    u64
+    get(unsigned nbits)
+    {
+        BUDDY_CHECK(nbits <= 64, "BitReader::get supports at most 64 bits");
+        u64 v = 0;
+        for (unsigned i = 0; i < nbits; ++i) {
+            v |= static_cast<u64>(getBit()) << i;
+        }
+        return v;
+    }
+
+    /** Read one bit. */
+    bool
+    getBit()
+    {
+        BUDDY_CHECK(pos_ < sizeBits_, "BitReader overrun");
+        const bool bit = (data_[pos_ / 8] >> (pos_ % 8)) & 1u;
+        ++pos_;
+        return bit;
+    }
+
+    /** Bits consumed so far. */
+    std::size_t pos() const { return pos_; }
+
+    /** Bits remaining. */
+    std::size_t remaining() const { return sizeBits_ - pos_; }
+
+  private:
+    const u8 *data_;
+    std::size_t sizeBits_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace buddy

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal logging / fatal-error helpers in the spirit of gem5's
+ * base/logging.hh. panic() flags an internal invariant violation (a bug in
+ * this library); fatal() flags a user/configuration error.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace buddy {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+} // namespace buddy
+
+#define BUDDY_PANIC(msg) ::buddy::panicImpl(__FILE__, __LINE__, msg)
+#define BUDDY_FATAL(msg) ::buddy::fatalImpl(__FILE__, __LINE__, msg)
+
+/** Invariant check that is active in all build types (unlike assert). */
+#define BUDDY_CHECK(cond, msg)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            BUDDY_PANIC("check failed: " #cond " -- " msg);                  \
+        }                                                                    \
+    } while (0)

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fundamental types and constants shared across the Buddy Compression
+ * libraries.
+ *
+ * The paper operates on 128 B "memory entries" (the compression granularity,
+ * equal to an L2 cache line) that are internally divided into four 32 B
+ * sectors (the DRAM access granularity of HBM2/GDDR-class memories).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace buddy {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Compression granularity: one memory entry (one L2 cache block). */
+constexpr std::size_t kEntryBytes = 128;
+
+/** DRAM access granularity: one sector. */
+constexpr std::size_t kSectorBytes = 32;
+
+/** Sectors per memory entry (128 B / 32 B). */
+constexpr std::size_t kSectorsPerEntry = kEntryBytes / kSectorBytes;
+
+/** 32-bit words per memory entry (BPC operates on these). */
+constexpr std::size_t kWordsPerEntry = kEntryBytes / sizeof(u32);
+
+/** Page size used for compression annotations and the spatial plots. */
+constexpr std::size_t kPageBytes = 8 * 1024;
+
+/** Memory entries per 8 KB page. */
+constexpr std::size_t kEntriesPerPage = kPageBytes / kEntryBytes;
+
+/** Metadata bits per memory entry (Section 3.2). */
+constexpr std::size_t kMetadataBitsPerEntry = 4;
+
+/**
+ * One metadata-cache entry is 32 B and therefore covers 64 memory entries
+ * (32 B * 8 bits / 4 bits-per-entry), i.e. a metadata-cache miss prefetches
+ * the metadata of 63 neighbouring entries.
+ */
+constexpr std::size_t kEntriesPerMetadataCacheLine =
+    (kSectorBytes * 8) / kMetadataBitsPerEntry;
+
+/** Device-memory address type (byte granularity). */
+using Addr = u64;
+
+/** Simulation time in core cycles. */
+using Cycles = u64;
+
+constexpr u64 KiB = 1024ull;
+constexpr u64 MiB = 1024ull * KiB;
+constexpr u64 GiB = 1024ull * MiB;
+
+} // namespace buddy

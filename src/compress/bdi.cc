@@ -1,0 +1,215 @@
+#include "compress/bdi.h"
+
+#include <cstring>
+
+#include "common/bitstream.h"
+#include "common/log.h"
+
+namespace buddy {
+
+namespace {
+
+/**
+ * Encoding identifiers stored as the 4-bit header tag.
+ * Order matters only for the tag values; the encoder picks the smallest
+ * valid encoding.
+ */
+enum class BdiMode : u8 {
+    Zeros = 0,    // all bytes zero
+    Repeat8 = 1,  // one repeated 8-byte value
+    B8D1 = 2,
+    B8D2 = 3,
+    B8D4 = 4,
+    B4D1 = 5,
+    B4D2 = 6,
+    B2D1 = 7,
+    Raw = 8,
+};
+
+struct ModeSpec { BdiMode mode; unsigned baseBytes; unsigned deltaBytes; };
+
+constexpr ModeSpec kModes[] = {
+    {BdiMode::B8D1, 8, 1}, {BdiMode::B8D2, 8, 2}, {BdiMode::B8D4, 8, 4},
+    {BdiMode::B4D1, 4, 1}, {BdiMode::B4D2, 4, 2}, {BdiMode::B2D1, 2, 1},
+};
+
+u64
+loadElem(const u8 *data, unsigned idx, unsigned bytes)
+{
+    u64 v = 0;
+    std::memcpy(&v, data + static_cast<std::size_t>(idx) * bytes, bytes);
+    return v;
+}
+
+i64
+signExtend(u64 v, unsigned bytes)
+{
+    const unsigned shift = 64 - bytes * 8;
+    return static_cast<i64>(v << shift) >> shift;
+}
+
+bool
+fitsSigned(i64 v, unsigned bytes)
+{
+    const i64 lo = -(1ll << (bytes * 8 - 1));
+    const i64 hi = (1ll << (bytes * 8 - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+/** Size in bits of one candidate encoding (4-bit tag included). */
+std::size_t
+modeBits(const ModeSpec &m)
+{
+    const unsigned elems = kEntryBytes / m.baseBytes;
+    return 4 + m.baseBytes * 8 +
+           static_cast<std::size_t>(elems) * (1 + m.deltaBytes * 8);
+}
+
+/**
+ * Check whether every element can be expressed as a deltaBytes-wide signed
+ * delta from either zero or the first non-zero-representable element.
+ * On success fills @p base and the per-element mask/deltas.
+ */
+bool
+tryMode(const u8 *data, const ModeSpec &m, u64 &base,
+        std::vector<bool> &use_base, std::vector<i64> &deltas)
+{
+    const unsigned elems = kEntryBytes / m.baseBytes;
+    use_base.assign(elems, false);
+    deltas.assign(elems, 0);
+    bool have_base = false;
+    base = 0;
+
+    for (unsigned i = 0; i < elems; ++i) {
+        const u64 raw = loadElem(data, i, m.baseBytes);
+        const i64 val = signExtend(raw, m.baseBytes);
+        if (fitsSigned(val, m.deltaBytes)) {
+            deltas[i] = val; // delta from the implicit zero base
+            continue;
+        }
+        if (!have_base) {
+            base = raw;
+            have_base = true;
+        }
+        const i64 d = val - signExtend(base, m.baseBytes);
+        if (!fitsSigned(d, m.deltaBytes))
+            return false;
+        use_base[i] = true;
+        deltas[i] = d;
+    }
+    return true;
+}
+
+} // namespace
+
+CompressionResult
+BdiCompressor::compress(const u8 *data) const
+{
+    BitWriter bw;
+
+    if (entryIsZero(data)) {
+        bw.put(static_cast<u8>(BdiMode::Zeros), 4);
+        CompressionResult r{bw.sizeBits(), bw.bytes()};
+        return r;
+    }
+
+    u64 first8 = 0;
+    std::memcpy(&first8, data, 8);
+    bool repeated = true;
+    for (unsigned i = 1; i < kEntryBytes / 8 && repeated; ++i)
+        repeated = loadElem(data, i, 8) == first8;
+    if (repeated) {
+        bw.put(static_cast<u8>(BdiMode::Repeat8), 4);
+        bw.put(first8, 64);
+        CompressionResult r{bw.sizeBits(), bw.bytes()};
+        return r;
+    }
+
+    // Pick the smallest valid base-delta encoding.
+    const ModeSpec *best = nullptr;
+    u64 best_base = 0;
+    std::vector<bool> best_mask;
+    std::vector<i64> best_deltas;
+    std::size_t best_bits = kEntryBytes * 8 + 4; // raw cost
+
+    for (const auto &m : kModes) {
+        if (modeBits(m) >= best_bits)
+            continue;
+        u64 base;
+        std::vector<bool> mask;
+        std::vector<i64> deltas;
+        if (tryMode(data, m, base, mask, deltas)) {
+            best = &m;
+            best_base = base;
+            best_mask = std::move(mask);
+            best_deltas = std::move(deltas);
+            best_bits = modeBits(m);
+        }
+    }
+
+    if (!best) {
+        bw.put(static_cast<u8>(BdiMode::Raw), 4);
+        for (std::size_t i = 0; i < kEntryBytes; ++i)
+            bw.put(data[i], 8);
+        CompressionResult r{bw.sizeBits(), bw.bytes()};
+        return r;
+    }
+
+    bw.put(static_cast<u8>(best->mode), 4);
+    bw.put(best_base, best->baseBytes * 8);
+    const unsigned elems = kEntryBytes / best->baseBytes;
+    for (unsigned i = 0; i < elems; ++i) {
+        bw.putBit(best_mask[i]);
+        bw.put(static_cast<u64>(best_deltas[i]) &
+                   ((best->deltaBytes * 8 == 64)
+                        ? ~0ull
+                        : ((1ull << (best->deltaBytes * 8)) - 1)),
+               best->deltaBytes * 8);
+    }
+    CompressionResult r{bw.sizeBits(), bw.bytes()};
+    return r;
+}
+
+void
+BdiCompressor::decompress(const CompressionResult &result, u8 *out) const
+{
+    BitReader br(result.payload.data(), result.sizeBits);
+    const auto mode = static_cast<BdiMode>(br.get(4));
+
+    if (mode == BdiMode::Zeros) {
+        std::memset(out, 0, kEntryBytes);
+        return;
+    }
+    if (mode == BdiMode::Repeat8) {
+        const u64 v = br.get(64);
+        for (unsigned i = 0; i < kEntryBytes / 8; ++i)
+            std::memcpy(out + i * 8, &v, 8);
+        return;
+    }
+    if (mode == BdiMode::Raw) {
+        for (std::size_t i = 0; i < kEntryBytes; ++i)
+            out[i] = static_cast<u8>(br.get(8));
+        return;
+    }
+
+    const ModeSpec *spec = nullptr;
+    for (const auto &m : kModes)
+        if (m.mode == mode)
+            spec = &m;
+    BUDDY_CHECK(spec != nullptr, "corrupt BDI mode tag");
+
+    const u64 base_raw = br.get(spec->baseBytes * 8);
+    const i64 base = signExtend(base_raw, spec->baseBytes);
+    const unsigned elems = kEntryBytes / spec->baseBytes;
+    for (unsigned i = 0; i < elems; ++i) {
+        const bool use_base = br.getBit();
+        const u64 draw = br.get(spec->deltaBytes * 8);
+        const i64 d = signExtend(draw, spec->deltaBytes);
+        const i64 val = use_base ? base + d : d;
+        const u64 enc = static_cast<u64>(val);
+        std::memcpy(out + static_cast<std::size_t>(i) * spec->baseBytes,
+                    &enc, spec->baseBytes);
+    }
+}
+
+} // namespace buddy

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Base-Delta-Immediate (BDI) compression.
+ *
+ * Re-implementation of Pekhimenko et al., "Base-Delta-Immediate
+ * Compression" (PACT 2012), generalized to the 128 B GPU memory entry.
+ * BDI is one of the candidate algorithms the Buddy Compression paper
+ * compares before selecting BPC (Section 2.4); we keep it both as a
+ * baseline for the compressor ablation bench and as an alternative codec
+ * for the core library.
+ *
+ * The block is split into fixed-size elements (8, 4 or 2 bytes). Each
+ * element is stored as a small signed delta from one of two bases: an
+ * implicit zero base or the first element that is not representable from
+ * zero (the standard two-base scheme). A per-element mask bit selects the
+ * base. Special encodings cover all-zero blocks and blocks consisting of
+ * one repeated 8-byte value.
+ */
+
+#pragma once
+
+#include "compress/compressor.h"
+
+namespace buddy {
+
+/** Base-Delta-Immediate codec (see file header). */
+class BdiCompressor : public Compressor
+{
+  public:
+    const char *name() const override { return "bdi"; }
+
+    CompressionResult compress(const u8 *data) const override;
+    void decompress(const CompressionResult &result, u8 *out) const override;
+};
+
+} // namespace buddy

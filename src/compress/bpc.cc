@@ -1,0 +1,298 @@
+#include "compress/bpc.h"
+
+#include <array>
+
+#include "common/bitstream.h"
+#include "common/log.h"
+
+namespace buddy {
+
+namespace {
+
+constexpr u64 kPlaneMask = (1ull << BpcCompressor::kPlaneBits) - 1;
+constexpr u64 kDeltaMask = (1ull << BpcCompressor::kPlanes) - 1;
+constexpr std::size_t kRawBits = kEntryBytes * 8;
+
+/**
+ * Prefix-free DBX plane symbol codes. The set below mirrors the structure
+ * of the published BPC code table (zero runs, all-ones, DBP-zero shortcut,
+ * two consecutive ones, single one, raw plane):
+ *
+ *   "01"                     single all-zero DBX plane            (2 bits)
+ *   "001" + 5-bit (run-2)    run of 2..33 all-zero DBX planes     (8 bits)
+ *   "00000"                  all-ones DBX plane                   (5 bits)
+ *   "00001"                  DBX != 0 but DBP == 0                (5 bits)
+ *   "00010" + 5-bit pos      two consecutive ones at pos, pos+1  (10 bits)
+ *   "00011" + 5-bit pos      single one at pos                   (10 bits)
+ *   "1"     + 31 raw bits    uncompressed plane                  (32 bits)
+ *
+ * Codes are written LSB-first into the BitWriter; the reader peels them
+ * bit by bit in the same order.
+ */
+enum class PlaneSym : u8 {
+    ZeroSingle,
+    ZeroRun,
+    AllOnes,
+    DbpZero,
+    TwoOnes,
+    OneOne,
+    Raw,
+};
+
+void
+emitZeroPlanes(BitWriter &bw, unsigned run)
+{
+    while (run > 0) {
+        if (run == 1) {
+            bw.putBit(0); bw.putBit(1); // "01"
+            run = 0;
+        } else {
+            const unsigned chunk = run > 33 ? 33 : run;
+            bw.putBit(0); bw.putBit(0); bw.putBit(1); // "001"
+            bw.put(chunk - 2, 5);
+            run -= chunk;
+        }
+    }
+}
+
+/** Compute the delta bit planes (DBP) for one entry. Returns false and
+ * leaves planes untouched only on internal error (never in practice). */
+void
+computePlanes(const u32 *words, std::array<u64, BpcCompressor::kPlanes> &dbp)
+{
+    u64 deltas[BpcCompressor::kPlaneBits];
+    for (unsigned i = 0; i < BpcCompressor::kPlaneBits; ++i) {
+        const i64 d = static_cast<i64>(words[i + 1]) -
+                      static_cast<i64>(words[i]);
+        deltas[i] = static_cast<u64>(d) & kDeltaMask;
+    }
+    for (unsigned b = 0; b < BpcCompressor::kPlanes; ++b) {
+        u64 plane = 0;
+        for (unsigned i = 0; i < BpcCompressor::kPlaneBits; ++i)
+            plane |= ((deltas[i] >> b) & 1ull) << i;
+        dbp[b] = plane;
+    }
+}
+
+/**
+ * Base-word code:
+ *   "00"            zero base                         (2 bits)
+ *   "01" + 4 bits   4-bit sign-extended base          (6 bits)
+ *   "10" + 16 bits  16-bit sign-extended base        (18 bits)
+ *   "11" + 32 bits  raw base                         (34 bits)
+ */
+void
+encodeBase(BitWriter &bw, u32 base)
+{
+    const i32 sbase = static_cast<i32>(base);
+    if (base == 0) {
+        bw.putBit(0); bw.putBit(0);
+    } else if (sbase >= -8 && sbase < 8) {
+        bw.putBit(0); bw.putBit(1);
+        bw.put(static_cast<u32>(sbase) & 0xF, 4);
+    } else if (sbase >= -32768 && sbase < 32768) {
+        bw.putBit(1); bw.putBit(0);
+        bw.put(static_cast<u32>(sbase) & 0xFFFF, 16);
+    } else {
+        bw.putBit(1); bw.putBit(1);
+        bw.put(base, 32);
+    }
+}
+
+u32
+decodeBase(BitReader &br)
+{
+    const bool b0 = br.getBit();
+    const bool b1 = br.getBit();
+    if (!b0 && !b1)
+        return 0;
+    if (!b0 && b1) { // 4-bit sign-extended
+        const u32 v = static_cast<u32>(br.get(4));
+        return static_cast<u32>(static_cast<i32>(v << 28) >> 28);
+    }
+    if (b0 && !b1) { // 16-bit sign-extended
+        const u32 v = static_cast<u32>(br.get(16));
+        return static_cast<u32>(static_cast<i32>(v << 16) >> 16);
+    }
+    return static_cast<u32>(br.get(32));
+}
+
+bool
+isSingleOne(u64 plane, unsigned &pos)
+{
+    if (plane == 0 || (plane & (plane - 1)) != 0)
+        return false;
+    pos = 0;
+    while (!((plane >> pos) & 1ull))
+        ++pos;
+    return true;
+}
+
+bool
+isTwoConsecutiveOnes(u64 plane, unsigned &pos)
+{
+    // plane == (0b11 << pos)
+    if (plane == 0)
+        return false;
+    pos = 0;
+    while (!((plane >> pos) & 1ull))
+        ++pos;
+    return plane == (0b11ull << pos) &&
+           pos + 1 < BpcCompressor::kPlaneBits;
+}
+
+} // namespace
+
+CompressionResult
+BpcCompressor::compress(const u8 *data) const
+{
+    u32 words[kWordsPerEntry];
+    loadWords(data, words);
+
+    std::array<u64, kPlanes> dbp;
+    computePlanes(words, dbp);
+
+    std::array<u64, kPlanes> dbx;
+    dbx[kPlanes - 1] = dbp[kPlanes - 1];
+    for (unsigned b = 0; b + 1 < kPlanes; ++b)
+        dbx[b] = dbp[b] ^ dbp[b + 1];
+
+    BitWriter bw;
+    bw.putBit(0); // format tag: 0 = BPC, 1 = raw fallback
+    encodeBase(bw, words[0]);
+
+    // Emit planes MSB-first so that the sign-extension planes of smooth
+    // data coalesce into long zero runs.
+    unsigned zero_run = 0;
+    for (int b = kPlanes - 1; b >= 0; --b) {
+        const u64 x = dbx[b];
+        if (x == 0) {
+            ++zero_run;
+            continue;
+        }
+        emitZeroPlanes(bw, zero_run);
+        zero_run = 0;
+
+        unsigned pos = 0;
+        if (x == kPlaneMask) {
+            bw.put(0b00000, 5);
+        } else if (dbp[b] == 0) {
+            // DBX nonzero but the underlying DBP plane is zero: tell the
+            // decoder directly (5-bit shortcut instead of a raw plane).
+            bw.putBit(0); bw.putBit(0); bw.putBit(0); bw.putBit(0);
+            bw.putBit(1);
+        } else if (isTwoConsecutiveOnes(x, pos)) {
+            bw.putBit(0); bw.putBit(0); bw.putBit(0); bw.putBit(1);
+            bw.putBit(0);
+            bw.put(pos, 5);
+        } else if (isSingleOne(x, pos)) {
+            bw.putBit(0); bw.putBit(0); bw.putBit(0); bw.putBit(1);
+            bw.putBit(1);
+            bw.put(pos, 5);
+        } else {
+            bw.putBit(1);
+            bw.put(x, kPlaneBits);
+        }
+    }
+    emitZeroPlanes(bw, zero_run);
+
+    if (bw.sizeBits() >= kRawBits + 1) {
+        // Transform expanded the data: fall back to a tagged raw copy.
+        BitWriter raw;
+        raw.putBit(1);
+        for (std::size_t i = 0; i < kEntryBytes; ++i)
+            raw.put(data[i], 8);
+        CompressionResult r;
+        r.sizeBits = raw.sizeBits();
+        r.payload = raw.bytes();
+        return r;
+    }
+
+    CompressionResult r;
+    r.sizeBits = bw.sizeBits();
+    r.payload = bw.bytes();
+    return r;
+}
+
+void
+BpcCompressor::decompress(const CompressionResult &result, u8 *out) const
+{
+    BitReader br(result.payload.data(), result.sizeBits);
+
+    if (br.getBit()) { // raw fallback
+        for (std::size_t i = 0; i < kEntryBytes; ++i)
+            out[i] = static_cast<u8>(br.get(8));
+        return;
+    }
+
+    const u32 base = decodeBase(br);
+
+    // Reconstruct per-plane DBX values (or direct DBP-zero markers),
+    // MSB-first to match the encoder.
+    std::array<u64, kPlanes> dbx{};
+    std::array<bool, kPlanes> dbp_zero{};
+    int b = kPlanes - 1;
+    while (b >= 0) {
+        if (br.getBit()) { // "1": raw plane
+            dbx[b] = br.get(kPlaneBits);
+            --b;
+            continue;
+        }
+        if (br.getBit()) { // "01": single zero plane
+            dbx[b] = 0;
+            --b;
+            continue;
+        }
+        if (br.getBit()) { // "001": zero run
+            const unsigned run = static_cast<unsigned>(br.get(5)) + 2;
+            for (unsigned i = 0; i < run; ++i) {
+                BUDDY_CHECK(b >= 0, "BPC zero run overruns planes");
+                dbx[b--] = 0;
+            }
+            continue;
+        }
+        // "000xx" family.
+        const bool b3 = br.getBit();
+        const bool b4 = br.getBit();
+        if (!b3 && !b4) { // "00000": all ones
+            dbx[b] = kPlaneMask;
+        } else if (!b3 && b4) { // "00001": DBP == 0 shortcut
+            dbp_zero[b] = true;
+        } else if (b3 && !b4) { // "00010": two consecutive ones
+            const unsigned pos = static_cast<unsigned>(br.get(5));
+            dbx[b] = 0b11ull << pos;
+        } else { // "00011": single one
+            const unsigned pos = static_cast<unsigned>(br.get(5));
+            dbx[b] = 1ull << pos;
+        }
+        --b;
+    }
+
+    // Invert the XOR transform top-down.
+    std::array<u64, kPlanes> dbp{};
+    dbp[kPlanes - 1] = dbx[kPlanes - 1];
+    for (int p = kPlanes - 2; p >= 0; --p)
+        dbp[p] = dbp_zero[p] ? 0 : (dbx[p] ^ dbp[p + 1]);
+
+    // Invert the bit-plane transform back into 33-bit deltas.
+    u64 deltas[kPlaneBits];
+    for (unsigned i = 0; i < kPlaneBits; ++i) {
+        u64 d = 0;
+        for (unsigned p = 0; p < kPlanes; ++p)
+            d |= ((dbp[p] >> i) & 1ull) << p;
+        deltas[i] = d;
+    }
+
+    // Invert the delta transform.
+    u32 words[kWordsPerEntry];
+    words[0] = base;
+    for (unsigned i = 0; i < kPlaneBits; ++i) {
+        // Sign-extend the 33-bit delta.
+        i64 d = static_cast<i64>(deltas[i] << (64 - kPlanes)) >>
+                (64 - kPlanes);
+        words[i + 1] = static_cast<u32>(static_cast<i64>(words[i]) + d);
+    }
+    storeWords(words, out);
+}
+
+} // namespace buddy

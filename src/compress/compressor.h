@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Abstract interface for 128 B memory-entry compressors.
+ *
+ * Buddy Compression (Section 2.4) compresses at the granularity of one
+ * 128 B memory entry. Every codec in this library is a real, bit-exact
+ * encoder/decoder pair: compression ratios reported by the experiments are
+ * measured from actual encoded bit lengths, never estimated.
+ */
+
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace buddy {
+
+/** Result of compressing one 128 B memory entry. */
+struct CompressionResult
+{
+    /** Exact encoded length in bits (including any format tag bits). */
+    std::size_t sizeBits = 0;
+
+    /** Encoded payload, LSB-first packed (sizeBits bits are valid). */
+    std::vector<u8> payload;
+
+    /** Encoded length rounded up to bytes. */
+    std::size_t sizeBytes() const { return (sizeBits + 7) / 8; }
+};
+
+/** Interface implemented by every memory-entry codec. */
+class Compressor
+{
+  public:
+    virtual ~Compressor() = default;
+
+    /** Human-readable codec name ("bpc", "bdi", ...). */
+    virtual const char *name() const = 0;
+
+    /** Compress one 128 B entry. */
+    virtual CompressionResult compress(const u8 *data) const = 0;
+
+    /**
+     * Decompress an entry previously produced by compress().
+     * @param result encoded entry.
+     * @param out    receives exactly kEntryBytes bytes.
+     */
+    virtual void decompress(const CompressionResult &result, u8 *out)
+        const = 0;
+
+    /** Convenience: compressed size in bits without keeping the payload. */
+    std::size_t
+    compressedBits(const u8 *data) const
+    {
+        return compress(data).sizeBits;
+    }
+};
+
+/** True if all kEntryBytes bytes of @p data are zero. */
+inline bool
+entryIsZero(const u8 *data)
+{
+    for (std::size_t i = 0; i < kEntryBytes; ++i)
+        if (data[i] != 0)
+            return false;
+    return true;
+}
+
+/** Load the entry as 32 little-endian 32-bit words. */
+inline void
+loadWords(const u8 *data, u32 *words)
+{
+    std::memcpy(words, data, kEntryBytes);
+}
+
+/** Store 32 little-endian 32-bit words back into an entry buffer. */
+inline void
+storeWords(const u32 *words, u8 *data)
+{
+    std::memcpy(data, words, kEntryBytes);
+}
+
+} // namespace buddy

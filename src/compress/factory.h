@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Codec factory: build a Compressor by name. The Buddy Compression paper
+ * selects BPC; the others exist for the compressor ablation bench.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "compress/compressor.h"
+
+namespace buddy {
+
+/**
+ * Construct a codec by name.
+ * @param name one of "bpc", "bdi", "fpc", "zero".
+ * @return the codec, or nullptr for an unknown name.
+ */
+std::unique_ptr<Compressor> makeCompressor(const std::string &name);
+
+} // namespace buddy

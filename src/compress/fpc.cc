@@ -1,0 +1,154 @@
+#include "compress/fpc.h"
+
+#include <cstring>
+
+#include "common/bitstream.h"
+#include "common/log.h"
+
+namespace buddy {
+
+namespace {
+
+bool
+fitsSigned32(i32 v, unsigned bits)
+{
+    const i32 lo = -(1 << (bits - 1));
+    const i32 hi = (1 << (bits - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+} // namespace
+
+CompressionResult
+FpcCompressor::compress(const u8 *data) const
+{
+    u32 words[kWordsPerEntry];
+    loadWords(data, words);
+
+    BitWriter bw;
+    bw.putBit(0); // format tag: 0 = FPC stream, 1 = raw fallback
+    unsigned i = 0;
+    while (i < kWordsPerEntry) {
+        const u32 w = words[i];
+        if (w == 0) {
+            unsigned run = 1;
+            while (i + run < kWordsPerEntry && words[i + run] == 0 &&
+                   run < 8)
+                ++run;
+            bw.put(0b000, 3);
+            bw.put(run - 1, 3);
+            i += run;
+            continue;
+        }
+        const i32 sw = static_cast<i32>(w);
+        if (fitsSigned32(sw, 4)) {
+            bw.put(0b001, 3);
+            bw.put(w & 0xF, 4);
+        } else if (fitsSigned32(sw, 8)) {
+            bw.put(0b010, 3);
+            bw.put(w & 0xFF, 8);
+        } else if (fitsSigned32(sw, 16)) {
+            bw.put(0b011, 3);
+            bw.put(w & 0xFFFF, 16);
+        } else if ((w & 0xFFFF) == 0) {
+            bw.put(0b100, 3);
+            bw.put(w >> 16, 16);
+        } else if (fitsSigned32(static_cast<i16>(w & 0xFFFF), 8) &&
+                   fitsSigned32(static_cast<i16>(w >> 16), 8)) {
+            bw.put(0b101, 3);
+            bw.put(w & 0xFF, 8);
+            bw.put((w >> 16) & 0xFF, 8);
+        } else if (((w >> 24) & 0xFF) == (w & 0xFF) &&
+                   ((w >> 16) & 0xFF) == (w & 0xFF) &&
+                   ((w >> 8) & 0xFF) == (w & 0xFF)) {
+            bw.put(0b110, 3);
+            bw.put(w & 0xFF, 8);
+        } else {
+            bw.put(0b111, 3);
+            bw.put(w, 32);
+        }
+        ++i;
+    }
+
+    if (bw.sizeBits() >= kEntryBytes * 8 + 1) {
+        // Incompressible: fall back to a tagged raw copy.
+        BitWriter raw;
+        raw.putBit(1);
+        for (std::size_t k = 0; k < kEntryBytes; ++k)
+            raw.put(data[k], 8);
+        return CompressionResult{raw.sizeBits(), raw.bytes()};
+    }
+
+    CompressionResult r{bw.sizeBits(), bw.bytes()};
+    return r;
+}
+
+void
+FpcCompressor::decompress(const CompressionResult &result, u8 *out) const
+{
+    BitReader br(result.payload.data(), result.sizeBits);
+    if (br.getBit()) { // raw fallback
+        for (std::size_t k = 0; k < kEntryBytes; ++k)
+            out[k] = static_cast<u8>(br.get(8));
+        return;
+    }
+    u32 words[kWordsPerEntry];
+    unsigned i = 0;
+    while (i < kWordsPerEntry) {
+        const unsigned prefix = static_cast<unsigned>(br.get(3));
+        switch (prefix) {
+          case 0b000: {
+            const unsigned run = static_cast<unsigned>(br.get(3)) + 1;
+            for (unsigned k = 0; k < run; ++k) {
+                BUDDY_CHECK(i < kWordsPerEntry, "FPC zero run overrun");
+                words[i++] = 0;
+            }
+            break;
+          }
+          case 0b001: {
+            const u32 v = static_cast<u32>(br.get(4));
+            words[i++] = static_cast<u32>(static_cast<i32>(v << 28) >> 28);
+            break;
+          }
+          case 0b010: {
+            const u32 v = static_cast<u32>(br.get(8));
+            words[i++] = static_cast<u32>(static_cast<i32>(v << 24) >> 24);
+            break;
+          }
+          case 0b011: {
+            const u32 v = static_cast<u32>(br.get(16));
+            words[i++] = static_cast<u32>(static_cast<i32>(v << 16) >> 16);
+            break;
+          }
+          case 0b100: {
+            const u32 v = static_cast<u32>(br.get(16));
+            words[i++] = v << 16;
+            break;
+          }
+          case 0b101: {
+            const u32 lo = static_cast<u32>(br.get(8));
+            const u32 hi = static_cast<u32>(br.get(8));
+            const u32 lo16 = static_cast<u32>(
+                                 static_cast<i32>(lo << 24) >> 24) &
+                             0xFFFF;
+            const u32 hi16 = static_cast<u32>(
+                                 static_cast<i32>(hi << 24) >> 24) &
+                             0xFFFF;
+            words[i++] = (hi16 << 16) | lo16;
+            break;
+          }
+          case 0b110: {
+            const u32 b = static_cast<u32>(br.get(8));
+            words[i++] = b | (b << 8) | (b << 16) | (b << 24);
+            break;
+          }
+          default: {
+            words[i++] = static_cast<u32>(br.get(32));
+            break;
+          }
+        }
+    }
+    storeWords(words, out);
+}
+
+} // namespace buddy

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Frequent Pattern Compression (FPC).
+ *
+ * Re-implementation of Alameldeen & Wood's significance-based scheme
+ * (UW-Madison TR-1500), applied per 32-bit word of the 128 B memory entry.
+ * Another baseline the Buddy Compression paper considered before picking
+ * BPC (Section 2.4); kept for the compressor ablation bench.
+ *
+ * Each word gets a 3-bit prefix selecting one of eight patterns:
+ *   000  run of 1..8 all-zero words (3-bit run length)
+ *   001  4-bit sign-extended value
+ *   010  8-bit sign-extended value
+ *   011  16-bit sign-extended value
+ *   100  halfword padded with zeros (nonzero high half, zero low half)
+ *   101  two halfwords, each a sign-extended byte
+ *   110  word of one repeated byte
+ *   111  uncompressed 32-bit word
+ */
+
+#pragma once
+
+#include "compress/compressor.h"
+
+namespace buddy {
+
+/** Frequent Pattern Compression codec (see file header). */
+class FpcCompressor : public Compressor
+{
+  public:
+    const char *name() const override { return "fpc"; }
+
+    CompressionResult compress(const u8 *data) const override;
+    void decompress(const CompressionResult &result, u8 *out) const override;
+};
+
+} // namespace buddy

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Sector quantization of compressed sizes.
+ *
+ * Two quantizations appear in the paper:
+ *
+ *  - The *analysis* quantization of Figure 3: eight optimistic compressed
+ *    entry sizes (0, 8, 16, 32, 64, 80, 96, 128 bytes) with no packing
+ *    overhead, used to measure workload compressibility.
+ *
+ *  - The *design* quantization of Figure 4: a 128 B entry occupies 1..4
+ *    sectors of 32 B. An allocation's target compression ratio (1x, 1.33x,
+ *    2x, 4x) decides how many of those sectors live in device memory; the
+ *    remainder is pre-allocated in the buddy memory. A 16x "mostly-zero"
+ *    target keeps only 8 B per entry in device memory (Section 3.4).
+ */
+
+#pragma once
+
+#include <array>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace buddy {
+
+/** The eight analysis sizes of Figure 3, in bytes. */
+constexpr std::array<std::size_t, 8> kAnalysisSizes =
+    {0, 8, 16, 32, 64, 80, 96, 128};
+
+/**
+ * Quantize a compressed bit length to the Figure 3 analysis sizes.
+ * @param size_bits exact encoded size in bits.
+ * @param is_zero   true if the entry is all zeros (0 B bucket: a zero
+ *                  entry is fully described by its metadata).
+ * @return quantized size in bytes.
+ */
+inline std::size_t
+analysisSizeBytes(std::size_t size_bits, bool is_zero)
+{
+    if (is_zero)
+        return 0;
+    const std::size_t bytes = (size_bits + 7) / 8;
+    for (const std::size_t s : kAnalysisSizes)
+        if (bytes <= s)
+            return s;
+    return kEntryBytes;
+}
+
+/**
+ * Number of 32 B sectors a compressed entry occupies in the buddy design
+ * (Figure 4). Always in [1, 4]: even a fully-zero entry keeps one sector
+ * unless its allocation uses the 16x mostly-zero target.
+ */
+inline unsigned
+compressedSectors(std::size_t size_bits)
+{
+    const std::size_t bytes = (size_bits + 7) / 8;
+    unsigned sectors = static_cast<unsigned>(
+        (bytes + kSectorBytes - 1) / kSectorBytes);
+    if (sectors == 0)
+        sectors = 1;
+    // A tagged raw fallback (128 B + tag) is stored uncompressed in all
+    // four sectors; the tag lives in the 4-bit per-entry metadata.
+    if (sectors > kSectorsPerEntry)
+        sectors = static_cast<unsigned>(kSectorsPerEntry);
+    return sectors;
+}
+
+/**
+ * Target compression ratios supported by the design (Section 3.2): the
+ * number of device-resident sectors per 128 B entry. Ratios are chosen to
+ * keep sector interleaving aligned: 4 sectors = 1x, 3 = 1.33x, 2 = 2x,
+ * 1 = 4x. MostlyZero is the 16x special case keeping 8 B per entry.
+ */
+enum class CompressionTarget : u8 {
+    None = 4,       ///< 1x: all four sectors in device memory.
+    Ratio1_33 = 3,  ///< 1.33x: three sectors in device memory.
+    Ratio2 = 2,     ///< 2x: two sectors in device memory.
+    Ratio4 = 1,     ///< 4x: one sector in device memory.
+    MostlyZero = 0, ///< 16x: 8 B per entry in device memory.
+};
+
+/** Device-resident sectors for a target (MostlyZero rounds up to 0). */
+inline unsigned
+deviceSectors(CompressionTarget t)
+{
+    return static_cast<unsigned>(t);
+}
+
+/** Effective capacity expansion factor of a target. */
+inline double
+targetRatio(CompressionTarget t)
+{
+    switch (t) {
+      case CompressionTarget::None: return 1.0;
+      case CompressionTarget::Ratio1_33: return 4.0 / 3.0;
+      case CompressionTarget::Ratio2: return 2.0;
+      case CompressionTarget::Ratio4: return 4.0;
+      case CompressionTarget::MostlyZero: return 16.0;
+    }
+    BUDDY_PANIC("invalid compression target");
+}
+
+/** Device bytes consumed per 128 B entry under a target. */
+inline std::size_t
+deviceBytesPerEntry(CompressionTarget t)
+{
+    if (t == CompressionTarget::MostlyZero)
+        return 8;
+    return deviceSectors(t) * kSectorBytes;
+}
+
+/**
+ * Does an entry compressed to @p size_bits fit entirely in the device
+ * portion of an allocation with target @p t?
+ */
+inline bool
+fitsTarget(std::size_t size_bits, CompressionTarget t)
+{
+    return (size_bits + 7) / 8 <= deviceBytesPerEntry(t);
+}
+
+/** All targets, from least to most aggressive. */
+constexpr std::array<CompressionTarget, 5> kAllTargets = {
+    CompressionTarget::None, CompressionTarget::Ratio1_33,
+    CompressionTarget::Ratio2, CompressionTarget::Ratio4,
+    CompressionTarget::MostlyZero,
+};
+
+/** Short display name for a target ("1x", "1.33x", ...). */
+inline const char *
+targetName(CompressionTarget t)
+{
+    switch (t) {
+      case CompressionTarget::None: return "1x";
+      case CompressionTarget::Ratio1_33: return "1.33x";
+      case CompressionTarget::Ratio2: return "2x";
+      case CompressionTarget::Ratio4: return "4x";
+      case CompressionTarget::MostlyZero: return "16x";
+    }
+    return "?";
+}
+
+} // namespace buddy

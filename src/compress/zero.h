@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Trivial zero-detection codec: an all-zero entry compresses to a single
+ * tag bit; anything else is stored raw. Used as the floor baseline in the
+ * compressor ablation and by tests.
+ */
+
+#pragma once
+
+#include <cstring>
+
+#include "common/bitstream.h"
+#include "compress/compressor.h"
+
+namespace buddy {
+
+/** Zero-or-raw codec (see file header). */
+class ZeroCompressor : public Compressor
+{
+  public:
+    const char *name() const override { return "zero"; }
+
+    CompressionResult
+    compress(const u8 *data) const override
+    {
+        BitWriter bw;
+        if (entryIsZero(data)) {
+            bw.putBit(0);
+        } else {
+            bw.putBit(1);
+            for (std::size_t i = 0; i < kEntryBytes; ++i)
+                bw.put(data[i], 8);
+        }
+        return CompressionResult{bw.sizeBits(), bw.bytes()};
+    }
+
+    void
+    decompress(const CompressionResult &result, u8 *out) const override
+    {
+        BitReader br(result.payload.data(), result.sizeBits);
+        if (!br.getBit()) {
+            std::memset(out, 0, kEntryBytes);
+            return;
+        }
+        for (std::size_t i = 0; i < kEntryBytes; ++i)
+            out[i] = static_cast<u8>(br.get(8));
+    }
+};
+
+} // namespace buddy

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Functional backing stores: GPU device memory and the buddy-memory
+ * carve-out region.
+ *
+ * Both are flat byte arrays with capacity accounting. The buddy carve-out
+ * is a physically contiguous region of the host/disaggregated memory that
+ * is reserved at boot and addressed as GBBR + offset (Section 3.2), which
+ * makes buddy translation a single add.
+ */
+
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace buddy {
+
+/** Flat byte-addressable memory with bounds checking. */
+class FlatMemory
+{
+  public:
+    explicit FlatMemory(u64 capacity_bytes)
+        : data_(capacity_bytes, 0)
+    {}
+
+    u64 capacity() const { return data_.size(); }
+
+    void
+    write(Addr addr, const u8 *src, std::size_t len)
+    {
+        BUDDY_CHECK(addr + len <= data_.size(), "memory write out of range");
+        std::memcpy(data_.data() + addr, src, len);
+    }
+
+    void
+    read(Addr addr, u8 *dst, std::size_t len) const
+    {
+        BUDDY_CHECK(addr + len <= data_.size(), "memory read out of range");
+        std::memcpy(dst, data_.data() + addr, len);
+    }
+
+    void
+    fill(Addr addr, u8 value, std::size_t len)
+    {
+        BUDDY_CHECK(addr + len <= data_.size(), "memory fill out of range");
+        std::memset(data_.data() + addr, value, len);
+    }
+
+  private:
+    std::vector<u8> data_;
+};
+
+/**
+ * The buddy-memory carve-out: a contiguous remote region sized as a
+ * multiple of device memory (3x for a 4x maximum target ratio). The GBBR
+ * holds its base; all buddy addressing is offset-based.
+ */
+class BuddyCarveOut
+{
+  public:
+    /**
+     * @param device_bytes GPU device memory capacity.
+     * @param ratio carve-out size as a multiple of device memory
+     *        (paper default: 3x, supporting a 4x max target).
+     */
+    BuddyCarveOut(u64 device_bytes, unsigned ratio = 3)
+        : gbbr_(0x1000000000ull), // arbitrary host-physical base
+          mem_(device_bytes * ratio)
+    {}
+
+    /** Global Buddy Base-address Register value. */
+    Addr gbbr() const { return gbbr_; }
+
+    u64 capacity() const { return mem_.capacity(); }
+
+    /** Translate a carve-out offset to the host-physical address. */
+    Addr translate(Addr offset) const { return gbbr_ + offset; }
+
+    void
+    write(Addr offset, const u8 *src, std::size_t len)
+    {
+        mem_.write(offset, src, len);
+    }
+
+    void
+    read(Addr offset, u8 *dst, std::size_t len) const
+    {
+        mem_.read(offset, dst, len);
+    }
+
+  private:
+    Addr gbbr_;
+    FlatMemory mem_;
+};
+
+} // namespace buddy

@@ -1,0 +1,281 @@
+#include "core/controller.h"
+
+#include <cstring>
+
+#include "compress/factory.h"
+
+namespace buddy {
+
+namespace {
+
+/** Sectors needed to transfer @p bytes (32 B granularity). */
+unsigned
+sectorsFor(u64 bytes)
+{
+    return static_cast<unsigned>((bytes + kSectorBytes - 1) / kSectorBytes);
+}
+
+} // namespace
+
+BuddyController::BuddyController(const BuddyConfig &cfg)
+    : cfg_(cfg),
+      codec_(makeCompressor(cfg.codec)),
+      device_(cfg.deviceBytes),
+      buddy_(cfg.deviceBytes, cfg.carveOutRatio),
+      deviceAlloc_(cfg.deviceBytes),
+      buddyAlloc_(buddy_.capacity())
+{
+    BUDDY_CHECK(codec_ != nullptr, "unknown codec name");
+    // The architectural metadata region must cover the largest logical
+    // footprint: device memory fully expanded at the maximum 4x ratio.
+    const std::size_t covered =
+        cfg.deviceBytes * 4 / kEntryBytes;
+    metaStore_ = std::make_unique<MetadataStore>(covered);
+    metaCache_ = std::make_unique<MetadataCache>(cfg.metadataCache);
+}
+
+BuddyController::~BuddyController() = default;
+
+std::optional<AllocId>
+BuddyController::allocate(const std::string &name, u64 bytes,
+                          CompressionTarget target)
+{
+    // Round the logical size up to whole pages (annotation granularity).
+    const u64 rounded = (bytes + kPageBytes - 1) / kPageBytes * kPageBytes;
+    const u64 entries = rounded / kEntryBytes;
+    const u64 slot = deviceBytesPerEntry(target);
+    const u64 dev_bytes = entries * slot;
+    const u64 bud_bytes = entries * (kEntryBytes - slot);
+
+    const auto dev_off = deviceAlloc_.allocate(dev_bytes);
+    if (!dev_off)
+        return std::nullopt;
+    const auto bud_off = buddyAlloc_.allocate(bud_bytes);
+    if (!bud_off) {
+        deviceAlloc_.release(*dev_off);
+        return std::nullopt;
+    }
+
+    Allocation a;
+    a.id = nextId_++;
+    a.name = name;
+    a.va = nextVa_;
+    a.bytes = rounded;
+    a.target = target;
+    a.deviceOffset = *dev_off;
+    a.buddyOffset = *bud_off;
+    nextVa_ += rounded;
+
+    deviceUsed_ += dev_bytes;
+    buddyUsed_ += bud_bytes;
+    logicalUsed_ += rounded;
+    byVa_[a.va] = a.id;
+    allocs_[a.id] = a;
+    return a.id;
+}
+
+void
+BuddyController::free(AllocId id)
+{
+    const auto it = allocs_.find(id);
+    BUDDY_CHECK(it != allocs_.end(), "free of unknown allocation");
+    const Allocation &a = it->second;
+
+    // Drop per-entry state and metadata.
+    const u64 first = a.va / kEntryBytes;
+    for (u64 e = 0; e < a.entryCount(); ++e) {
+        const auto st = entryState_.find(first + e);
+        if (st != entryState_.end()) {
+            if (st->second.overflow)
+                --stats_.overflowEntries;
+            entryState_.erase(st);
+        }
+        metaStore_->set(first + e, EntryMeta::Zero);
+    }
+
+    deviceAlloc_.release(a.deviceOffset);
+    buddyAlloc_.release(a.buddyOffset);
+    deviceUsed_ -= a.deviceBytes();
+    buddyUsed_ -= a.buddyBytes();
+    logicalUsed_ -= a.bytes;
+    byVa_.erase(a.va);
+    allocs_.erase(it);
+}
+
+const Allocation &
+BuddyController::allocationFor(Addr va) const
+{
+    auto it = byVa_.upper_bound(va);
+    BUDDY_CHECK(it != byVa_.begin(), "address below all allocations");
+    --it;
+    const Allocation &a = allocs_.at(it->second);
+    BUDDY_CHECK(a.contains(va), "address not inside any allocation");
+    return a;
+}
+
+BuddyController::EntryLoc
+BuddyController::locate(Addr va) const
+{
+    BUDDY_CHECK(va % kEntryBytes == 0, "entry address must be 128B aligned");
+    const Allocation &a = allocationFor(va);
+    EntryLoc loc;
+    loc.alloc = &a;
+    loc.entryIdx = (va - a.va) / kEntryBytes;
+    loc.globalEntryIdx = va / kEntryBytes;
+    loc.deviceSlotBytes = deviceBytesPerEntry(a.target);
+    loc.deviceAddr = a.deviceOffset + loc.entryIdx * loc.deviceSlotBytes;
+    loc.buddyOffset =
+        a.buddyOffset + loc.entryIdx * (kEntryBytes - loc.deviceSlotBytes);
+    return loc;
+}
+
+AccessInfo
+BuddyController::trafficFor(const EntryLoc &loc, EntryMeta meta,
+                            u32 payload_bits) const
+{
+    AccessInfo info;
+    if (meta == EntryMeta::Zero) {
+        // Fully described by metadata: no data sectors move.
+        return info;
+    }
+
+    u64 stored;
+    if (meta == EntryMeta::Raw) {
+        stored = kEntryBytes; // raw data, tag carried by metadata
+    } else {
+        stored = (payload_bits + 7) / 8;
+    }
+    const u64 on_device = std::min<u64>(stored, loc.deviceSlotBytes);
+    const u64 on_buddy = stored - on_device;
+    info.deviceSectors = sectorsFor(on_device);
+    info.buddySectors = sectorsFor(on_buddy);
+    return info;
+}
+
+AccessInfo
+BuddyController::writeEntry(Addr va, const u8 *data)
+{
+    const EntryLoc loc = locate(va);
+    const bool meta_hit = metaCache_->access(loc.globalEntryIdx);
+
+    EntryMeta meta;
+    CompressionResult comp;
+    if (entryIsZero(data)) {
+        meta = EntryMeta::Zero;
+    } else {
+        comp = codec_->compress(data);
+        if (comp.sizeBits > kEntryBytes * 8) {
+            meta = EntryMeta::Raw;
+        } else {
+            meta = static_cast<EntryMeta>(compressedSectors(comp.sizeBits));
+        }
+    }
+
+    // Store the payload split across the device slot and the entry's
+    // fixed buddy slot.
+    u64 stored_bits = 0;
+    if (meta == EntryMeta::Raw) {
+        const u64 on_dev = std::min<u64>(kEntryBytes, loc.deviceSlotBytes);
+        device_.write(loc.deviceAddr, data, on_dev);
+        if (on_dev < kEntryBytes)
+            buddy_.write(loc.buddyOffset, data + on_dev,
+                         kEntryBytes - on_dev);
+        stored_bits = kEntryBytes * 8;
+    } else if (meta != EntryMeta::Zero) {
+        const u64 bytes = comp.sizeBytes();
+        const u64 on_dev = std::min<u64>(bytes, loc.deviceSlotBytes);
+        device_.write(loc.deviceAddr, comp.payload.data(), on_dev);
+        if (on_dev < bytes)
+            buddy_.write(loc.buddyOffset, comp.payload.data() + on_dev,
+                         bytes - on_dev);
+        stored_bits = comp.sizeBits;
+    }
+
+    metaStore_->set(loc.globalEntryIdx, meta);
+
+    AccessInfo info =
+        trafficFor(loc, meta, static_cast<u32>(stored_bits));
+    info.metadataHit = meta_hit;
+
+    // Track overflow population for the stats.
+    auto &st = entryState_[loc.globalEntryIdx];
+    const bool now_overflow = info.buddySectors > 0;
+    if (st.overflow != now_overflow) {
+        if (now_overflow)
+            ++stats_.overflowEntries;
+        else
+            --stats_.overflowEntries;
+        st.overflow = now_overflow;
+    }
+    st.bits = static_cast<u32>(stored_bits);
+
+    ++stats_.writes;
+    stats_.deviceSectorTraffic += info.deviceSectors;
+    stats_.buddySectorTraffic += info.buddySectors;
+    if (info.usedBuddy())
+        ++stats_.buddyAccesses;
+    return info;
+}
+
+AccessInfo
+BuddyController::readEntry(Addr va, u8 *out)
+{
+    const EntryLoc loc = locate(va);
+    const bool meta_hit = metaCache_->access(loc.globalEntryIdx);
+    const EntryMeta meta = metaStore_->get(loc.globalEntryIdx);
+    const auto stit = entryState_.find(loc.globalEntryIdx);
+    const u32 bits = stit == entryState_.end() ? 0 : stit->second.bits;
+
+    AccessInfo info = trafficFor(loc, meta, bits);
+    info.metadataHit = meta_hit;
+
+    if (meta == EntryMeta::Zero) {
+        std::memset(out, 0, kEntryBytes);
+    } else if (meta == EntryMeta::Raw) {
+        const u64 on_dev = std::min<u64>(kEntryBytes, loc.deviceSlotBytes);
+        device_.read(loc.deviceAddr, out, on_dev);
+        if (on_dev < kEntryBytes)
+            buddy_.read(loc.buddyOffset, out + on_dev,
+                        kEntryBytes - on_dev);
+    } else {
+        CompressionResult comp;
+        comp.sizeBits = bits;
+        const u64 bytes = comp.sizeBytes();
+        comp.payload.resize(bytes);
+        const u64 on_dev = std::min<u64>(bytes, loc.deviceSlotBytes);
+        device_.read(loc.deviceAddr, comp.payload.data(), on_dev);
+        if (on_dev < bytes)
+            buddy_.read(loc.buddyOffset, comp.payload.data() + on_dev,
+                        bytes - on_dev);
+        codec_->decompress(comp, out);
+    }
+
+    ++stats_.reads;
+    stats_.deviceSectorTraffic += info.deviceSectors;
+    stats_.buddySectorTraffic += info.buddySectors;
+    if (info.usedBuddy())
+        ++stats_.buddyAccesses;
+    return info;
+}
+
+AccessInfo
+BuddyController::probeEntry(Addr va)
+{
+    const EntryLoc loc = locate(va);
+    const bool meta_hit = metaCache_->access(loc.globalEntryIdx);
+    const EntryMeta meta = metaStore_->get(loc.globalEntryIdx);
+    const auto stit = entryState_.find(loc.globalEntryIdx);
+    const u32 bits = stit == entryState_.end() ? 0 : stit->second.bits;
+
+    AccessInfo info = trafficFor(loc, meta, bits);
+    info.metadataHit = meta_hit;
+
+    ++stats_.reads;
+    stats_.deviceSectorTraffic += info.deviceSectors;
+    stats_.buddySectorTraffic += info.buddySectors;
+    if (info.usedBuddy())
+        ++stats_.buddyAccesses;
+    return info;
+}
+
+} // namespace buddy

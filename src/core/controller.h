@@ -1,0 +1,231 @@
+/**
+ * @file
+ * BuddyController: the Buddy Compression memory controller
+ * (paper Section 3, Figures 1, 4 and 5a).
+ *
+ * The controller owns the compressor, the per-entry metadata (store +
+ * cache), the device memory and the buddy carve-out. Allocations are
+ * created with a target compression ratio; each 128 B entry of an
+ * allocation has `deviceSectors(target)` sectors in device memory and the
+ * remaining sectors at a fixed pre-allocated slot in the buddy memory.
+ *
+ * On a write the entry is compressed: if it fits the device-resident
+ * sectors it is stored entirely on-device, otherwise the overflow goes to
+ * the entry's buddy slot. Because every entry's buddy slot is fixed,
+ * compressibility changes never move other data — the property that
+ * distinguishes Buddy Compression from CPU main-memory compression
+ * schemes (Section 3.3).
+ *
+ * All traffic is accounted per access so the experiments can report the
+ * paper's metrics (buddy-access fraction, metadata hit rate, achieved
+ * compression ratio).
+ */
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "compress/compressor.h"
+#include "compress/sector.h"
+#include "core/allocation.h"
+#include "core/backing.h"
+#include "core/firstfit.h"
+#include "core/metadata.h"
+
+namespace buddy {
+
+/** Controller configuration. */
+struct BuddyConfig
+{
+    /** GPU device memory capacity in bytes. */
+    u64 deviceBytes = 1 * GiB;
+
+    /** Carve-out size as a multiple of device memory (3x -> max 4x). */
+    unsigned carveOutRatio = 3;
+
+    /** Metadata cache geometry. */
+    MetadataCacheConfig metadataCache;
+
+    /** Codec name ("bpc" is the paper's choice). */
+    std::string codec = "bpc";
+
+    /** Verify every read against the written data (debug aid). */
+    bool verifyReads = false;
+};
+
+/** Traffic breakdown of a single entry access. */
+struct AccessInfo
+{
+    /** 32 B sectors transferred from/to device memory. */
+    unsigned deviceSectors = 0;
+
+    /** 32 B sectors transferred over the interconnect to buddy memory. */
+    unsigned buddySectors = 0;
+
+    /** True if the metadata lookup hit in the metadata cache. */
+    bool metadataHit = true;
+
+    /** True if any part of the entry lives in buddy memory. */
+    bool
+    usedBuddy() const
+    {
+        return buddySectors > 0;
+    }
+};
+
+/** Aggregated controller statistics. */
+struct BuddyStats
+{
+    u64 reads = 0;
+    u64 writes = 0;
+    u64 deviceSectorTraffic = 0;
+    u64 buddySectorTraffic = 0;
+    u64 buddyAccesses = 0;  ///< accesses that touched buddy memory
+    u64 overflowEntries = 0; ///< current entries spilling to buddy
+
+    /** Fraction of accesses that needed buddy memory. */
+    double
+    buddyAccessFraction() const
+    {
+        const u64 total = reads + writes;
+        return total ? static_cast<double>(buddyAccesses) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * The Buddy Compression controller (see file header).
+ *
+ * Addresses are allocation-relative virtual addresses; the controller
+ * performs the page-table/GBBR translation internally.
+ */
+class BuddyController
+{
+  public:
+    explicit BuddyController(const BuddyConfig &cfg);
+    ~BuddyController();
+
+    BuddyController(const BuddyController &) = delete;
+    BuddyController &operator=(const BuddyController &) = delete;
+
+    /**
+     * Create a compressed allocation (the annotated cudaMalloc).
+     *
+     * @param name   debug name.
+     * @param bytes  logical size; rounded up to a whole number of pages.
+     * @param target target compression ratio.
+     * @return the allocation id, or std::nullopt if device or buddy
+     *         memory is exhausted.
+     */
+    std::optional<AllocId> allocate(const std::string &name, u64 bytes,
+                                    CompressionTarget target);
+
+    /** Release an allocation (the matching cudaFree). */
+    void free(AllocId id);
+
+    /**
+     * Write one 128 B entry.
+     * @param va   entry-aligned virtual address.
+     * @param data kEntryBytes bytes of payload.
+     */
+    AccessInfo writeEntry(Addr va, const u8 *data);
+
+    /**
+     * Read one 128 B entry back (decompresses).
+     * @param va  entry-aligned virtual address.
+     * @param out receives kEntryBytes bytes.
+     */
+    AccessInfo readEntry(Addr va, u8 *out);
+
+    /**
+     * Traffic a read of @p va would generate, without performing it.
+     * Used by the performance simulator front end.
+     */
+    AccessInfo probeEntry(Addr va);
+
+    /** The allocation covering @p va (panics if none). */
+    const Allocation &allocationFor(Addr va) const;
+
+    /** All live allocations. */
+    const std::map<AllocId, Allocation> &allocations() const
+    {
+        return allocs_;
+    }
+
+    /** Device bytes currently reserved by allocations. */
+    u64 deviceBytesReserved() const { return deviceUsed_; }
+
+    /** Buddy-carve-out bytes currently reserved. */
+    u64 buddyBytesReserved() const { return buddyUsed_; }
+
+    /**
+     * Achieved capacity compression ratio: logical bytes allocated over
+     * device bytes reserved (the paper's headline metric).
+     */
+    double
+    compressionRatio() const
+    {
+        return deviceUsed_ ? static_cast<double>(logicalUsed_) /
+                                 static_cast<double>(deviceUsed_)
+                           : 1.0;
+    }
+
+    const BuddyStats &stats() const { return stats_; }
+    void clearStats() { stats_ = BuddyStats{}; }
+
+    MetadataCache &metadataCache() { return *metaCache_; }
+    const BuddyConfig &config() const { return cfg_; }
+
+  private:
+    struct EntryLoc
+    {
+        const Allocation *alloc;
+        u64 entryIdx;        ///< entry index within the allocation
+        u64 globalEntryIdx;  ///< metadata index
+        Addr deviceAddr;     ///< device byte address of the entry slot
+        Addr buddyOffset;    ///< carve-out offset of the entry's buddy slot
+        u64 deviceSlotBytes; ///< device bytes reserved for this entry
+    };
+
+    /** Per-entry model state needed to reassemble the payload. */
+    struct EntryState
+    {
+        u32 bits = 0;        ///< exact compressed bit length
+        bool overflow = false;
+    };
+
+    EntryLoc locate(Addr va) const;
+
+    /** Traffic implied by reading an entry with metadata @p meta. */
+    AccessInfo trafficFor(const EntryLoc &loc, EntryMeta meta,
+                          u32 payload_bits) const;
+
+    BuddyConfig cfg_;
+    std::unique_ptr<Compressor> codec_;
+    FlatMemory device_;
+    BuddyCarveOut buddy_;
+    std::unique_ptr<MetadataStore> metaStore_;
+    std::unique_ptr<MetadataCache> metaCache_;
+    RegionAllocator deviceAlloc_;
+    RegionAllocator buddyAlloc_;
+
+    std::map<AllocId, Allocation> allocs_;
+    std::map<Addr, AllocId> byVa_; // allocation base VA -> id
+    AllocId nextId_ = 1;
+    Addr nextVa_ = 0x10000000ull;
+    u64 deviceUsed_ = 0;
+    u64 buddyUsed_ = 0;
+    u64 logicalUsed_ = 0;
+    BuddyStats stats_;
+
+    std::unordered_map<u64, EntryState> entryState_;
+};
+
+} // namespace buddy

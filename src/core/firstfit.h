@@ -1,0 +1,111 @@
+/**
+ * @file
+ * First-fit region allocator with free-list coalescing.
+ *
+ * Used to manage the device-memory and buddy-carve-out address spaces of
+ * the BuddyController. Because every allocation's device footprint is
+ * fixed at creation (size / target-ratio) and never changes — the central
+ * property of Buddy Compression — a simple region allocator suffices; no
+ * page movement or re-allocation is ever required.
+ */
+
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace buddy {
+
+/** First-fit byte-range allocator over [0, capacity). */
+class RegionAllocator
+{
+  public:
+    explicit RegionAllocator(u64 capacity) : capacity_(capacity)
+    {
+        if (capacity > 0)
+            free_[0] = capacity;
+    }
+
+    u64 capacity() const { return capacity_; }
+    u64 used() const { return used_; }
+    u64 available() const { return capacity_ - used_; }
+
+    /**
+     * Reserve @p bytes (first fit). @return the region's base offset, or
+     * std::nullopt when no free region is large enough.
+     */
+    std::optional<Addr>
+    allocate(u64 bytes)
+    {
+        if (bytes == 0) {
+            // Zero-size regions get a sentinel base one past the end so
+            // they can be released without colliding with real regions.
+            ++zeroRegions_;
+            return capacity_;
+        }
+        for (auto it = free_.begin(); it != free_.end(); ++it) {
+            const Addr base = it->first;
+            const u64 size = it->second;
+            if (size < bytes)
+                continue;
+            free_.erase(it);
+            if (size > bytes)
+                free_[base + bytes] = size - bytes;
+            used_ += bytes;
+            live_[base] = bytes;
+            return base;
+        }
+        return std::nullopt;
+    }
+
+    /** Release a region previously returned by allocate(). */
+    void
+    release(Addr base)
+    {
+        if (base == capacity_) {
+            BUDDY_CHECK(zeroRegions_ > 0, "release of unknown zero region");
+            --zeroRegions_;
+            return;
+        }
+        const auto it = live_.find(base);
+        BUDDY_CHECK(it != live_.end(), "release of unknown region");
+        const u64 bytes = it->second;
+        live_.erase(it);
+        used_ -= bytes;
+        if (bytes == 0)
+            return;
+
+        // Insert and coalesce with neighbours.
+        auto [ins, ok] = free_.emplace(base, bytes);
+        BUDDY_CHECK(ok, "double free");
+        // Coalesce with successor.
+        auto next = std::next(ins);
+        if (next != free_.end() && ins->first + ins->second == next->first) {
+            ins->second += next->second;
+            free_.erase(next);
+        }
+        // Coalesce with predecessor.
+        if (ins != free_.begin()) {
+            auto prev = std::prev(ins);
+            if (prev->first + prev->second == ins->first) {
+                prev->second += ins->second;
+                free_.erase(ins);
+            }
+        }
+    }
+
+    /** Number of discontiguous free regions (fragmentation probe). */
+    std::size_t freeRegions() const { return free_.size(); }
+
+  private:
+    u64 capacity_;
+    u64 used_ = 0;
+    u64 zeroRegions_ = 0;
+    std::map<Addr, u64> free_; // base -> size
+    std::map<Addr, u64> live_; // base -> size
+};
+
+} // namespace buddy

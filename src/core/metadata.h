@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Compression metadata storage and the sliced metadata cache
+ * (paper Section 3.2, Figure 5).
+ *
+ * Every 128 B memory entry owns 4 bits of metadata recording how many
+ * sectors its compressed form actually occupies (plus a zero-entry and a
+ * raw-fallback encoding). The metadata lives in a dedicated region of
+ * device memory (0.4% overhead) and is cached by a set-associative
+ * metadata cache that is sliced across the DRAM channels. One cache line
+ * is 32 B and therefore covers 64 neighbouring entries, so a miss
+ * prefetches the metadata of 63 neighbours.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace buddy {
+
+/**
+ * 4-bit per-entry metadata encoding.
+ *
+ * Values 0..4 give the compressed sector count (0 = fully-zero entry whose
+ * payload fits in the metadata path / the 8 B mostly-zero slot). Value 5
+ * tags the raw fallback (entry stored uncompressed; with a 1x target this
+ * is indistinguishable from 4 sectors but the tag spares a decompression).
+ */
+enum class EntryMeta : u8 {
+    Zero = 0,
+    Sectors1 = 1,
+    Sectors2 = 2,
+    Sectors3 = 3,
+    Sectors4 = 4,
+    Raw = 5,
+};
+
+/** Sector count implied by a metadata nibble. */
+inline unsigned
+metaSectors(EntryMeta m)
+{
+    return m == EntryMeta::Raw ? 4u : static_cast<unsigned>(m);
+}
+
+/**
+ * Backing store for the per-entry metadata nibbles of one GPU.
+ *
+ * Indexed by memory-entry index (virtual address / 128). Architecturally
+ * this is a dedicated dense region of device memory (0.4% overhead); the
+ * model stores it sparsely because the virtual address space is allocated
+ * monotonically. Reads and writes go through the MetadataCache in the
+ * full system.
+ */
+class MetadataStore
+{
+  public:
+    /**
+     * @param covered_entries number of entries the architectural region
+     *        must cover (used only for the sizeBytes() overhead report).
+     */
+    explicit MetadataStore(std::size_t covered_entries)
+        : coveredEntries_(covered_entries)
+    {}
+
+    /** Number of entries the architectural region covers. */
+    std::size_t entries() const { return coveredEntries_; }
+
+    /** Architectural metadata region size in bytes (4 bits per entry). */
+    std::size_t
+    sizeBytes() const
+    {
+        return (coveredEntries_ * kMetadataBitsPerEntry + 7) / 8;
+    }
+
+    EntryMeta
+    get(u64 entry_idx) const
+    {
+        const auto it = meta_.find(entry_idx);
+        return it == meta_.end() ? EntryMeta::Zero : it->second;
+    }
+
+    void
+    set(u64 entry_idx, EntryMeta m)
+    {
+        if (m == EntryMeta::Zero)
+            meta_.erase(entry_idx);
+        else
+            meta_[entry_idx] = m;
+    }
+
+  private:
+    std::size_t coveredEntries_;
+    std::unordered_map<u64, EntryMeta> meta_;
+};
+
+/** Configuration of the sliced set-associative metadata cache. */
+struct MetadataCacheConfig
+{
+    /** Total capacity across all slices in bytes (default 4 KB x 8). */
+    std::size_t totalBytes = 64 * KiB;
+
+    /** Associativity (paper: 4-way). */
+    unsigned ways = 4;
+
+    /** Number of slices, one per DRAM channel group (paper: 8 or 32). */
+    unsigned slices = 8;
+
+    /** Cache line size in bytes (paper: 32 B entries; Table 2: 128 B). */
+    std::size_t lineBytes = 32;
+};
+
+/**
+ * Sliced, set-associative, LRU metadata cache.
+ *
+ * Tracks hits and misses per lookup; a miss models one extra device-memory
+ * access (the metadata line fill). Writes to metadata are write-back:
+ * they allocate like reads and dirty the line (the writeback traffic is
+ * folded into the same line-sized transfer accounting).
+ */
+class MetadataCache
+{
+  public:
+    explicit MetadataCache(const MetadataCacheConfig &cfg);
+
+    /**
+     * Look up the metadata line covering @p entry_idx, filling on miss.
+     * @return true on hit.
+     */
+    bool access(std::size_t entry_idx);
+
+    /** Invalidate all lines and reset no statistics. */
+    void flush();
+
+    /** Hit-rate statistics since construction. */
+    const RatioStat &hitRate() const { return hits_; }
+
+    u64 accesses() const { return accesses_; }
+    u64 misses() const { return misses_; }
+
+    /** Memory entries covered by one cache line. */
+    std::size_t
+    entriesPerLine() const
+    {
+        return cfg_.lineBytes * 8 / kMetadataBitsPerEntry;
+    }
+
+    const MetadataCacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Line
+    {
+        u64 tag = ~0ull;
+        u64 lru = 0;
+        bool valid = false;
+    };
+
+    MetadataCacheConfig cfg_;
+    unsigned setsPerSlice_;
+    std::vector<Line> lines_; // [slice][set][way] flattened
+    u64 tick_ = 0;
+    u64 accesses_ = 0;
+    u64 misses_ = 0;
+    RatioStat hits_;
+
+    Line *set(unsigned slice, unsigned set_idx);
+};
+
+} // namespace buddy

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Analytical model of DL training for the case study of Section 4.4
+ * (Figure 13) — the same Paleo/DeLTA-style approach the paper uses,
+ * since training runs larger than device memory cannot be traced.
+ *
+ * Components:
+ *  - footprint(batch): weights + optimizer state (the batch-independent
+ *    term) plus activations/gradients that scale linearly with the
+ *    mini-batch (Figure 13a; AlexNet's large fully-connected layers give
+ *    it a late transition point).
+ *  - throughput(batch): images/s limited by compute at a utilization
+ *    that saturates with batch size (Figure 13b).
+ *  - Buddy Compression raises the usable capacity by the per-network
+ *    compression ratio, allowing a larger batch and therefore higher
+ *    utilization (Figure 13c).
+ *  - convergence(batch): a gradient-noise model of final validation
+ *    accuracy and convergence speed (Figure 13d): tiny batches never
+ *    reach peak accuracy with batch normalization, moderate batches
+ *    converge slower, large batches train fastest up to the
+ *    generalization limit.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace buddy {
+
+/** One DL training workload in the case study. */
+struct DlNetwork
+{
+    std::string name;
+
+    /** Batch-independent device bytes: 3x parameters (weights, grads,
+     *  momentum) plus framework/cuDNN overheads. */
+    double staticBytes;
+
+    /** Activation+gradient bytes per mini-batch sample. */
+    double bytesPerSample;
+
+    /** Utilization half-saturation batch: eff = b / (b + half). */
+    double utilizationHalfBatch = 40.0;
+
+    /** Peak images/s at full utilization (arbitrary units). */
+    double peakImagesPerSec = 1000.0;
+
+    /** Buddy Compression ratio achieved for this network (Figure 7). */
+    double buddyRatio = 1.5;
+};
+
+/** The six DL workloads of the paper, with Figure-13a-calibrated sizes. */
+const std::vector<DlNetwork> &dlNetworks();
+
+/** Look up a network by name (fatal if unknown). */
+const DlNetwork &findNetwork(const std::string &name);
+
+/** Device bytes needed to train @p net at @p batch (Figure 13a). */
+double footprintBytes(const DlNetwork &net, unsigned batch);
+
+/** Largest batch fitting in @p capacity_bytes (0 if even batch 1 not). */
+unsigned maxBatch(const DlNetwork &net, double capacity_bytes);
+
+/** Training throughput in images/s at @p batch (Figure 13b). */
+double imagesPerSec(const DlNetwork &net, unsigned batch);
+
+/**
+ * Speedup from using Buddy Compression on a device with
+ * @p device_bytes: larger effective capacity -> larger batch -> higher
+ * utilization (Figure 13c). Accounts for the given steady-state
+ * performance overhead of running compressed (Figure 11's ~2%).
+ */
+double buddySpeedup(const DlNetwork &net, double device_bytes,
+                    double perf_overhead = 0.02);
+
+/** Convergence model (Figure 13d). */
+struct ConvergencePoint
+{
+    unsigned epoch;
+    double accuracy;
+};
+
+/**
+ * Validation-accuracy trajectory over @p epochs of training at
+ * @p batch (ResNet50/CIFAR100-like constants).
+ */
+std::vector<ConvergencePoint> convergenceCurve(unsigned batch,
+                                               unsigned epochs);
+
+/** Final validation accuracy after 100 epochs at @p batch. */
+double finalAccuracy(unsigned batch);
+
+} // namespace buddy

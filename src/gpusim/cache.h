@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Set-associative cache models for the simulator: a line-granularity L1
+ * and a sectored L2 (128 B lines of four 32 B sectors, per Table 2).
+ *
+ * These are *tag-only* timing caches: they track presence, dirtiness and
+ * sector validity, not data — data functionalism lives in the core
+ * library; the simulator needs only hit/miss and traffic decisions.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace buddy {
+
+/** Line-granularity LRU cache (the per-SM L1). */
+class LineCache
+{
+  public:
+    LineCache(std::size_t bytes, unsigned ways,
+              std::size_t line_bytes = kEntryBytes)
+        : ways_(ways), lineBytes_(line_bytes)
+    {
+        sets_ = static_cast<unsigned>(bytes / (line_bytes * ways));
+        BUDDY_CHECK(sets_ > 0, "cache too small");
+        lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+    }
+
+    /** Look up @p addr; allocates on miss. @return true on hit. */
+    bool
+    access(Addr addr)
+    {
+        ++tick_;
+        const u64 line = addr / lineBytes_;
+        const unsigned set = static_cast<unsigned>(line % sets_);
+        const u64 tag = line / sets_;
+        Line *s = &lines_[static_cast<std::size_t>(set) * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (s[w].valid && s[w].tag == tag) {
+                s[w].lru = tick_;
+                hits_.addHit();
+                return true;
+            }
+        }
+        hits_.addMiss();
+        Line *victim = &s[0];
+        for (unsigned w = 1; w < ways_; ++w)
+            if (!s[w].valid || s[w].lru < victim->lru)
+                victim = &s[w];
+        victim->valid = true;
+        victim->tag = tag;
+        victim->lru = tick_;
+        return false;
+    }
+
+    /** Drop everything (kernel boundary). */
+    void
+    flush()
+    {
+        for (auto &l : lines_)
+            l.valid = false;
+    }
+
+    const RatioStat &hitRate() const { return hits_; }
+
+  private:
+    struct Line
+    {
+        u64 tag = 0;
+        u64 lru = 0;
+        bool valid = false;
+    };
+
+    unsigned ways_;
+    std::size_t lineBytes_;
+    unsigned sets_ = 0;
+    std::vector<Line> lines_;
+    u64 tick_ = 0;
+    RatioStat hits_;
+};
+
+/** Result of a sectored-L2 access. */
+struct L2Result
+{
+    bool hit = false;          ///< all requested sectors present
+    unsigned missingSectors = 0; ///< sectors to fetch from memory
+    bool writeback = false;    ///< a dirty line was evicted
+    unsigned writebackSectors = 0; ///< dirty sectors written back
+    u64 evictedLine = 0;       ///< line address of the writeback
+};
+
+/**
+ * Sectored, set-associative, write-back L2 (shared across SMs).
+ *
+ * A fill may populate only the requested sectors (the ideal GPU's
+ * fine-grained fills) or the full line (compressed fills, which always
+ * transfer the whole compressed entry — Section 4.2's over-fetch
+ * effect).
+ */
+class SectoredCache
+{
+  public:
+    SectoredCache(std::size_t bytes, unsigned ways)
+        : ways_(ways)
+    {
+        sets_ = static_cast<unsigned>(bytes / (kEntryBytes * ways));
+        BUDDY_CHECK(sets_ > 0, "L2 too small");
+        lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+    }
+
+    /**
+     * Access @p sector_mask of the line containing @p addr.
+     * @param addr       byte address (any alignment).
+     * @param sector_mask 4-bit mask of requested sectors.
+     * @param is_write   writes allocate and dirty the sectors.
+     * @param fill_whole_line on a miss, validate all four sectors
+     *        (compressed fills) instead of just the requested ones.
+     */
+    L2Result
+    access(Addr addr, unsigned sector_mask, bool is_write,
+           bool fill_whole_line)
+    {
+        ++tick_;
+        L2Result r;
+        const u64 line = addr / kEntryBytes;
+        const unsigned set = static_cast<unsigned>(line % sets_);
+        const u64 tag = line / sets_;
+        Line *s = &lines_[static_cast<std::size_t>(set) * ways_];
+
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (s[w].valid && s[w].tag == tag) {
+                s[w].lru = tick_;
+                const unsigned missing =
+                    sector_mask & ~s[w].sectors & 0xF;
+                if (missing == 0) {
+                    r.hit = true;
+                    hits_.addHit();
+                } else {
+                    hits_.addMiss();
+                    r.missingSectors = popcount4(missing);
+                    s[w].sectors |= fill_whole_line ? 0xF : sector_mask;
+                }
+                if (is_write) {
+                    s[w].dirty |= sector_mask;
+                    s[w].sectors |= sector_mask;
+                }
+                return r;
+            }
+        }
+
+        // Full miss: evict LRU, fill.
+        hits_.addMiss();
+        Line *victim = &s[0];
+        for (unsigned w = 1; w < ways_; ++w)
+            if (!s[w].valid || s[w].lru < victim->lru)
+                victim = &s[w];
+        if (victim->valid && victim->dirty) {
+            r.writeback = true;
+            r.writebackSectors = popcount4(victim->dirty);
+            r.evictedLine = victim->tag * sets_ + set;
+        }
+        victim->valid = true;
+        victim->tag = tag;
+        victim->lru = tick_;
+        victim->sectors = fill_whole_line ? 0xF : (sector_mask & 0xF);
+        victim->dirty = is_write ? (sector_mask & 0xF) : 0;
+        r.missingSectors = popcount4(sector_mask & 0xF);
+        return r;
+    }
+
+    const RatioStat &hitRate() const { return hits_; }
+
+    void
+    flush()
+    {
+        for (auto &l : lines_) {
+            l.valid = false;
+            l.dirty = 0;
+            l.sectors = 0;
+        }
+    }
+
+  private:
+    struct Line
+    {
+        u64 tag = 0;
+        u64 lru = 0;
+        u8 sectors = 0; ///< valid-sector mask
+        u8 dirty = 0;   ///< dirty-sector mask
+        bool valid = false;
+    };
+
+    static unsigned
+    popcount4(unsigned m)
+    {
+        return static_cast<unsigned>(__builtin_popcount(m & 0xF));
+    }
+
+    unsigned ways_;
+    unsigned sets_ = 0;
+    std::vector<Line> lines_;
+    u64 tick_ = 0;
+    RatioStat hits_;
+};
+
+} // namespace buddy

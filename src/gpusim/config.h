@@ -1,0 +1,161 @@
+/**
+ * @file
+ * GPU performance-simulator configuration (paper Table 2).
+ *
+ * The reference machine is a P100-class GPU with Volta-class links:
+ * 1.3 GHz cores, 24 KB private L1 per SM, 4 MB shared sectored L2
+ * (32 slices, 128 B lines, 32 B sectors, 16 ways), 32 HBM2 channels
+ * totalling 900 GB/s, and 6 NVLink2 bricks totalling 150 GB/s
+ * full-duplex. Compression adds an 11-cycle (de)compression latency and
+ * a 4 KB-per-slice metadata cache.
+ *
+ * The simulator models a scaled-down GPU (fewer SMs with proportionally
+ * scaled L2 and bandwidth); all Figure 11 results are relative
+ * slowdowns, which are preserved under this scaling.
+ */
+
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.h"
+#include "core/metadata.h"
+
+namespace buddy {
+
+/** Compression operating mode of the memory system (Section 4). */
+enum class CompressionMode : u8 {
+    /** Ideal large-memory GPU: no compression anywhere (baseline). */
+    Ideal,
+
+    /**
+     * Bandwidth-only compression between L2 and DRAM: fewer sectors per
+     * fill but no capacity benefit, no metadata, no buddy traffic.
+     */
+    BandwidthOnly,
+
+    /** Full Buddy Compression: capacity targets + buddy spill + metadata
+     *  cache (the paper's design). */
+    Buddy,
+};
+
+/** Simulator configuration (defaults = Table 2, scaled to 8 SMs). */
+struct SimConfig
+{
+    /** Modelled SMs (the real GPU has 56; bandwidth scales with this). */
+    unsigned sms = 8;
+
+    /** Reference SM count for bandwidth scaling. */
+    unsigned referenceSms = 56;
+
+    /** Resident warps per SM (Table 2: up to 64; we model the active
+     *  subset that covers memory latency). */
+    unsigned warpsPerSm = 16;
+
+    /** Core clock in GHz (1.3). */
+    double coreGhz = 1.3;
+
+    /** Device memory bandwidth of the full GPU, GB/s (HBM2, 900). */
+    double deviceGBps = 900.0;
+
+    /** DRAM channels (32). */
+    unsigned dramChannels = 32;
+
+    /** Interconnect bandwidth per direction, GB/s (NVLink2, 150). */
+    double linkGBps = 150.0;
+
+    /** Device memory access latency in core cycles. */
+    Cycles dramLatency = 350;
+
+    /** Additional round-trip latency of the interconnect, cycles. */
+    Cycles linkLatency = 700;
+
+    /** Compression/decompression latency (Table 2: 11 DRAM cycles,
+     *  expressed here in core cycles). */
+    Cycles codecLatency = 16;
+
+    /** L1 cache per SM, bytes (24 KB). */
+    std::size_t l1Bytes = 24 * KiB;
+
+    /** L1 associativity. */
+    unsigned l1Ways = 6;
+
+    /** Full-GPU shared L2, bytes (4 MB; scaled by sms/referenceSms). */
+    std::size_t l2Bytes = 4 * MiB;
+
+    /** L2 associativity (16). */
+    unsigned l2Ways = 16;
+
+    /** Metadata cache geometry (4 KB per L2 slice; scaled like L2). */
+    MetadataCacheConfig metadataCache{
+        .totalBytes = 32 * 4 * KiB, .ways = 4, .slices = 32,
+        .lineBytes = 32};
+
+    /** L2 MSHRs of the full GPU (scaled like bandwidth). A slow buddy
+     *  response holds its MSHR longer, back-pressuring all misses —
+     *  the head-of-line coupling that makes low link bandwidths hurt
+     *  (Section 4.2). */
+    unsigned l2Mshrs = 4096;
+
+    /** Scaled MSHR count. */
+    unsigned
+    scaledMshrs() const
+    {
+        return std::max(16u, static_cast<unsigned>(
+                                 static_cast<double>(l2Mshrs) * scale()));
+    }
+
+    /** Memory operations each warp executes before retiring. */
+    u64 memOpsPerWarp = 400;
+
+    /** Compression operating mode. */
+    CompressionMode mode = CompressionMode::Ideal;
+
+    /** Deterministic seed for trace generation. */
+    u64 seed = 1;
+
+    /** Scale factor applied to full-GPU bandwidth/capacity numbers. */
+    double
+    scale() const
+    {
+        return static_cast<double>(sms) /
+               static_cast<double>(referenceSms);
+    }
+
+    /** Scaled device bandwidth in 32 B sectors per core cycle. */
+    double
+    deviceSectorsPerCycle() const
+    {
+        return deviceGBps * scale() / coreGhz / kSectorBytes;
+    }
+
+    /** Scaled per-direction link bandwidth in sectors per core cycle. */
+    double
+    linkSectorsPerCycle() const
+    {
+        return linkGBps * scale() / coreGhz / kSectorBytes;
+    }
+
+    /** Scaled L2 capacity in bytes. */
+    std::size_t
+    scaledL2Bytes() const
+    {
+        return static_cast<std::size_t>(
+            static_cast<double>(l2Bytes) * scale());
+    }
+
+    /** Scaled metadata cache configuration. */
+    MetadataCacheConfig
+    scaledMetadataCache() const
+    {
+        MetadataCacheConfig c = metadataCache;
+        c.totalBytes = static_cast<std::size_t>(
+            static_cast<double>(c.totalBytes) * scale());
+        c.slices = std::max(1u, static_cast<unsigned>(
+                                    static_cast<double>(c.slices) *
+                                    scale()));
+        return c;
+    }
+};
+
+} // namespace buddy

@@ -1,0 +1,306 @@
+#include "gpusim/gpu.h"
+
+#include <algorithm>
+
+#include "core/profiler.h"
+
+namespace buddy {
+
+GpuSimulator::GpuSimulator(const SimConfig &cfg, const WorkloadModel &model,
+                           std::vector<CompressionTarget> targets,
+                           unsigned snapshot)
+    : cfg_(cfg), model_(model), targets_(std::move(targets)),
+      snapshot_(snapshot),
+      l2_(cfg.scaledL2Bytes(), cfg.l2Ways),
+      metaCache_(cfg.scaledMetadataCache()),
+      dram_(cfg.dramChannels, cfg.deviceSectorsPerCycle(),
+            static_cast<double>(cfg.dramLatency)),
+      link_(cfg.linkSectorsPerCycle(),
+            static_cast<double>(cfg.linkLatency))
+{
+    if (cfg_.mode == CompressionMode::Buddy) {
+        BUDDY_CHECK(targets_.size() == model.allocations().size(),
+                    "need one target per allocation in Buddy mode");
+    }
+    for (unsigned s = 0; s < cfg_.sms; ++s) {
+        l1_.emplace_back(cfg_.l1Bytes, cfg_.l1Ways);
+        smFree_.push_back(0.0);
+    }
+
+    const unsigned nwarps = cfg_.sms * cfg_.warpsPerSm;
+    warps_.resize(nwarps);
+    const u64 total = model_.totalEntries();
+    for (unsigned w = 0; w < nwarps; ++w) {
+        warps_[w].sm = w % cfg_.sms;
+        warps_[w].opsLeft = cfg_.memOpsPerWarp;
+        warps_[w].cursor = w;
+        warps_[w].rng.reseed(cfg_.seed * 0x9E3779B9ull + w);
+    }
+}
+
+std::size_t
+GpuSimulator::allocOf(u64 entry) const
+{
+    const auto &allocs = model_.allocations();
+    // Allocations are contiguous and sorted by firstEntry.
+    std::size_t lo = 0, hi = allocs.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi + 1) / 2;
+        if (allocs[mid].firstEntry <= entry)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+GpuSimulator::MissTraffic
+GpuSimulator::missTraffic(u64 entry, unsigned missing_sectors) const
+{
+    MissTraffic t;
+    if (cfg_.mode == CompressionMode::Ideal) {
+        // Fine-grained sector fills straight from DRAM.
+        t.deviceSectors = missing_sectors;
+        return t;
+    }
+
+    const std::size_t a = allocOf(entry);
+    const u64 local = entry - model_.allocations()[a].firstEntry;
+    const unsigned bucket = model_.bucketOf(a, local, snapshot_);
+    const u64 need = kNeedBuckets[bucket];
+
+    if (cfg_.mode == CompressionMode::BandwidthOnly) {
+        if (need >= kEntryBytes) {
+            // Incompressible entries are stored raw and stay sector
+            // addressable: no over-fetch, no codec latency.
+            t.deviceSectors = missing_sectors;
+            return t;
+        }
+        // The whole compressed entry is transferred regardless of how
+        // many sectors were requested: a win for full-line streams, a
+        // loss for single-sector random access (Section 4.2).
+        t.deviceSectors = std::max<u64>(
+            1, (need + kSectorBytes - 1) / kSectorBytes);
+        t.compressed = true;
+        return t;
+    }
+
+    // Buddy mode: the target splits the entry between device and buddy.
+    const CompressionTarget target = targets_[a];
+    if (need >= kEntryBytes && target == CompressionTarget::None) {
+        // Raw entry, fully device resident: sector addressable.
+        t.deviceSectors = missing_sectors;
+        return t;
+    }
+    const u64 slot = deviceBytesPerEntry(target);
+    const u64 on_device = std::min(need, slot);
+    const u64 on_buddy = need - on_device;
+    t.deviceSectors = static_cast<unsigned>(
+        (on_device + kSectorBytes - 1) / kSectorBytes);
+    t.linkSectors = static_cast<unsigned>(
+        (on_buddy + kSectorBytes - 1) / kSectorBytes);
+    t.compressed = need < kEntryBytes;
+    return t;
+}
+
+bool
+GpuSimulator::fineGrained(u64 entry) const
+{
+    if (cfg_.mode == CompressionMode::Ideal)
+        return true;
+    const std::size_t a = allocOf(entry);
+    const u64 local = entry - model_.allocations()[a].firstEntry;
+    const unsigned bucket = model_.bucketOf(a, local, snapshot_);
+    if (kNeedBuckets[bucket] < kEntryBytes)
+        return false;
+    return cfg_.mode == CompressionMode::BandwidthOnly ||
+           targets_[a] == CompressionTarget::None;
+}
+
+SimTime
+GpuSimulator::serveMemOp(Warp &w, SimTime issue_time)
+{
+    const AccessProfile &prof = model_.spec().access;
+    Rng &rng = w.rng;
+    const u64 total = model_.totalEntries();
+
+    // Native host traffic (FF_HPGMG): bypasses the caches entirely.
+    if (rng.chance(prof.nativeHostFraction)) {
+        const bool write = rng.chance(prof.writeFraction);
+        return write ? link_.write(issue_time, kSectorsPerEntry)
+                     : link_.read(issue_time, kSectorsPerEntry);
+    }
+
+    // Pick the access shape.
+    u64 entry;
+    unsigned mask;
+    const double roll = rng.uniform();
+    const u64 nwarps = warps_.size();
+    if (roll < prof.streamFraction) {
+        // Coalesced streaming: adjacent warps cover adjacent lines (the
+        // CTA tiling of real kernels), each advancing by the warp
+        // count. Incompressible regions therefore spread across all
+        // warps instead of serializing onto one.
+        entry = w.cursor % total;
+        w.cursor += nwarps;
+        mask = 0xF;
+    } else if (roll < prof.streamFraction + prof.randomFraction) {
+        // Random access within the benchmark's hot working set,
+        // centered on the current streaming position.
+        const u64 window = std::max<u64>(
+            1, static_cast<u64>(prof.randomWindow *
+                                static_cast<double>(total)));
+        entry = (w.cursor + rng.below(window)) % total;
+        mask = 1u << rng.below(4); // one random sector
+    } else {
+        // Local strided access: short jump, two sectors.
+        w.cursor += nwarps * (1 + rng.below(4));
+        entry = w.cursor % total;
+        mask = 0x3 << (rng.below(2) * 2);
+    }
+    const bool write = rng.chance(prof.writeFraction);
+    const Addr addr = entry * kEntryBytes;
+
+    // L1: loads only (GPU L1s are write-evict for global data).
+    if (!write && l1_[w.sm].access(addr))
+        return issue_time + kL1Latency;
+
+    // Entries stored raw (and the whole ideal GPU) remain sector
+    // addressable; compressed entries are read-modify-write at entry
+    // granularity, so a write miss must fetch the compressed entry
+    // before merging (Section 2.4).
+    const bool fine = fineGrained(entry);
+    const unsigned eff_mask = (write && !fine) ? 0xF : mask;
+    const L2Result l2r = l2_.access(addr, eff_mask, write, !fine);
+    if (write && fine) {
+        // Sector-granularity write allocation: no fill traffic; the
+        // dirty eviction (if any) drains off the critical path.
+        if (l2r.writeback) {
+            dram_.request(issue_time, l2r.evictedLine,
+                          l2r.writebackSectors);
+        }
+        return issue_time + kL2Latency;
+    }
+
+    // Dirty eviction: write back off the critical path.
+    if (l2r.writeback) {
+        const MissTraffic wb =
+            missTraffic(l2r.evictedLine, l2r.writebackSectors);
+        dram_.request(issue_time, l2r.evictedLine, wb.deviceSectors);
+        if (wb.linkSectors)
+            link_.write(issue_time, wb.linkSectors);
+    }
+
+    if (l2r.hit)
+        return issue_time + kL2Latency;
+
+    ++l2Misses_;
+    const MissTraffic t = missTraffic(entry, l2r.missingSectors);
+
+    // Allocate an MSHR; when the pool is exhausted the miss waits for
+    // the oldest outstanding one. Slow buddy responses therefore
+    // back-pressure every other miss (head-of-line coupling).
+    SimTime start = issue_time;
+    if (mshrs_.size() >= cfg_.scaledMshrs()) {
+        start = std::max(start, mshrs_.top());
+        mshrs_.pop();
+    }
+
+    SimTime done = start + kL2Latency;
+
+    SimTime meta_done = start;
+    if (cfg_.mode == CompressionMode::Buddy) {
+        // Metadata lookup; a miss costs one parallel DRAM sector fetch
+        // (Section 3.4's parallel-access optimization).
+        if (!metaCache_.access(entry)) {
+            meta_done = dram_.request(start, entry ^ 0x5A5A5A, 1);
+        }
+    }
+
+    if (t.deviceSectors) {
+        done = std::max(done, dram_.request(start, entry,
+                                            t.deviceSectors));
+    }
+    done = std::max(done, meta_done);
+
+    if (t.linkSectors) {
+        ++buddyMisses_;
+        // Buddy access starts only once the metadata is known.
+        done = std::max(done,
+                        link_.read(std::max(start, meta_done),
+                                   t.linkSectors));
+    }
+
+    if (t.compressed)
+        done += static_cast<double>(cfg_.codecLatency);
+    mshrs_.push(done);
+    return done;
+}
+
+SimResult
+GpuSimulator::run()
+{
+    // Ready-time ordered issue across all warps (greedy-then-oldest is
+    // approximated by always issuing the earliest-ready warp).
+    using QEntry = std::pair<SimTime, unsigned>; // (ready, warp)
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+    for (unsigned w = 0; w < warps_.size(); ++w)
+        pq.emplace(0.0, w);
+
+    const unsigned mlp_cap = std::max(
+        1u, static_cast<unsigned>(
+                model_.spec().access.memoryParallelism));
+    SimTime end = 0.0;
+    u64 ops = 0;
+
+    while (!pq.empty()) {
+        const auto [ready, wi] = pq.top();
+        pq.pop();
+        Warp &w = warps_[wi];
+
+        // Issue-slot contention on the warp's SM: one instruction per
+        // cycle, with the compute gap consuming issue slots too.
+        const SimTime issue = std::max(ready, smFree_[w.sm]);
+        const double gap =
+            1.0 + static_cast<double>(w.rng.geometric(
+                      1.0 / (1.0 + model_.spec().access.computePerMemory)));
+        smFree_[w.sm] = issue + gap;
+
+        const SimTime done = serveMemOp(w, issue);
+        w.inflight.push(done);
+        end = std::max(end, done);
+        ++ops;
+
+        SimTime next = issue + gap;
+        if (w.inflight.size() >= mlp_cap) {
+            // Dependency: wait for the oldest outstanding request.
+            next = std::max(next, w.inflight.top());
+            w.inflight.pop();
+        }
+
+        if (--w.opsLeft > 0)
+            pq.emplace(next, wi);
+    }
+
+    SimResult r;
+    r.cycles = end;
+    r.memOps = ops;
+    r.deviceSectors = dram_.sectorsTransferred();
+    r.linkSectors = link_.sectorsTransferred();
+    double l1num = 0, l1den = 0;
+    for (const auto &l1 : l1_) {
+        l1num += l1.hitRate().numerator();
+        l1den += l1.hitRate().denominator();
+    }
+    r.l1HitRate = l1den > 0 ? l1num / l1den : 0.0;
+    r.l2HitRate = l2_.hitRate().value();
+    r.metadataHitRate = metaCache_.hitRate().value();
+    r.dramUtilization = dram_.utilization(end);
+    r.buddyAccessFraction =
+        l2Misses_ ? static_cast<double>(buddyMisses_) /
+                        static_cast<double>(l2Misses_)
+                  : 0.0;
+    return r;
+}
+
+} // namespace buddy

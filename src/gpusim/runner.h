@@ -1,0 +1,75 @@
+/**
+ * @file
+ * End-to-end experiment glue: benchmark spec -> workload model ->
+ * profiling pass -> simulation runs across compression modes and link
+ * bandwidths (the machinery behind Figures 5b, 10 and 11).
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "gpusim/gpu.h"
+
+namespace buddy {
+
+/** Per-benchmark performance sweep results. */
+struct BenchmarkPerf
+{
+    std::string name;
+
+    /** Ideal large-memory GPU at the reference 150 GB/s link. */
+    SimResult ideal;
+
+    /** Bandwidth-only compression at the reference link. */
+    SimResult bandwidthOnly;
+
+    /** Buddy Compression keyed by link GB/s (full-duplex, per dir). */
+    std::map<double, SimResult> buddy;
+
+    /** Targets the profiler chose (parallel to model allocations). */
+    std::vector<CompressionTarget> targets;
+
+    /** Speedup of a mode relative to the ideal baseline (>1 = faster). */
+    static double
+    speedup(const SimResult &base, const SimResult &mode)
+    {
+        return mode.cycles > 0 ? base.cycles / mode.cycles : 0.0;
+    }
+};
+
+/** Options for a benchmark performance run. */
+struct RunnerConfig
+{
+    /** Scaled per-benchmark footprint materialized for simulation. */
+    u64 modelBytes = 24 * MiB;
+
+    /** Base simulator configuration (mode/link overridden per run). */
+    SimConfig sim;
+
+    /** Profiling sample budget. */
+    u64 profileSamples = 2000;
+
+    /** Profiler policy (final design by default). */
+    ProfilerConfig profiler;
+
+    /** Link bandwidth sweep for Buddy mode, GB/s per direction. */
+    std::vector<double> linkSweep{50, 100, 150, 200};
+};
+
+/** Run the full Figure 11 sweep for one benchmark. */
+BenchmarkPerf runBenchmarkPerf(const BenchmarkSpec &spec,
+                               const RunnerConfig &cfg);
+
+/**
+ * Run one Buddy-mode simulation with a custom metadata-cache capacity
+ * and return its metadata hit rate (Figure 5b support).
+ */
+double metadataHitRateFor(const BenchmarkSpec &spec,
+                          const RunnerConfig &cfg,
+                          std::size_t metadata_cache_bytes);
+
+} // namespace buddy

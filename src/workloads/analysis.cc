@@ -1,0 +1,92 @@
+#include "workloads/analysis.h"
+
+#include "compress/sector.h"
+#include "workloads/image.h"
+
+namespace buddy {
+
+namespace {
+
+/** Deterministic sampling stride for a population and budget. */
+u64
+strideFor(u64 population, u64 budget)
+{
+    if (budget == 0 || population <= budget)
+        return 1;
+    return (population + budget - 1) / budget;
+}
+
+} // namespace
+
+SnapshotAnalysis
+analyzeSnapshot(const WorkloadModel &model, unsigned s,
+                const Compressor &codec, const AnalysisConfig &cfg)
+{
+    SnapshotAnalysis out;
+    double size_sum = 0.0;
+    u64 sampled = 0;
+
+    u8 buf[kEntryBytes];
+    const auto &allocs = model.allocations();
+    for (std::size_t a = 0; a < allocs.size(); ++a) {
+        AllocationProfile prof(allocs[a].spec->name,
+                               allocs[a].entries * kEntryBytes);
+        const u64 stride =
+            strideFor(allocs[a].entries, cfg.maxSamplesPerAllocation);
+        for (u64 base = 0; base < allocs[a].entries; base += stride) {
+            // Jitter each sample within its stride window so periodic
+            // layouts (striped structs) cannot alias with the stride.
+            const u64 span = std::min(stride, allocs[a].entries - base);
+            const u64 e = base + mix64(base ^ (a * 0x9E37 + s)) % span;
+            model.entryData(a, e, s, buf);
+            const bool zero = entryIsZero(buf);
+            const std::size_t bits = zero ? 0 : codec.compressedBits(buf);
+            prof.addEntry(bits, zero);
+            // Each sample stands for `stride` entries so that the mean
+            // stays footprint-weighted across allocations of different
+            // sizes.
+            size_sum += static_cast<double>(stride) *
+                        static_cast<double>(analysisSizeBytes(bits, zero));
+            sampled += stride;
+        }
+        out.profiles.push_back(std::move(prof));
+    }
+
+    out.sampledEntries = sampled;
+    const double mean = sampled ? size_sum / static_cast<double>(sampled)
+                                : static_cast<double>(kEntryBytes);
+    // Zero-dominated snapshots can drive the mean to ~0; clamp to the
+    // 8 B metadata floor the paper's 16x cap implies.
+    out.optimisticRatio =
+        static_cast<double>(kEntryBytes) / std::max(mean, 8.0);
+    return out;
+}
+
+std::vector<AllocationProfile>
+mergedProfiles(const WorkloadModel &model, const Compressor &codec,
+               const AnalysisConfig &cfg)
+{
+    std::vector<AllocationProfile> merged;
+    for (unsigned s = 0; s < model.snapshots(); ++s) {
+        auto snap = analyzeSnapshot(model, s, codec, cfg);
+        if (merged.empty()) {
+            merged = std::move(snap.profiles);
+        } else {
+            for (std::size_t a = 0; a < merged.size(); ++a)
+                merged[a].merge(snap.profiles[a]);
+        }
+    }
+    return merged;
+}
+
+double
+averageOptimisticRatio(const WorkloadModel &model, const Compressor &codec,
+                       const AnalysisConfig &cfg)
+{
+    double sum = 0.0;
+    for (unsigned s = 0; s < model.snapshots(); ++s)
+        sum += analyzeSnapshot(model, s, codec, cfg).optimisticRatio;
+    return sum / static_cast<double>(model.snapshots());
+}
+
+} // namespace buddy

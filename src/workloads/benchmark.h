@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Registry of the paper's 16 benchmarks (Table 1) with synthetic
+ * allocation specifications.
+ *
+ * Each benchmark is described as a set of allocations; each allocation has
+ * a need-bucket mixture (possibly changing over the run), a spatial layout
+ * (homogeneous regions for HPC fields, shuffled for DL memory pools,
+ * striped for array-of-structs data), and a churn rate modelling the DL
+ * frameworks' pool-reuse behaviour. The mixtures are calibrated so that
+ * compressing the synthesized images with real BPC reproduces the
+ * per-benchmark compression character the paper reports in Figures 3, 6,
+ * 7, 8 and 9 — see EXPERIMENTS.md for the side-by-side numbers.
+ */
+
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace buddy {
+
+/** Spatial arrangement of buckets within an allocation (Figure 6). */
+enum class SpatialLayout : u8 {
+    /** Contiguous same-bucket regions (typical HPC field data). */
+    Homogeneous,
+
+    /** Bucket drawn per entry (DL framework memory pools). */
+    Shuffled,
+
+    /** Bucket repeats with a short period (arrays of structs). */
+    Striped,
+};
+
+/** One synthetic allocation inside a benchmark. */
+struct AllocationSpec
+{
+    std::string name;
+
+    /** Fraction of the benchmark footprint (specs sum to 1). */
+    double fraction = 1.0;
+
+    /** Need-bucket mixture at the start of the run (sums to 1). */
+    std::array<double, 6> mixStart{};
+
+    /** Mixture at the end of the run (linearly interpolated). */
+    std::array<double, 6> mixEnd{};
+
+    SpatialLayout layout = SpatialLayout::Homogeneous;
+
+    /** Stripe period in entries (Striped layout only). */
+    unsigned stripePeriod = 4;
+
+    /**
+     * Explicit per-stripe-position need buckets (Striped layout only).
+     * When non-empty this overrides the mixture-derived stripe pattern;
+     * its length must equal stripePeriod.
+     */
+    std::vector<unsigned> stripeBuckets;
+
+    /**
+     * Fraction of entries whose *content* is regenerated between
+     * consecutive snapshots (keeping the same bucket distribution).
+     * Models DL pool reuse: per-entry compressibility churns while the
+     * aggregate ratio stays flat (Section 3.1).
+     */
+    double churn = 0.0;
+};
+
+/** Benchmark suite tags. */
+enum class Suite : u8 { SpecAccel, FastForward, DeepLearning };
+
+/** Memory access behaviour used by the performance simulator (Fig. 11). */
+struct AccessProfile
+{
+    /** Fraction of accesses that stream full 128 B lines (coalesced). */
+    double streamFraction = 0.9;
+
+    /** Fraction of reads that touch a single random 32 B sector. */
+    double randomFraction = 0.05;
+
+    /** Fraction of memory operations that are writes. */
+    double writeFraction = 0.3;
+
+    /**
+     * Average compute (non-memory) warp instructions issued per memory
+     * instruction; lower means more memory-bound.
+     */
+    double computePerMemory = 4.0;
+
+    /**
+     * Latency sensitivity: average independent memory operations in
+     * flight per warp. 1.0 = strictly dependent accesses (FF_Lulesh's
+     * critical-path behaviour), higher = more MLP.
+     */
+    double memoryParallelism = 4.0;
+
+    /**
+     * Fraction of the footprint that random accesses draw from (the hot
+     * working set). Drives the metadata-cache hit rate differences of
+     * Figure 5b: palm and seismic scatter across most of their
+     * footprint, other benchmarks stay local.
+     */
+    double randomWindow = 0.15;
+
+    /** Fraction of accesses that natively target host memory over the
+     *  interconnect (FF_HPGMG's synchronous host copies). */
+    double nativeHostFraction = 0.0;
+};
+
+/** A full benchmark description. */
+struct BenchmarkSpec
+{
+    std::string name;
+    Suite suite = Suite::SpecAccel;
+
+    /** Real footprint from Table 1, in bytes. */
+    u64 footprintBytes = 0;
+
+    std::vector<AllocationSpec> allocations;
+    AccessProfile access;
+
+    /** Deterministic per-benchmark RNG seed root. */
+    u64 seed = 0;
+};
+
+/** All 16 benchmarks of Table 1, in paper order. */
+const std::vector<BenchmarkSpec> &benchmarkRegistry();
+
+/** Look up one benchmark by name (panics if unknown). */
+const BenchmarkSpec &findBenchmark(const std::string &name);
+
+/** Names of the HPC (SpecAccel + FastForward) benchmarks, paper order. */
+std::vector<std::string> hpcBenchmarkNames();
+
+/** Names of the DL benchmarks, paper order. */
+std::vector<std::string> dlBenchmarkNames();
+
+} // namespace buddy

@@ -1,0 +1,171 @@
+#include "workloads/image.h"
+
+#include "common/log.h"
+#include "workloads/patterns.h"
+
+namespace buddy {
+
+namespace {
+
+/** Inverse-CDF bucket lookup for a mixture. */
+unsigned
+invCdf(const std::array<double, 6> &mix, double u)
+{
+    double acc = 0.0;
+    for (unsigned b = 0; b < 6; ++b) {
+        acc += mix[b];
+        if (u < acc)
+            return b;
+    }
+    return 5;
+}
+
+/** Entries per homogeneous block (32 KB regions). */
+constexpr u64 kHomogeneousBlock = 256;
+
+/**
+ * Position of @p block in a deterministic pseudo-random permutation of
+ * [0, blocks): a two-round Feistel-style mix, valid for any block count
+ * via cycle walking.
+ */
+u64
+permutedBlock(u64 seed, u64 block, u64 blocks)
+{
+    if (blocks <= 1)
+        return 0;
+    // Three-round Feistel network over the next power-of-two domain
+    // (a bijection), cycle-walked back into [0, blocks).
+    u64 size = 1;
+    unsigned bits = 0;
+    while (size < blocks) {
+        size <<= 1;
+        ++bits;
+    }
+    const unsigned half = (bits + 1) / 2;
+    const u64 hmask = (1ull << half) - 1;
+    u64 x = block;
+    do {
+        u64 l = x >> half, r = x & hmask;
+        for (unsigned round = 0; round < 3; ++round) {
+            const u64 f = mix64(r ^ seed ^ (0x9E37u + round)) & hmask;
+            const u64 nl = r, nr = l ^ f;
+            l = nl;
+            r = nr;
+        }
+        x = (l << half) | r;
+    } while (x >= blocks);
+    return x;
+}
+
+} // namespace
+
+WorkloadModel::WorkloadModel(const BenchmarkSpec &spec, u64 model_bytes,
+                             unsigned snapshots)
+    : spec_(&spec), snapshots_(snapshots)
+{
+    BUDDY_CHECK(snapshots_ >= 1, "need at least one snapshot");
+    const u64 bytes = model_bytes ? model_bytes : spec.footprintBytes;
+    u64 next = 0;
+    for (const auto &a : spec.allocations) {
+        ModelAllocation m;
+        m.spec = &a;
+        m.firstEntry = next;
+        m.entries = static_cast<u64>(
+            a.fraction * static_cast<double>(bytes) /
+            static_cast<double>(kEntryBytes));
+        if (m.entries == 0)
+            m.entries = 1;
+        next += m.entries;
+        allocs_.push_back(m);
+    }
+    totalEntries_ = next;
+}
+
+std::array<double, 6>
+WorkloadModel::mixAt(std::size_t a, unsigned s) const
+{
+    const AllocationSpec &spec = *allocs_[a].spec;
+    const double t =
+        snapshots_ > 1
+            ? static_cast<double>(s) / static_cast<double>(snapshots_ - 1)
+            : 0.0;
+    std::array<double, 6> m;
+    for (unsigned b = 0; b < 6; ++b)
+        m[b] = (1.0 - t) * spec.mixStart[b] + t * spec.mixEnd[b];
+    return m;
+}
+
+u64
+WorkloadModel::epochOf(std::size_t a, u64 e, unsigned s) const
+{
+    const AllocationSpec &spec = *allocs_[a].spec;
+    if (spec.churn <= 0.0)
+        return 0;
+    // Count the snapshot transitions at which this entry was re-rolled.
+    u64 epoch = 0;
+    for (unsigned t = 1; t <= s; ++t)
+        if (hash01(spec_->seed ^ 0xC0FFEE, a, e, t) < spec.churn)
+            epoch = t;
+    return epoch;
+}
+
+unsigned
+WorkloadModel::bucketOf(std::size_t a, u64 e, unsigned s) const
+{
+    const ModelAllocation &ma = allocs_[a];
+    const AllocationSpec &spec = *ma.spec;
+    const auto mix = mixAt(a, s);
+
+    switch (spec.layout) {
+      case SpatialLayout::Homogeneous: {
+        // Contiguous same-bucket regions whose *order* in the address
+        // space is a deterministic block permutation: real field data
+        // (Figure 6) shows homogeneous regions interspersed through the
+        // allocation, not sorted by compressibility. Without the
+        // permutation the incompressible tail would form one contiguous
+        // run and artificially serialize onto a single streaming warp.
+        const u64 block = e / kHomogeneousBlock;
+        const u64 blocks =
+            (ma.entries + kHomogeneousBlock - 1) / kHomogeneousBlock;
+        const u64 perm =
+            permutedBlock(spec_->seed ^ (a * 0x9E3779B9ull), block,
+                          blocks);
+        const u64 virt = perm * kHomogeneousBlock + e % kHomogeneousBlock;
+        const double pos = (static_cast<double>(virt) + 0.5) /
+                           static_cast<double>(blocks * kHomogeneousBlock);
+        return invCdf(mix, std::min(pos, 0.999999));
+      }
+      case SpatialLayout::Shuffled: {
+        const u64 epoch = epochOf(a, e, s);
+        const double u = hash01(spec_->seed, a, e, epoch);
+        return invCdf(mix, u);
+      }
+      case SpatialLayout::Striped: {
+        const u64 k = e % spec.stripePeriod;
+        if (!spec.stripeBuckets.empty())
+            return spec.stripeBuckets[k];
+        const double u = hash01(spec_->seed ^ 0x57121ED, a, k);
+        return invCdf(mix, u);
+      }
+    }
+    BUDDY_PANIC("invalid spatial layout");
+}
+
+void
+WorkloadModel::entryData(std::size_t a, u64 e, unsigned s, u8 *out) const
+{
+    BUDDY_CHECK(a < allocs_.size(), "allocation index out of range");
+    BUDDY_CHECK(e < allocs_[a].entries, "entry index out of range");
+    BUDDY_CHECK(s < snapshots_, "snapshot index out of range");
+
+    const unsigned bucket = bucketOf(a, e, s);
+    const u64 epoch = epochOf(a, e, s);
+    // Content depends on (benchmark, allocation, entry, epoch, bucket):
+    // unchurned entries keep identical bytes across snapshots unless
+    // their bucket region slides under an evolving mixture.
+    Rng rng(mix64(spec_->seed) ^ mix64(a + 1) ^ mix64(e + 0x1234) ^
+            mix64(epoch * 6 + bucket + 1));
+    fillBucketEntry(rng, bucket, out);
+}
+
+} // namespace buddy

@@ -1,0 +1,109 @@
+#include "workloads/patterns.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace buddy {
+
+namespace {
+
+/**
+ * Random walk over 32-bit words with uniform deltas of @p delta_bits
+ * significant bits. With BPC, roughly (delta_bits + 2) DBX planes stay
+ * active and cost a raw 32-bit code each, so the compressed size scales
+ * linearly with delta_bits. Widths below were calibrated against the
+ * real encoder (see tests/test_patterns.cc).
+ */
+void
+fillRandomWalk(Rng &rng, unsigned delta_bits, u8 *out)
+{
+    u32 v = static_cast<u32>(rng.next());
+    for (std::size_t w = 0; w < kWordsPerEntry; ++w) {
+        std::memcpy(out + w * 4, &v, 4);
+        const u64 span = 1ull << delta_bits;
+        const i64 d = static_cast<i64>(rng.below(span)) -
+                      static_cast<i64>(span / 2);
+        v = static_cast<u32>(static_cast<i64>(v) + d);
+    }
+}
+
+void
+fillRandom(Rng &rng, u8 *out)
+{
+    for (std::size_t i = 0; i < kEntryBytes; ++i)
+        out[i] = static_cast<u8>(rng.below(256));
+}
+
+/** Constant word with an occasional +/-1 drift: lands in the 8 B bucket. */
+void
+fillNearConstant(Rng &rng, u8 *out)
+{
+    const u32 v = static_cast<u32>(rng.below(1u << 16));
+    for (std::size_t w = 0; w < kWordsPerEntry; ++w)
+        std::memcpy(out + w * 4, &v, 4);
+}
+
+} // namespace
+
+void
+fillBucketEntry(Rng &rng, unsigned bucket, u8 *out)
+{
+    switch (bucket) {
+      case 0:
+        std::memset(out, 0, kEntryBytes);
+        return;
+      case 1:
+        fillNearConstant(rng, out);
+        return;
+      case 2:
+        // <= 32 B: ~5 active delta planes.
+        fillRandomWalk(rng, 4, out);
+        return;
+      case 3:
+        // <= 64 B: ~13 active delta planes.
+        fillRandomWalk(rng, 12, out);
+        return;
+      case 4:
+        // <= 96 B: ~21 active delta planes.
+        fillRandomWalk(rng, 20, out);
+        return;
+      case 5:
+        fillRandom(rng, out);
+        return;
+      default:
+        BUDDY_PANIC("invalid pattern bucket");
+    }
+}
+
+void
+fillFp32Field(Rng &rng, int noise_exp, u8 *out)
+{
+    const float base = static_cast<float>(rng.uniform(0.5, 2.0));
+    const float amp = std::ldexp(1.0f, noise_exp);
+    for (std::size_t w = 0; w < kWordsPerEntry; ++w) {
+        const float v =
+            base * (1.0f + amp * static_cast<float>(rng.uniform(-1.0, 1.0)));
+        std::memcpy(out + w * 4, &v, 4);
+    }
+}
+
+void
+fillStructStripe(Rng &rng, unsigned period, u8 *out)
+{
+    BUDDY_CHECK(period > 0, "struct stripe period must be positive");
+    u32 smooth = static_cast<u32>(rng.below(1u << 12));
+    for (std::size_t w = 0; w < kWordsPerEntry; ++w) {
+        u32 v;
+        if (w % period == period - 1) {
+            v = static_cast<u32>(rng.next()); // high-entropy field
+        } else {
+            smooth += static_cast<u32>(rng.below(8));
+            v = smooth;
+        }
+        std::memcpy(out + w * 4, &v, 4);
+    }
+}
+
+} // namespace buddy

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Byte-level data-pattern generators for workload synthesis.
+ *
+ * The paper's compressibility analysis (Section 3.1) is driven by memory
+ * dumps of real HPC and DL applications, which are not distributable.
+ * These generators produce *real bytes* whose BPC-compressed sizes land in
+ * controlled "need buckets" (see core/profiler.h): all downstream
+ * experiments measure compressibility by actually compressing this data,
+ * exactly as they would a real dump.
+ *
+ * Buckets (device bytes needed to avoid buddy overflow):
+ *   0: all-zero entry
+ *   1: <=  8 B  (fits the 16x mostly-zero slot)
+ *   2: <= 32 B  (fits a 4x target)
+ *   3: <= 64 B  (fits a 2x target)
+ *   4: <= 96 B  (fits a 1.33x target)
+ *   5: 128 B    (incompressible)
+ *
+ * The generator constants were calibrated against the real BPC encoder;
+ * tests/test_patterns.cc pins the bucket mapping.
+ */
+
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace buddy {
+
+/** Number of need buckets (mirrors core/profiler.h). */
+constexpr std::size_t kPatternBuckets = 6;
+
+/**
+ * Fill one 128 B entry with data whose BPC size lands in @p bucket.
+ *
+ * Buckets 1-4 are realized as fixed-point random walks with calibrated
+ * delta widths — the integer view of smooth simulation fields and
+ * quantized tensors; bucket 5 is full-entropy data.
+ */
+void fillBucketEntry(Rng &rng, unsigned bucket, u8 *out);
+
+/**
+ * Fill one entry with a smooth FP32 field: a base value with relative
+ * perturbations of magnitude ~2^@p noise_exp. Used where FP realism
+ * matters more than exact bucket placement (examples, micro benches).
+ */
+void fillFp32Field(Rng &rng, int noise_exp, u8 *out);
+
+/**
+ * Fill one entry of an array-of-structs region: word lanes alternate
+ * between smooth integer fields and high-entropy fields with the given
+ * period, mimicking FF_HPGMG's heterogeneous structs (Section 3.4).
+ */
+void fillStructStripe(Rng &rng, unsigned period, u8 *out);
+
+} // namespace buddy

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the LSB-first bit packer/unpacker that underlies every
+ * compression codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitstream.h"
+#include "common/rng.h"
+
+namespace buddy {
+namespace {
+
+TEST(BitStream, EmptyWriterHasNoBits)
+{
+    BitWriter bw;
+    EXPECT_EQ(bw.sizeBits(), 0u);
+    EXPECT_EQ(bw.sizeBytes(), 0u);
+}
+
+TEST(BitStream, SingleBitRoundTrip)
+{
+    BitWriter bw;
+    bw.putBit(true);
+    bw.putBit(false);
+    bw.putBit(true);
+    ASSERT_EQ(bw.sizeBits(), 3u);
+
+    BitReader br(bw);
+    EXPECT_TRUE(br.getBit());
+    EXPECT_FALSE(br.getBit());
+    EXPECT_TRUE(br.getBit());
+    EXPECT_EQ(br.remaining(), 0u);
+}
+
+TEST(BitStream, MultiBitValuesRoundTrip)
+{
+    BitWriter bw;
+    bw.put(0xDEADBEEFull, 32);
+    bw.put(0x5, 3);
+    bw.put(0xFFFFFFFFFFFFFFFFull, 64);
+    bw.put(0, 0); // zero-width write is a no-op
+
+    BitReader br(bw);
+    EXPECT_EQ(br.get(32), 0xDEADBEEFull);
+    EXPECT_EQ(br.get(3), 0x5ull);
+    EXPECT_EQ(br.get(64), 0xFFFFFFFFFFFFFFFFull);
+    EXPECT_EQ(br.remaining(), 0u);
+}
+
+TEST(BitStream, SizeBytesRoundsUp)
+{
+    BitWriter bw;
+    bw.put(0x7F, 7);
+    EXPECT_EQ(bw.sizeBytes(), 1u);
+    bw.putBit(1);
+    EXPECT_EQ(bw.sizeBytes(), 1u);
+    bw.putBit(0);
+    EXPECT_EQ(bw.sizeBytes(), 2u);
+}
+
+TEST(BitStream, UnalignedInterleavedFields)
+{
+    BitWriter bw;
+    for (unsigned n = 1; n <= 17; ++n)
+        bw.put(n, n); // value n in an n-bit field
+
+    BitReader br(bw);
+    for (unsigned n = 1; n <= 17; ++n)
+        EXPECT_EQ(br.get(n), n) << "field width " << n;
+}
+
+TEST(BitStream, RandomizedRoundTrip)
+{
+    Rng rng(42);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::vector<std::pair<u64, unsigned>> fields;
+        BitWriter bw;
+        const int nfields = 1 + static_cast<int>(rng.below(40));
+        for (int i = 0; i < nfields; ++i) {
+            const unsigned width = 1 + static_cast<unsigned>(rng.below(64));
+            const u64 mask =
+                width == 64 ? ~0ull : ((1ull << width) - 1);
+            const u64 v = rng.next() & mask;
+            fields.emplace_back(v, width);
+            bw.put(v, width);
+        }
+        BitReader br(bw);
+        for (const auto &[v, width] : fields)
+            ASSERT_EQ(br.get(width), v);
+        ASSERT_EQ(br.remaining(), 0u);
+    }
+}
+
+TEST(BitStreamDeath, OverrunPanics)
+{
+    BitWriter bw;
+    bw.putBit(1);
+    BitReader br(bw);
+    br.getBit();
+    EXPECT_DEATH(br.getBit(), "overrun");
+}
+
+} // namespace
+} // namespace buddy

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the DL training analytical model (Figure 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dlmodel/dlmodel.h"
+
+namespace buddy {
+namespace {
+
+constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kTitanXp = 12.0 * kGB;
+
+TEST(DlModel, HasAllSixNetworks)
+{
+    EXPECT_EQ(dlNetworks().size(), 6u);
+    EXPECT_NO_FATAL_FAILURE(findNetwork("VGG16"));
+    EXPECT_DEATH(findNetwork("GPT-17"), "unknown DL network");
+}
+
+TEST(DlModel, FootprintGrowsLinearlyWithBatch)
+{
+    const auto &net = findNetwork("ResNet50");
+    const double f32 = footprintBytes(net, 32);
+    const double f64 = footprintBytes(net, 64);
+    const double f128 = footprintBytes(net, 128);
+    EXPECT_NEAR(f128 - f64, 2.0 * (f64 - f32) / 2.0 * 2.0, 1.0);
+    EXPECT_GT(f64, f32);
+}
+
+TEST(DlModel, AlexNetTransitionIsLate)
+{
+    // Figure 13a: AlexNet's parameters dominate until batch ~96; the
+    // other networks transition at or below 32.
+    const auto &alex = findNetwork("AlexNet");
+    const double b1 = footprintBytes(alex, 1);
+    EXPECT_LT(footprintBytes(alex, 64) / b1, 2.0)
+        << "AlexNet footprint should stay near-flat up to batch 64";
+
+    const auto &vgg = findNetwork("VGG16");
+    EXPECT_GT(footprintBytes(vgg, 64) / footprintBytes(vgg, 1), 4.0)
+        << "VGG16 footprint is activation-dominated well before 64";
+}
+
+TEST(DlModel, MaxBatchInvertsFootprint)
+{
+    for (const auto &net : dlNetworks()) {
+        const unsigned b = maxBatch(net, kTitanXp);
+        ASSERT_GT(b, 0u) << net.name;
+        EXPECT_LE(footprintBytes(net, b), kTitanXp);
+        EXPECT_GT(footprintBytes(net, b + 1), kTitanXp);
+    }
+}
+
+TEST(DlModel, MaxBatchZeroWhenNothingFits)
+{
+    const auto &lstm = findNetwork("BigLSTM");
+    EXPECT_EQ(maxBatch(lstm, 1.0 * kGB), 0u);
+}
+
+TEST(DlModel, ThroughputSaturatesWithBatch)
+{
+    const auto &net = findNetwork("ResNet50");
+    const double s8 = imagesPerSec(net, 8);
+    const double s64 = imagesPerSec(net, 64);
+    const double s256 = imagesPerSec(net, 256);
+    EXPECT_GT(s64, s8 * 2.0);        // strong growth early
+    EXPECT_LT(s256, s64 * 1.5);      // plateau later (Figure 13b)
+    EXPECT_DOUBLE_EQ(imagesPerSec(net, 0), 0.0);
+}
+
+TEST(DlModel, BuddySpeedupMatchesPaperBands)
+{
+    // Paper Figure 13c: ~14% average; BigLSTM 28%, VGG16 30%.
+    double sum = 0;
+    for (const auto &net : dlNetworks())
+        sum += buddySpeedup(net, kTitanXp);
+    const double mean = sum / 6.0;
+    EXPECT_NEAR(mean, 1.14, 0.06);
+    EXPECT_NEAR(buddySpeedup(findNetwork("BigLSTM"), kTitanXp), 1.28,
+                0.06);
+    EXPECT_GT(buddySpeedup(findNetwork("VGG16"), kTitanXp), 1.25);
+}
+
+TEST(DlModel, SpeedupAccountsForOverhead)
+{
+    const auto &net = findNetwork("ResNet50");
+    EXPECT_GT(buddySpeedup(net, kTitanXp, 0.0),
+              buddySpeedup(net, kTitanXp, 0.05));
+}
+
+TEST(DlModel, SmallBatchesMissPeakAccuracy)
+{
+    // Figure 13d: batches 16/32 fall short; 64+ reach the plateau.
+    EXPECT_LT(finalAccuracy(16), finalAccuracy(64) - 0.02);
+    EXPECT_LT(finalAccuracy(32), finalAccuracy(64) - 0.005);
+    EXPECT_NEAR(finalAccuracy(64), finalAccuracy(256), 0.01);
+}
+
+TEST(DlModel, ModerateBatchesConvergeSlower)
+{
+    const auto c64 = convergenceCurve(64, 100);
+    const auto c256 = convergenceCurve(256, 100);
+    // Same final plateau, slower mid-training progress at batch 64.
+    EXPECT_LT(c64[30].accuracy, c256[30].accuracy);
+    EXPECT_NEAR(c64[99].accuracy, c256[99].accuracy, 0.02);
+}
+
+TEST(DlModel, VeryLargeBatchesLoseGeneralization)
+{
+    EXPECT_LT(finalAccuracy(2048), finalAccuracy(256));
+}
+
+} // namespace
+} // namespace buddy

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the profiling pass: Buddy-Threshold target selection,
+ * per-allocation vs. naive policies, the 16x mostly-zero special case,
+ * and the 4x overall cap (paper Section 3.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.h"
+
+namespace buddy {
+namespace {
+
+/** Profile with a given fraction of entries in each need bucket. */
+AllocationProfile
+makeProfile(const std::string &name, u64 bytes,
+            std::initializer_list<double> fractions)
+{
+    AllocationProfile p(name, bytes);
+    const int total = 10000;
+    std::size_t b = 0;
+    for (const double f : fractions) {
+        const int n = static_cast<int>(f * total);
+        for (int i = 0; i < n; ++i)
+            p.addEntry(kNeedBuckets[b] * 8, b == 0);
+        ++b;
+    }
+    return p;
+}
+
+TEST(NeedBucket, MapsSizesToTargets)
+{
+    EXPECT_EQ(needBucket(0, true), 0u);
+    EXPECT_EQ(needBucket(8 * 8, false), 1u);   // fits 16x
+    EXPECT_EQ(needBucket(8 * 8 + 1, false), 2u); // needs 4x slot
+    EXPECT_EQ(needBucket(32 * 8, false), 2u);
+    EXPECT_EQ(needBucket(64 * 8, false), 3u);
+    EXPECT_EQ(needBucket(96 * 8, false), 4u);
+    EXPECT_EQ(needBucket(128 * 8, false), 5u);
+    EXPECT_EQ(needBucket(128 * 8 + 1, false), 5u);
+}
+
+TEST(Profile, FitFractionsAccumulate)
+{
+    // 50% zero, 30% fits 4x, 20% incompressible.
+    const auto p =
+        makeProfile("a", MiB, {0.5, 0.0, 0.3, 0.0, 0.0, 0.2});
+    EXPECT_NEAR(p.fitFraction(CompressionTarget::MostlyZero), 0.5, 1e-9);
+    EXPECT_NEAR(p.fitFraction(CompressionTarget::Ratio4), 0.8, 1e-9);
+    EXPECT_NEAR(p.fitFraction(CompressionTarget::Ratio2), 0.8, 1e-9);
+    EXPECT_NEAR(p.fitFraction(CompressionTarget::None), 1.0, 1e-9);
+}
+
+TEST(Profiler, PicksMostAggressiveWithinThreshold)
+{
+    Profiler prof; // 30% threshold
+    // 75% fits 4x, 25% incompressible: 4x overflows 25% <= 30%.
+    const auto p1 =
+        makeProfile("a", MiB, {0.0, 0.0, 0.75, 0.0, 0.0, 0.25});
+    EXPECT_EQ(prof.chooseTarget(p1), CompressionTarget::Ratio4);
+
+    // Only 60% fits 4x but 80% fits 2x: threshold forces 2x.
+    const auto p2 =
+        makeProfile("b", MiB, {0.0, 0.0, 0.6, 0.2, 0.0, 0.2});
+    EXPECT_EQ(prof.chooseTarget(p2), CompressionTarget::Ratio2);
+
+    // Nothing compresses: 1x.
+    const auto p3 = makeProfile("c", MiB, {0.0, 0.0, 0.0, 0.0, 0.0, 1.0});
+    EXPECT_EQ(prof.chooseTarget(p3), CompressionTarget::None);
+}
+
+TEST(Profiler, ThresholdSweepChangesChoice)
+{
+    // 65% fits 4x, 80% fits 2x, rest incompressible.
+    const auto p =
+        makeProfile("a", MiB, {0.0, 0.0, 0.65, 0.15, 0.0, 0.20});
+
+    ProfilerConfig tight;
+    tight.buddyThreshold = 0.10;
+    EXPECT_EQ(Profiler(tight).chooseTarget(p), CompressionTarget::None);
+
+    ProfilerConfig mid;
+    mid.buddyThreshold = 0.20;
+    EXPECT_EQ(Profiler(mid).chooseTarget(p), CompressionTarget::Ratio2);
+
+    ProfilerConfig loose;
+    loose.buddyThreshold = 0.40;
+    EXPECT_EQ(Profiler(loose).chooseTarget(p), CompressionTarget::Ratio4);
+}
+
+TEST(Profiler, MostlyZeroAllocationGetsSixteenX)
+{
+    Profiler prof;
+    const auto p =
+        makeProfile("zeros", MiB, {0.97, 0.0, 0.01, 0.01, 0.0, 0.01});
+    EXPECT_EQ(prof.chooseTarget(p), CompressionTarget::MostlyZero);
+
+    ProfilerConfig no_zero;
+    no_zero.zeroPageOptimization = false;
+    EXPECT_EQ(Profiler(no_zero).chooseTarget(p), CompressionTarget::Ratio4);
+}
+
+TEST(Profiler, PerAllocationBeatsNaive)
+{
+    // One highly-compressible and one incompressible allocation. The
+    // naive global target is dragged down by the incompressible half;
+    // per-allocation targets recover the compressible region (the
+    // 354.cg / 370.bt observation in Section 3.4).
+    std::vector<AllocationProfile> profiles;
+    profiles.push_back(
+        makeProfile("good", 4 * MiB, {0.0, 0.0, 0.9, 0.1, 0.0, 0.0}));
+    profiles.push_back(
+        makeProfile("bad", 4 * MiB, {0.0, 0.0, 0.0, 0.0, 0.0, 1.0}));
+
+    ProfilerConfig per_cfg;
+    const auto per = Profiler(per_cfg).decide(profiles);
+
+    ProfilerConfig naive_cfg;
+    naive_cfg.perAllocation = false;
+    const auto naive = Profiler(naive_cfg).decide(profiles);
+
+    EXPECT_GT(per.compressionRatio, naive.compressionRatio);
+    EXPECT_EQ(per.targets[0], CompressionTarget::Ratio4);
+    EXPECT_EQ(per.targets[1], CompressionTarget::None);
+    // Naive rounds the whole-program average compressibility (~1.57x
+    // here) down to one available ratio: 1.33x for every allocation,
+    // leaving the incompressible half overflowing to buddy memory.
+    EXPECT_EQ(naive.targets[0], CompressionTarget::Ratio1_33);
+    EXPECT_EQ(naive.targets[1], CompressionTarget::Ratio1_33);
+    EXPECT_NEAR(naive.compressionRatio, 4.0 / 3.0, 1e-9);
+    EXPECT_GT(naive.buddyAccessFraction, per.buddyAccessFraction);
+}
+
+TEST(Profiler, OverallRatioCappedAtFourX)
+{
+    // Everything mostly-zero: uncapped choice would be 16x overall.
+    std::vector<AllocationProfile> profiles;
+    for (int i = 0; i < 4; ++i)
+        profiles.push_back(makeProfile("z" + std::to_string(i), MiB,
+                                       {0.99, 0.0, 0.0, 0.0, 0.0, 0.01}));
+    const auto d = Profiler().decide(profiles);
+    EXPECT_LE(d.compressionRatio, 4.0 + 1e-9);
+}
+
+TEST(Profiler, BuddyAccessFractionIsFootprintWeighted)
+{
+    std::vector<AllocationProfile> profiles;
+    // 3 MiB overflowing 20% at 4x; 1 MiB overflowing 0%.
+    profiles.push_back(
+        makeProfile("a", 3 * MiB, {0.0, 0.0, 0.8, 0.0, 0.0, 0.2}));
+    profiles.push_back(
+        makeProfile("b", 1 * MiB, {0.0, 0.0, 1.0, 0.0, 0.0, 0.0}));
+    const auto d = Profiler().decide(profiles);
+    EXPECT_EQ(d.targets[0], CompressionTarget::Ratio4);
+    EXPECT_EQ(d.targets[1], CompressionTarget::Ratio4);
+    EXPECT_NEAR(d.buddyAccessFraction, 0.2 * 3.0 / 4.0, 1e-6);
+}
+
+TEST(Profiler, BestAchievableMatchesDataNotTargets)
+{
+    // All entries fit 2x exactly: best achievable = 2x even if the
+    // threshold forces a weaker target.
+    const auto p =
+        makeProfile("a", MiB, {0.0, 0.0, 0.0, 1.0, 0.0, 0.0});
+    EXPECT_NEAR(p.bestAchievableRatio(), 2.0, 1e-9);
+
+    std::vector<AllocationProfile> profiles{p};
+    const auto d = Profiler().decide(profiles);
+    EXPECT_NEAR(d.bestAchievableRatio, 2.0, 1e-9);
+}
+
+TEST(Profiler, MergeAccumulatesSnapshots)
+{
+    auto p1 = makeProfile("a", MiB, {1.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+    const auto p2 =
+        makeProfile("a", MiB, {0.0, 0.0, 0.0, 0.0, 0.0, 1.0});
+    p1.merge(p2);
+    // Half zero, half incompressible now.
+    EXPECT_NEAR(p1.fitFraction(CompressionTarget::MostlyZero), 0.5, 1e-9);
+    EXPECT_EQ(Profiler().chooseTarget(p1), CompressionTarget::None);
+}
+
+} // namespace
+} // namespace buddy

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the sector quantization rules of Figures 3 and 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/sector.h"
+
+namespace buddy {
+namespace {
+
+TEST(AnalysisSize, ZeroEntryIsZeroBytes)
+{
+    EXPECT_EQ(analysisSizeBytes(11, /*is_zero=*/true), 0u);
+}
+
+TEST(AnalysisSize, QuantizesUpToPaperSizes)
+{
+    EXPECT_EQ(analysisSizeBytes(1, false), 8u);
+    EXPECT_EQ(analysisSizeBytes(64, false), 8u);
+    EXPECT_EQ(analysisSizeBytes(65, false), 16u);
+    EXPECT_EQ(analysisSizeBytes(16 * 8, false), 16u);
+    EXPECT_EQ(analysisSizeBytes(16 * 8 + 1, false), 32u);
+    EXPECT_EQ(analysisSizeBytes(33 * 8, false), 64u);
+    EXPECT_EQ(analysisSizeBytes(65 * 8, false), 80u);
+    EXPECT_EQ(analysisSizeBytes(81 * 8, false), 96u);
+    EXPECT_EQ(analysisSizeBytes(97 * 8, false), 128u);
+    EXPECT_EQ(analysisSizeBytes(128 * 8, false), 128u);
+    EXPECT_EQ(analysisSizeBytes(128 * 8 + 1, false), 128u);
+}
+
+TEST(CompressedSectors, MinimumOneSector)
+{
+    EXPECT_EQ(compressedSectors(0), 1u);
+    EXPECT_EQ(compressedSectors(1), 1u);
+    EXPECT_EQ(compressedSectors(32 * 8), 1u);
+}
+
+TEST(CompressedSectors, BoundariesMatchFigure4)
+{
+    EXPECT_EQ(compressedSectors(32 * 8 + 1), 2u);
+    EXPECT_EQ(compressedSectors(64 * 8), 2u);
+    EXPECT_EQ(compressedSectors(64 * 8 + 1), 3u);
+    EXPECT_EQ(compressedSectors(96 * 8), 3u);
+    EXPECT_EQ(compressedSectors(96 * 8 + 1), 4u);
+    EXPECT_EQ(compressedSectors(128 * 8 + 1), 4u); // tagged raw fallback
+}
+
+TEST(Targets, DeviceSectorsMatchRatios)
+{
+    EXPECT_EQ(deviceSectors(CompressionTarget::None), 4u);
+    EXPECT_EQ(deviceSectors(CompressionTarget::Ratio1_33), 3u);
+    EXPECT_EQ(deviceSectors(CompressionTarget::Ratio2), 2u);
+    EXPECT_EQ(deviceSectors(CompressionTarget::Ratio4), 1u);
+    EXPECT_EQ(deviceSectors(CompressionTarget::MostlyZero), 0u);
+}
+
+TEST(Targets, RatiosAndBytes)
+{
+    EXPECT_DOUBLE_EQ(targetRatio(CompressionTarget::None), 1.0);
+    EXPECT_NEAR(targetRatio(CompressionTarget::Ratio1_33), 4.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(targetRatio(CompressionTarget::Ratio2), 2.0);
+    EXPECT_DOUBLE_EQ(targetRatio(CompressionTarget::Ratio4), 4.0);
+    EXPECT_DOUBLE_EQ(targetRatio(CompressionTarget::MostlyZero), 16.0);
+
+    EXPECT_EQ(deviceBytesPerEntry(CompressionTarget::MostlyZero), 8u);
+    EXPECT_EQ(deviceBytesPerEntry(CompressionTarget::Ratio2), 64u);
+    EXPECT_EQ(deviceBytesPerEntry(CompressionTarget::None), 128u);
+}
+
+TEST(Targets, FitsTargetBoundaries)
+{
+    EXPECT_TRUE(fitsTarget(64 * 8, CompressionTarget::Ratio2));
+    EXPECT_FALSE(fitsTarget(64 * 8 + 1, CompressionTarget::Ratio2));
+    EXPECT_TRUE(fitsTarget(8 * 8, CompressionTarget::MostlyZero));
+    EXPECT_FALSE(fitsTarget(8 * 8 + 1, CompressionTarget::MostlyZero));
+    EXPECT_TRUE(fitsTarget(128 * 8, CompressionTarget::None));
+}
+
+class TargetSweep
+    : public ::testing::TestWithParam<CompressionTarget>
+{};
+
+TEST_P(TargetSweep, DeviceBytesConsistentWithRatio)
+{
+    const auto t = GetParam();
+    // ratio * device-bytes == 128 for every target.
+    EXPECT_NEAR(targetRatio(t) *
+                    static_cast<double>(deviceBytesPerEntry(t)),
+                static_cast<double>(kEntryBytes), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, TargetSweep,
+                         ::testing::ValuesIn(kAllTargets));
+
+} // namespace
+} // namespace buddy

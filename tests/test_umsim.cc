@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the Unified Memory oversubscription model (Figure 12).
+ */
+
+#include <gtest/gtest.h>
+
+#include "umsim/um.h"
+#include "workloads/benchmark.h"
+
+namespace buddy {
+namespace {
+
+UmConfig
+smallCfg()
+{
+    UmConfig cfg;
+    cfg.deviceBytes = 8 * MiB;
+    cfg.memOps = 300000;
+    return cfg;
+}
+
+TEST(UmSim, ResidentBaselineHasNoFaults)
+{
+    const auto r = runUm(findBenchmark("356.sp"), smallCfg(),
+                         UmMode::Resident, 0.0);
+    EXPECT_EQ(r.faults, 0u);
+    EXPECT_GT(r.cycles, 0.0);
+}
+
+TEST(UmSim, NoOversubscriptionMeansNoSteadyStateFaults)
+{
+    const auto r = runUm(findBenchmark("356.sp"), smallCfg(),
+                         UmMode::Migrate, 0.0);
+    EXPECT_EQ(r.faults, 0u);
+}
+
+TEST(UmSim, OversubscriptionCausesFaultsAndSlowdown)
+{
+    const auto &spec = findBenchmark("356.sp");
+    const auto cfg = smallCfg();
+    const double base = runUm(spec, cfg, UmMode::Resident, 0.0).cycles;
+    const auto r = runUm(spec, cfg, UmMode::Migrate, 0.2);
+    EXPECT_GT(r.faults, 0u);
+    EXPECT_GT(r.cycles / base, 2.0);
+}
+
+TEST(UmSim, SlowdownGrowsWithOversubscription)
+{
+    const auto &spec = findBenchmark("351.palm");
+    const auto cfg = smallCfg();
+    const double r10 = runUm(spec, cfg, UmMode::Migrate, 0.1).cycles;
+    const double r40 = runUm(spec, cfg, UmMode::Migrate, 0.4).cycles;
+    EXPECT_GE(r40, r10);
+}
+
+TEST(UmSim, PinnedIsConstantAcrossOversubscription)
+{
+    const auto &spec = findBenchmark("360.ilbdc");
+    const auto cfg = smallCfg();
+    const double base = runUm(spec, cfg, UmMode::Resident, 0.0).cycles;
+    const double p0 = runUm(spec, cfg, UmMode::Pinned, 0.0).cycles;
+    const double p4 = runUm(spec, cfg, UmMode::Pinned, 0.4).cycles;
+    EXPECT_NEAR(p0 / base, p4 / base, 0.15 * p0 / base);
+    EXPECT_GT(p0 / base, 1.5); // bandwidth ratio shows up
+}
+
+TEST(UmSim, MigrationCanBeWorseThanPinning)
+{
+    // The paper's headline UM observation (Section 4.3).
+    const auto &spec = findBenchmark("356.sp");
+    const auto cfg = smallCfg();
+    const double mig = runUm(spec, cfg, UmMode::Migrate, 0.3).cycles;
+    const double pin = runUm(spec, cfg, UmMode::Pinned, 0.3).cycles;
+    EXPECT_GT(mig, pin);
+}
+
+TEST(UmSim, DeterministicForFixedSeed)
+{
+    const auto &spec = findBenchmark("356.sp");
+    const auto cfg = smallCfg();
+    const auto a = runUm(spec, cfg, UmMode::Migrate, 0.2);
+    const auto b = runUm(spec, cfg, UmMode::Migrate, 0.2);
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.faults, b.faults);
+}
+
+} // namespace
+} // namespace buddy
