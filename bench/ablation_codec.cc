@@ -9,9 +9,9 @@
 
 #include <cstdio>
 
+#include "api/codec_registry.h"
 #include "common/stats.h"
 #include "common/table.h"
-#include "compress/factory.h"
 #include "core/profiler.h"
 #include "workloads/analysis.h"
 #include "workloads/benchmark.h"
@@ -26,19 +26,24 @@ main()
                 "===\n(final compression ratio per benchmark and "
                 "codec)\n\n");
 
-    const char *codecs[] = {"bpc", "bdi", "fpc", "zero"};
+    // Every registered codec competes, so externally registered codecs
+    // automatically join the ablation.
+    const auto &registry = api::CodecRegistry::instance();
+    const auto codecs = registry.names();
     AnalysisConfig acfg;
     acfg.maxSamplesPerAllocation = 1200;
     const Profiler prof;
 
-    Table t({"benchmark", "bpc", "bdi", "fpc", "zero"});
-    GeoMean gmean[4];
+    std::vector<std::string> header = {"benchmark"};
+    header.insert(header.end(), codecs.begin(), codecs.end());
+    Table t(header);
+    std::vector<GeoMean> gmean(codecs.size());
 
     for (const auto &spec : benchmarkRegistry()) {
         const WorkloadModel model(spec, 16 * MiB);
         std::vector<std::string> row = {spec.name};
-        for (std::size_t c = 0; c < 4; ++c) {
-            const auto codec = makeCompressor(codecs[c]);
+        for (std::size_t c = 0; c < codecs.size(); ++c) {
+            const auto codec = registry.create(codecs[c]);
             const auto d =
                 prof.decide(mergedProfiles(model, *codec, acfg));
             row.push_back(strfmt("%.2f", d.compressionRatio));

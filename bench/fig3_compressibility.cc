@@ -14,7 +14,7 @@
 
 #include "common/stats.h"
 #include "common/table.h"
-#include "compress/bpc.h"
+#include "api/codec_registry.h"
 #include "workloads/analysis.h"
 #include "workloads/benchmark.h"
 #include "workloads/image.h"
@@ -27,7 +27,10 @@ main()
     std::printf("=== Figure 3: workload compressibility (BPC, optimistic "
                 "8-size quantization) ===\n\n");
 
-    const BpcCompressor bpc;
+    // The profiling codec comes from the registry (BPC, the
+    // paper's selection).
+    const auto bpc_codec = api::CodecRegistry::instance().create("bpc");
+    const Compressor &bpc = *bpc_codec;
     const u64 model_bytes = 32 * MiB; // scaled image per benchmark
     AnalysisConfig cfg;
     cfg.maxSamplesPerAllocation = 3000;

@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "common/table.h"
-#include "compress/bpc.h"
+#include "api/codec_registry.h"
 #include "core/profiler.h"
 #include "workloads/benchmark.h"
 #include "workloads/image.h"

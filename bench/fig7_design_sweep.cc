@@ -14,7 +14,7 @@
 
 #include "common/stats.h"
 #include "common/table.h"
-#include "compress/bpc.h"
+#include "api/codec_registry.h"
 #include "core/profiler.h"
 #include "workloads/analysis.h"
 #include "workloads/benchmark.h"
@@ -48,7 +48,10 @@ main()
     std::printf("=== Figure 7: design sweep (naive / per-allocation / "
                 "final with 16x zero targets) ===\n\n");
 
-    const BpcCompressor bpc;
+    // The profiling codec comes from the registry (BPC, the
+    // paper's selection).
+    const auto bpc_codec = api::CodecRegistry::instance().create("bpc");
+    const Compressor &bpc = *bpc_codec;
     const u64 model_bytes = 32 * MiB;
     AnalysisConfig acfg;
     acfg.maxSamplesPerAllocation = 3000;

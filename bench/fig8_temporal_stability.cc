@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "common/table.h"
-#include "compress/bpc.h"
+#include "api/codec_registry.h"
 #include "core/profiler.h"
 #include "workloads/analysis.h"
 #include "workloads/benchmark.h"
@@ -26,7 +26,10 @@ main()
     std::printf("=== Figure 8: buddy accesses over a DL iteration at "
                 "fixed targets ===\n\n");
 
-    const BpcCompressor bpc;
+    // The profiling codec comes from the registry (BPC, the
+    // paper's selection).
+    const auto bpc_codec = api::CodecRegistry::instance().create("bpc");
+    const Compressor &bpc = *bpc_codec;
     AnalysisConfig acfg;
     acfg.maxSamplesPerAllocation = 2500;
     const Profiler prof; // final-design policy picks the fixed targets

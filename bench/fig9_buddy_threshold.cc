@@ -14,7 +14,7 @@
 
 #include "common/stats.h"
 #include "common/table.h"
-#include "compress/bpc.h"
+#include "api/codec_registry.h"
 #include "core/profiler.h"
 #include "workloads/analysis.h"
 #include "workloads/benchmark.h"
@@ -27,7 +27,10 @@ main()
 {
     std::printf("=== Figure 9: Buddy Threshold sensitivity ===\n\n");
 
-    const BpcCompressor bpc;
+    // The profiling codec comes from the registry (BPC, the
+    // paper's selection).
+    const auto bpc_codec = api::CodecRegistry::instance().create("bpc");
+    const Compressor &bpc = *bpc_codec;
     AnalysisConfig acfg;
     acfg.maxSamplesPerAllocation = 2500;
     const std::vector<double> thresholds = {0.10, 0.20, 0.30, 0.40};

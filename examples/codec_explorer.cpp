@@ -11,9 +11,9 @@
 #include <cstdio>
 #include <cstring>
 
+#include "api/codec_registry.h"
 #include "common/rng.h"
 #include "common/table.h"
-#include "compress/factory.h"
 #include "compress/sector.h"
 #include "workloads/patterns.h"
 
@@ -76,27 +76,34 @@ main()
         {"struct-of-mixed", fillStructs},
         {"random bytes", fillRandomBytes},
     };
-    const char *codecs[] = {"bpc", "bdi", "fpc", "zero"};
+    // Every codec in the registry joins the tour automatically.
+    const auto &registry = api::CodecRegistry::instance();
+    const auto codecs = registry.names();
 
     std::printf("=== Codec explorer: mean compressed size (bytes of "
                 "128) over 200 entries ===\n\n");
 
-    Table t({"pattern", "bpc", "bdi", "fpc", "zero", "sectors(bpc)",
-             "fits target"});
+    std::vector<std::string> header = {"pattern"};
+    header.insert(header.end(), codecs.begin(), codecs.end());
+    header.push_back("sectors(bpc)");
+    header.push_back("fits target");
+    Table t(header);
     for (const auto &p : patterns) {
         std::vector<std::string> row = {p.name};
         double bpc_bits = 0;
-        for (const char *cname : codecs) {
-            const auto codec = makeCompressor(cname);
+        for (const auto &cname : codecs) {
+            const auto codec = registry.create(cname);
             Rng rng(7);
             double bits = 0;
             u8 buf[kEntryBytes];
+            CompressionScratch scratch;
             for (int i = 0; i < 200; ++i) {
                 p.fill(rng, buf);
-                bits += static_cast<double>(codec->compressedBits(buf));
+                bits += static_cast<double>(
+                    codec->compressInto(buf, scratch.encode, scratch));
             }
             bits /= 200.0;
-            if (row.size() == 1 + 0u + 1u - 1u) // first codec = bpc
+            if (cname == "bpc")
                 bpc_bits = bits;
             row.push_back(strfmt("%.1f", bits / 8.0));
         }

@@ -15,7 +15,7 @@
 
 #include <cstdio>
 
-#include "compress/bpc.h"
+#include "api/codec_registry.h"
 #include "core/profiler.h"
 #include "gpusim/runner.h"
 #include "umsim/um.h"
@@ -34,7 +34,10 @@ main()
 
     // --- Step 1: profiling pass on a representative (small) dataset.
     const WorkloadModel profile_model(spec, 8 * MiB);
-    const BpcCompressor bpc;
+    // The profiling codec comes from the registry (BPC, the
+    // paper's selection).
+    const auto bpc_codec = api::CodecRegistry::instance().create("bpc");
+    const Compressor &bpc = *bpc_codec;
     AnalysisConfig acfg;
     acfg.maxSamplesPerAllocation = 1500;
     const auto profiles = mergedProfiles(profile_model, bpc, acfg);

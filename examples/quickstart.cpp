@@ -3,9 +3,10 @@
  * Quickstart: the core Buddy Compression API in one page.
  *
  * Creates a controller (a model GPU with a buddy carve-out), makes a
- * compressed allocation with a 2x target, writes data of varying
- * compressibility through the real BPC codec, reads it back, and prints
- * the traffic/ratio statistics the paper's figures are built from.
+ * compressed allocation with a 2x target, submits a batched access plan
+ * (the buddy::api surface) writing data of varying compressibility
+ * through the real BPC codec, reads it back, and prints the
+ * traffic/ratio statistics the paper's figures are built from.
  *
  *   ./examples/quickstart
  */
@@ -46,9 +47,12 @@ main()
                 static_cast<double>(alloc.deviceBytes()) / (1 << 20),
                 static_cast<double>(alloc.buddyBytes()) / (1 << 20));
 
-    // Write three kinds of entries through the controller.
+    // Plan three kinds of entry writes as one batched access plan — the
+    // primary api surface; one codec scratch serves the whole batch.
     Rng rng(42);
-    u8 entry[kEntryBytes];
+    u8 compressible[kEntryBytes];
+    u8 incompressible[kEntryBytes];
+    u8 zeros[kEntryBytes] = {};
     u8 out[kEntryBytes];
 
     // (1) A smooth FP-like ramp: compresses well below 2x -> all four
@@ -56,32 +60,39 @@ main()
     u32 v = 1000;
     for (std::size_t w = 0; w < kWordsPerEntry; ++w) {
         v += static_cast<u32>(rng.below(8));
-        std::memcpy(entry + w * 4, &v, 4);
+        std::memcpy(compressible + w * 4, &v, 4);
     }
-    auto info = gpu.writeEntry(alloc.va, entry);
-    std::printf("compressible entry : %u device sectors, %u buddy "
-                "sectors\n",
-                info.deviceSectors, info.buddySectors);
-
     // (2) Random bytes: incompressible, spills to its buddy slot.
-    for (auto &b : entry)
+    for (auto &b : incompressible)
         b = static_cast<u8>(rng.below(256));
-    info = gpu.writeEntry(alloc.va + kEntryBytes, entry);
-    std::printf("incompressible one : %u device sectors, %u buddy "
-                "sectors\n",
-                info.deviceSectors, info.buddySectors);
-
     // (3) Zeros: described entirely by metadata.
-    std::memset(entry, 0, sizeof(entry));
-    info = gpu.writeEntry(alloc.va + 2 * kEntryBytes, entry);
-    std::printf("zero entry         : %u device sectors, %u buddy "
-                "sectors\n",
-                info.deviceSectors, info.buddySectors);
 
-    // Reads decompress and verify bit-exactly.
+    AccessBatch batch;
+    batch.write(alloc.va, compressible);
+    batch.write(alloc.va + kEntryBytes, incompressible);
+    batch.write(alloc.va + 2 * kEntryBytes, zeros);
+    const BatchSummary &summary = gpu.execute(batch);
+
+    const char *labels[] = {"compressible entry ", "incompressible one ",
+                            "zero entry         "};
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const AccessInfo &info = batch.result(i);
+        std::printf("%s: %u device sectors, %u buddy sectors\n",
+                    labels[i], info.deviceSectors, info.buddySectors);
+    }
+    std::printf("batch summary      : %llu writes, %llu device sectors, "
+                "%llu buddy sectors\n",
+                static_cast<unsigned long long>(summary.writes),
+                static_cast<unsigned long long>(summary.deviceSectors),
+                static_cast<unsigned long long>(summary.buddySectors));
+
+    // Reads decompress and verify bit-exactly; the per-entry calls are
+    // one-op wrappers over the same batch path.
     gpu.readEntry(alloc.va + kEntryBytes, out);
     std::printf("incompressible read back %s\n",
-                std::memcmp(entry, out, 0) == 0 ? "ok" : "CORRUPT");
+                std::memcmp(incompressible, out, kEntryBytes) == 0
+                    ? "ok"
+                    : "CORRUPT");
 
     const BuddyStats &stats = gpu.stats();
     std::printf("\nstats: %llu reads, %llu writes, buddy-access "

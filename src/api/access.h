@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The batched access plan: the public memory-access surface of the
+ * buddy::api facade.
+ *
+ * Buddy Compression is a throughput system — every paper metric
+ * (buddy-access fraction, metadata hit rate, achieved ratio) is an
+ * aggregate over millions of 128 B entry accesses. The api layer
+ * therefore makes the *batch* the first-class unit of work: callers
+ * build an AccessBatch of read/write/probe spans and submit it once via
+ * BuddyController::execute(). The controller fills one AccessInfo per
+ * operation plus a batch-level BatchSummary, reusing a single
+ * CompressionScratch across the whole batch so the hot path performs
+ * zero per-entry heap allocations. The legacy per-entry calls
+ * (writeEntry/readEntry/probeEntry) remain as thin single-op wrappers
+ * over the same execution path.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace buddy {
+
+class BuddyController;
+
+namespace api {
+
+/** What one access-plan operation does. */
+enum class AccessKind : u8 {
+    Read,  ///< decompress one entry into `dst`
+    Write, ///< compress and store one entry from `src`
+    Probe, ///< account the traffic a read would generate, move no data
+};
+
+/** One 128 B entry operation in an access plan. */
+struct AccessRequest
+{
+    AccessKind kind = AccessKind::Probe;
+
+    /** Entry-aligned virtual address. */
+    Addr va = 0;
+
+    /** Write payload (kEntryBytes bytes); null for Read/Probe. */
+    const u8 *src = nullptr;
+
+    /** Read destination (kEntryBytes bytes); null for Write/Probe. */
+    u8 *dst = nullptr;
+};
+
+/** Traffic breakdown of a single entry access. */
+struct AccessInfo
+{
+    /** 32 B sectors transferred from/to device memory. */
+    unsigned deviceSectors = 0;
+
+    /** 32 B sectors transferred over the interconnect to buddy memory. */
+    unsigned buddySectors = 0;
+
+    /** True if the metadata lookup hit in the metadata cache. */
+    bool metadataHit = true;
+
+    /** True if any part of the entry lives in buddy memory. */
+    bool
+    usedBuddy() const
+    {
+        return buddySectors > 0;
+    }
+};
+
+/** Batch-level traffic summary filled by execute(). */
+struct BatchSummary
+{
+    u64 reads = 0;
+    u64 writes = 0;
+    u64 probes = 0;
+    u64 deviceSectors = 0;
+    u64 buddySectors = 0;
+    u64 metadataHits = 0;
+    u64 metadataMisses = 0;
+    u64 buddyAccesses = 0; ///< operations that touched buddy memory
+
+    u64 operations() const { return reads + writes + probes; }
+
+    /** Fraction of the batch's operations that needed buddy memory. */
+    double
+    buddyAccessFraction() const
+    {
+        const u64 total = operations();
+        return total ? static_cast<double>(buddyAccesses) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Metadata cache hit rate over the batch. */
+    double
+    metadataHitRate() const
+    {
+        const u64 total = metadataHits + metadataMisses;
+        return total ? static_cast<double>(metadataHits) /
+                           static_cast<double>(total)
+                     : 1.0;
+    }
+};
+
+/**
+ * An ordered plan of entry accesses plus, after execution, the per-op
+ * results and the batch summary. Reusable: clear() keeps the capacity so
+ * steady-state batch submission allocates nothing.
+ */
+class AccessBatch
+{
+  public:
+    AccessBatch() = default;
+
+    explicit AccessBatch(std::size_t expected_ops)
+    {
+        reserve(expected_ops);
+    }
+
+    void
+    reserve(std::size_t ops)
+    {
+        ops_.reserve(ops);
+        results_.reserve(ops);
+    }
+
+    /** Drop all operations and results; capacity is retained. */
+    void
+    clear()
+    {
+        ops_.clear();
+        results_.clear();
+        summary_ = BatchSummary{};
+    }
+
+    /** Plan a read of the entry at @p va into @p out (kEntryBytes). */
+    void
+    read(Addr va, u8 *out)
+    {
+        AccessRequest r;
+        r.kind = AccessKind::Read;
+        r.va = va;
+        r.dst = out;
+        ops_.push_back(r);
+    }
+
+    /** Plan a write of @p data (kEntryBytes) to the entry at @p va. */
+    void
+    write(Addr va, const u8 *data)
+    {
+        AccessRequest r;
+        r.kind = AccessKind::Write;
+        r.va = va;
+        r.src = data;
+        ops_.push_back(r);
+    }
+
+    /** Plan a traffic probe of the entry at @p va (no data movement). */
+    void
+    probe(Addr va)
+    {
+        AccessRequest r;
+        r.kind = AccessKind::Probe;
+        r.va = va;
+        ops_.push_back(r);
+    }
+
+    std::size_t size() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+
+    const std::vector<AccessRequest> &ops() const { return ops_; }
+
+    /** Per-operation results, parallel to ops(); valid after execute(). */
+    const std::vector<AccessInfo> &results() const { return results_; }
+
+    const AccessInfo &result(std::size_t i) const { return results_[i]; }
+
+    /** Batch-level traffic summary; valid after execute(). */
+    const BatchSummary &summary() const { return summary_; }
+
+  private:
+    friend class ::buddy::BuddyController; // fills results_ / summary_
+
+    std::vector<AccessRequest> ops_;
+    std::vector<AccessInfo> results_;
+    BatchSummary summary_;
+};
+
+} // namespace api
+
+// The access-plan types are part of the controller's public surface;
+// hoist them into the library namespace.
+using api::AccessBatch;
+using api::AccessInfo;
+using api::AccessKind;
+using api::AccessRequest;
+using api::BatchSummary;
+
+} // namespace buddy

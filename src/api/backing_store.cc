@@ -1,0 +1,124 @@
+#include "api/backing_store.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace buddy {
+namespace api {
+
+namespace {
+
+/** Shared flat-memory implementation behind every in-process kind. */
+class FlatStore : public BackingStore
+{
+  public:
+    FlatStore(const char *kind, u64 capacity_bytes)
+        : kind_(kind), data_(capacity_bytes, 0)
+    {}
+
+    const char *kind() const override { return kind_; }
+
+    u64 capacity() const override { return data_.size(); }
+
+    void
+    write(Addr addr, const u8 *src, std::size_t len) override
+    {
+        BUDDY_CHECK(addr + len <= data_.size(),
+                    "backing-store write out of range");
+        std::memcpy(data_.data() + addr, src, len);
+        written_ += len;
+    }
+
+    void
+    read(Addr addr, u8 *dst, std::size_t len) const override
+    {
+        BUDDY_CHECK(addr + len <= data_.size(),
+                    "backing-store read out of range");
+        std::memcpy(dst, data_.data() + addr, len);
+        read_ += len;
+    }
+
+    void
+    fill(Addr addr, u8 value, std::size_t len) override
+    {
+        BUDDY_CHECK(addr + len <= data_.size(),
+                    "backing-store fill out of range");
+        std::memset(data_.data() + addr, value, len);
+        written_ += len;
+    }
+
+    u64 bytesWritten() const override { return written_; }
+    u64 bytesRead() const override { return read_; }
+
+  private:
+    const char *kind_;
+    std::vector<u8> data_;
+    u64 written_ = 0;
+    mutable u64 read_ = 0;
+};
+
+/**
+ * Far-memory store: flat storage plus a round-trip counter, the hook a
+ * timing model charges fabric latency against.
+ */
+class RemoteStore : public FlatStore
+{
+  public:
+    explicit RemoteStore(u64 capacity_bytes)
+        : FlatStore("remote", capacity_bytes)
+    {}
+
+    void
+    write(Addr addr, const u8 *src, std::size_t len) override
+    {
+        ++roundTrips_;
+        FlatStore::write(addr, src, len);
+    }
+
+    void
+    read(Addr addr, u8 *dst, std::size_t len) const override
+    {
+        ++roundTrips_;
+        FlatStore::read(addr, dst, len);
+    }
+
+    u64 roundTrips() const { return roundTrips_; }
+
+  private:
+    mutable u64 roundTrips_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<BackingStore>
+makeBackingStore(const std::string &kind, u64 capacity_bytes)
+{
+    if (kind == "dram")
+        return std::make_unique<FlatStore>("dram", capacity_bytes);
+    if (kind == "host-um")
+        return std::make_unique<FlatStore>("host-um", capacity_bytes);
+    if (kind == "remote")
+        return std::make_unique<RemoteStore>(capacity_bytes);
+
+    std::string known;
+    for (const auto &k : backingStoreKinds()) {
+        if (!known.empty())
+            known += ", ";
+        known += k;
+    }
+    std::fprintf(stderr,
+                 "unknown backing store \"%s\"; known kinds: %s\n",
+                 kind.c_str(), known.c_str());
+    BUDDY_FATAL("unknown backing-store kind");
+}
+
+std::vector<std::string>
+backingStoreKinds()
+{
+    return {"dram", "host-um", "remote"};
+}
+
+} // namespace api
+} // namespace buddy

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * BackingStore: the pluggable storage interface behind the controller's
+ * device memory and buddy carve-out.
+ *
+ * The functional model only needs byte-addressable load/store with
+ * capacity accounting, so the interface is deliberately small. Three
+ * kinds ship in-tree, all flat in-process memory differing in what they
+ * model and count:
+ *
+ *   "dram"    GPU device memory (HBM2/GDDR class).
+ *   "host-um" host memory reachable through unified-memory mappings —
+ *             the paper's buddy carve-out placement (Section 3.2).
+ *   "remote"  disaggregated/far memory behind a fabric; counts access
+ *             round trips so future timing models can charge them.
+ *
+ * Stores are selected by name through BuddyConfig
+ * (deviceBackend/buddyBackend) and created by makeBackingStore(), which
+ * fails fast on unknown kinds. Future backends (multi-GPU peers, CXL
+ * pools) plug in the same way without touching the controller.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace buddy {
+namespace api {
+
+/** Byte-addressable storage with capacity and traffic accounting. */
+class BackingStore
+{
+  public:
+    virtual ~BackingStore() = default;
+
+    /** Store kind ("dram", "host-um", "remote", ...). */
+    virtual const char *kind() const = 0;
+
+    virtual u64 capacity() const = 0;
+
+    virtual void write(Addr addr, const u8 *src, std::size_t len) = 0;
+    virtual void read(Addr addr, u8 *dst, std::size_t len) const = 0;
+    virtual void fill(Addr addr, u8 value, std::size_t len) = 0;
+
+    /** Total bytes written / read since construction. */
+    virtual u64 bytesWritten() const = 0;
+    virtual u64 bytesRead() const = 0;
+};
+
+/**
+ * Create a backing store of @p kind with @p capacity bytes.
+ * Unknown kinds are a fatal configuration error naming the known kinds.
+ */
+std::unique_ptr<BackingStore> makeBackingStore(const std::string &kind,
+                                               u64 capacity_bytes);
+
+/** All backing-store kinds makeBackingStore() accepts. */
+std::vector<std::string> backingStoreKinds();
+
+} // namespace api
+
+using api::BackingStore;
+using api::makeBackingStore;
+
+} // namespace buddy

@@ -1,0 +1,95 @@
+#include "api/codec_registry.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+#include "compress/bdi.h"
+#include "compress/bpc.h"
+#include "compress/fpc.h"
+#include "compress/zero.h"
+
+namespace buddy {
+namespace api {
+
+CodecRegistry &
+CodecRegistry::instance()
+{
+    // Construction registers the built-ins; doing it here (not via
+    // per-TU static registrars) keeps them present even when the
+    // library is linked statically and nothing references the codec
+    // object files.
+    static CodecRegistry registry;
+    return registry;
+}
+
+CodecRegistry::CodecRegistry()
+{
+    registerCodec({"bpc", 128.0, true,
+                   [] { return std::make_unique<BpcCompressor>(); }});
+    registerCodec({"bdi", 256.0, true,
+                   [] { return std::make_unique<BdiCompressor>(); }});
+    registerCodec({"fpc", 64.0, true,
+                   [] { return std::make_unique<FpcCompressor>(); }});
+    registerCodec({"zero", 1024.0, true,
+                   [] { return std::make_unique<ZeroCompressor>(); }});
+}
+
+void
+CodecRegistry::registerCodec(CodecInfo info)
+{
+    BUDDY_CHECK(!info.name.empty(), "codec registration needs a name");
+    BUDDY_CHECK(info.factory != nullptr,
+                "codec registration needs a factory");
+    for (auto &existing : codecs_) {
+        if (existing.name == info.name) {
+            existing = std::move(info);
+            return;
+        }
+    }
+    codecs_.push_back(std::move(info));
+}
+
+std::unique_ptr<Compressor>
+CodecRegistry::create(const std::string &name) const
+{
+    if (const CodecInfo *info = find(name))
+        return info->factory();
+    std::fprintf(stderr,
+                 "unknown codec \"%s\"; registered codecs: %s\n",
+                 name.c_str(), namesJoined().c_str());
+    BUDDY_FATAL("unknown codec name");
+}
+
+const CodecInfo *
+CodecRegistry::find(const std::string &name) const
+{
+    for (const auto &info : codecs_)
+        if (info.name == name)
+            return &info;
+    return nullptr;
+}
+
+std::vector<std::string>
+CodecRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(codecs_.size());
+    for (const auto &info : codecs_)
+        out.push_back(info.name);
+    return out;
+}
+
+std::string
+CodecRegistry::namesJoined() const
+{
+    std::string out;
+    for (const auto &info : codecs_) {
+        if (!out.empty())
+            out += ", ";
+        out += info.name;
+    }
+    return out;
+}
+
+} // namespace api
+} // namespace buddy

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Codec registry: codecs self-register with capability metadata and are
+ * instantiated by name.
+ *
+ * Replaces the old string-switch makeCompressor factory. Lookup of an
+ * unknown name fails fast with the list of registered codecs instead of
+ * silently returning nullptr; BuddyController validates its configured
+ * codec at construction. The four built-in codecs (bpc, bdi, fpc, zero)
+ * are registered on first use; external codecs register through
+ * CodecRegistry::registerCodec() or the BUDDY_REGISTER_CODEC macro.
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+
+namespace buddy {
+namespace api {
+
+/** Capability metadata a codec registers alongside its factory. */
+struct CodecInfo
+{
+    /** Registry key ("bpc", "bdi", ...). */
+    std::string name;
+
+    /** Best-case entry compression ratio the codec can express. */
+    double maxRatio = 1.0;
+
+    /**
+     * True if compressInto() is a real allocation-free implementation
+     * (all built-ins). Exploratory codecs may route compressInto()
+     * through an allocating path and advertise false here, which the
+     * controller surfaces in diagnostics.
+     */
+    bool supportsScratch = false;
+
+    /** Instantiate the codec. */
+    std::function<std::unique_ptr<Compressor>()> factory;
+};
+
+/** Process-wide codec registry (see file header). */
+class CodecRegistry
+{
+  public:
+    /** The registry, with built-in codecs registered. */
+    static CodecRegistry &instance();
+
+    /**
+     * Register a codec. Re-registering an existing name replaces it
+     * (useful for tests shadowing a built-in).
+     */
+    void registerCodec(CodecInfo info);
+
+    /**
+     * Instantiate a codec by name.
+     * Unknown names are a fatal configuration error that names every
+     * registered codec — no nullptr escape hatch.
+     */
+    std::unique_ptr<Compressor> create(const std::string &name) const;
+
+    /** Metadata for @p name, or nullptr if not registered. */
+    const CodecInfo *find(const std::string &name) const;
+
+    bool contains(const std::string &name) const
+    {
+        return find(name) != nullptr;
+    }
+
+    /** All registered codec names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /** Registered names joined for diagnostics ("bpc, bdi, ..."). */
+    std::string namesJoined() const;
+
+  private:
+    CodecRegistry();
+
+    std::vector<CodecInfo> codecs_;
+};
+
+/** Helper running a registration at static-init time. */
+struct CodecRegistrar
+{
+    explicit CodecRegistrar(CodecInfo info)
+    {
+        CodecRegistry::instance().registerCodec(std::move(info));
+    }
+};
+
+} // namespace api
+
+using api::CodecInfo;
+using api::CodecRegistry;
+
+} // namespace buddy
+
+/**
+ * Register @p type under @p name with capability metadata from the call
+ * site, e.g.:
+ *   BUDDY_REGISTER_CODEC(MyCodec, "mine", 64.0, true);
+ * Note: in a statically linked library, place registrations in an object
+ * file the final binary references, or the linker may drop them.
+ */
+#define BUDDY_REGISTER_CODEC(type, name_, maxRatio_, supportsScratch_)       \
+    static ::buddy::api::CodecRegistrar buddyCodecRegistrar_##type{          \
+        ::buddy::api::CodecInfo{                                             \
+            name_, maxRatio_, supportsScratch_,                              \
+            [] { return std::make_unique<type>(); }}}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The TrafficSink observer API: one event stream for every traffic
+ * consumer.
+ *
+ * The controller emits an AccessEvent per executed operation and a
+ * BatchSummary per batch. Every external traffic consumer — custom
+ * BuddyStats-style counting sinks, the profiling pass
+ * (OnlineProfileSink in core/profiler.h), the gpusim memory system
+ * (MemsysReplaySink in gpusim/memsys.h), and the UM model's migration
+ * reporting — shares this one stream instead of re-deriving counters
+ * from controller internals. (The controller's own BuddyStats counters
+ * are updated inline on the same execution path that emits the events,
+ * and carry identical totals — asserted by tests/test_api_batch.cc.)
+ * Sinks attach to a controller's TrafficHub; emission is zero-cost
+ * when no sink is attached.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "api/access.h"
+#include "common/types.h"
+
+namespace buddy {
+namespace api {
+
+/** One executed entry access, as observed on the event stream. */
+struct AccessEvent
+{
+    AccessKind kind = AccessKind::Probe;
+
+    /** Entry-aligned virtual address. */
+    Addr va = 0;
+
+    /** Owning allocation id (core AllocId). */
+    u32 allocId = 0;
+
+    /** Traffic and metadata outcome of the access. */
+    AccessInfo info;
+
+    /** Exact stored payload size in bits (0 for zero entries). */
+    u32 storedBits = 0;
+
+    /** True if the entry is all zeros (described by metadata alone). */
+    bool isZero = false;
+};
+
+/** Observer of the controller's traffic event stream. */
+class TrafficSink
+{
+  public:
+    virtual ~TrafficSink() = default;
+
+    /** One executed operation. */
+    virtual void onAccess(const AccessEvent &event) = 0;
+
+    /** End of one executed batch (also fired once per single-op call). */
+    virtual void onBatch(const BatchSummary &) {}
+};
+
+/**
+ * Fan-out multiplexer owned by the controller. Attach/detach are O(n)
+ * and expected at setup/teardown time only; emit is a simple loop and
+ * the controller skips it entirely while no sink is attached.
+ */
+class TrafficHub
+{
+  public:
+    void
+    attach(TrafficSink *sink)
+    {
+        if (sink != nullptr &&
+            std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end())
+            sinks_.push_back(sink);
+    }
+
+    void
+    detach(TrafficSink *sink)
+    {
+        sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+                     sinks_.end());
+    }
+
+    bool empty() const { return sinks_.empty(); }
+
+    void
+    emit(const AccessEvent &event) const
+    {
+        for (TrafficSink *s : sinks_)
+            s->onAccess(event);
+    }
+
+    void
+    emitBatch(const BatchSummary &summary) const
+    {
+        for (TrafficSink *s : sinks_)
+            s->onBatch(summary);
+    }
+
+  private:
+    std::vector<TrafficSink *> sinks_;
+};
+
+} // namespace api
+
+using api::AccessEvent;
+using api::TrafficHub;
+using api::TrafficSink;
+
+} // namespace buddy

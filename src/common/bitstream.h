@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -57,6 +58,78 @@ class BitWriter
 
   private:
     std::vector<u8> bytes_;
+    std::size_t bitCount_ = 0;
+};
+
+/**
+ * LSB-first bit packer over a caller-provided fixed buffer.
+ *
+ * The allocation-free sibling of BitWriter, used on the hot batch path:
+ * codecs encode into a CompressionScratch buffer that is reused across a
+ * whole AccessBatch, so no heap traffic occurs per entry. Bytes are
+ * zeroed lazily as the writer first touches them, which makes reuse of a
+ * dirty scratch buffer safe. Overflowing the buffer is a checked panic.
+ */
+class FixedBitWriter
+{
+  public:
+    FixedBitWriter(u8 *buf, std::size_t cap_bytes)
+        : buf_(buf), capBits_(cap_bytes * 8)
+    {}
+
+    /** Append the low @p nbits bits of @p value (nbits in [0, 64]). */
+    void
+    put(u64 value, unsigned nbits)
+    {
+        BUDDY_CHECK(nbits <= 64,
+                    "FixedBitWriter::put supports at most 64 bits");
+        BUDDY_CHECK(bitCount_ + nbits <= capBits_,
+                    "FixedBitWriter overflow");
+        // Byte-chunked: up to 8 bits land per iteration, so a raw
+        // 32-bit plane costs four stores instead of 32 per-bit calls.
+        while (nbits > 0) {
+            const std::size_t byte = bitCount_ / 8;
+            const unsigned off = bitCount_ % 8;
+            if (off == 0)
+                buf_[byte] = 0; // lazily clear each byte on first touch
+            const unsigned chunk = std::min(8u - off, nbits);
+            const u8 mask = static_cast<u8>((1u << chunk) - 1u);
+            buf_[byte] |= static_cast<u8>((value & mask) << off);
+            value >>= chunk;
+            nbits -= chunk;
+            bitCount_ += chunk;
+        }
+    }
+
+    /** Append a single bit. */
+    void
+    putBit(bool bit)
+    {
+        BUDDY_CHECK(bitCount_ < capBits_, "FixedBitWriter overflow");
+        const std::size_t byte = bitCount_ / 8;
+        const unsigned off = bitCount_ % 8;
+        if (off == 0)
+            buf_[byte] = 0; // lazily clear each byte on first touch
+        if (bit)
+            buf_[byte] |= static_cast<u8>(1u << off);
+        ++bitCount_;
+    }
+
+    /** Restart the writer at bit zero (reuses the same buffer). */
+    void reset() { bitCount_ = 0; }
+
+    /** Number of bits written so far. */
+    std::size_t sizeBits() const { return bitCount_; }
+
+    /** Number of bytes needed to hold the written bits (rounded up). */
+    std::size_t sizeBytes() const { return (bitCount_ + 7) / 8; }
+
+    /** The backing buffer (valid for sizeBytes() bytes). */
+    const u8 *data() const { return buf_; }
+
+  private:
+    u8 *buf_;
+    std::size_t capBits_;
     std::size_t bitCount_ = 0;
 };
 

@@ -65,24 +65,28 @@ modeBits(const ModeSpec &m)
            static_cast<std::size_t>(elems) * (1 + m.deltaBytes * 8);
 }
 
+/** Most elements any mode can have (B2D1: 128 B / 2 B). */
+constexpr unsigned kMaxElems = kEntryBytes / 2;
+
 /**
  * Check whether every element can be expressed as a deltaBytes-wide signed
  * delta from either zero or the first non-zero-representable element.
- * On success fills @p base and the per-element mask/deltas.
+ * On success fills @p base and the per-element mask/deltas (fixed-size
+ * arrays of kMaxElems: the encoder is allocation-free).
  */
 bool
-tryMode(const u8 *data, const ModeSpec &m, u64 &base,
-        std::vector<bool> &use_base, std::vector<i64> &deltas)
+tryMode(const u8 *data, const ModeSpec &m, u64 &base, bool *use_base,
+        i64 *deltas)
 {
     const unsigned elems = kEntryBytes / m.baseBytes;
-    use_base.assign(elems, false);
-    deltas.assign(elems, 0);
+    std::memset(use_base, 0, elems * sizeof(*use_base));
     bool have_base = false;
     base = 0;
 
     for (unsigned i = 0; i < elems; ++i) {
         const u64 raw = loadElem(data, i, m.baseBytes);
         const i64 val = signExtend(raw, m.baseBytes);
+        deltas[i] = 0;
         if (fitsSigned(val, m.deltaBytes)) {
             deltas[i] = val; // delta from the implicit zero base
             continue;
@@ -102,15 +106,15 @@ tryMode(const u8 *data, const ModeSpec &m, u64 &base,
 
 } // namespace
 
-CompressionResult
-BdiCompressor::compress(const u8 *data) const
+std::size_t
+BdiCompressor::compressInto(const u8 *data, u8 *out,
+                            CompressionScratch &) const
 {
-    BitWriter bw;
+    FixedBitWriter bw(out, kMaxEncodedBytes);
 
     if (entryIsZero(data)) {
         bw.put(static_cast<u8>(BdiMode::Zeros), 4);
-        CompressionResult r{bw.sizeBits(), bw.bytes()};
-        return r;
+        return bw.sizeBits();
     }
 
     u64 first8 = 0;
@@ -121,28 +125,28 @@ BdiCompressor::compress(const u8 *data) const
     if (repeated) {
         bw.put(static_cast<u8>(BdiMode::Repeat8), 4);
         bw.put(first8, 64);
-        CompressionResult r{bw.sizeBits(), bw.bytes()};
-        return r;
+        return bw.sizeBits();
     }
 
     // Pick the smallest valid base-delta encoding.
     const ModeSpec *best = nullptr;
     u64 best_base = 0;
-    std::vector<bool> best_mask;
-    std::vector<i64> best_deltas;
+    bool best_mask[kMaxElems];
+    i64 best_deltas[kMaxElems];
     std::size_t best_bits = kEntryBytes * 8 + 4; // raw cost
 
     for (const auto &m : kModes) {
         if (modeBits(m) >= best_bits)
             continue;
         u64 base;
-        std::vector<bool> mask;
-        std::vector<i64> deltas;
+        bool mask[kMaxElems];
+        i64 deltas[kMaxElems];
         if (tryMode(data, m, base, mask, deltas)) {
             best = &m;
             best_base = base;
-            best_mask = std::move(mask);
-            best_deltas = std::move(deltas);
+            const unsigned elems = kEntryBytes / m.baseBytes;
+            std::memcpy(best_mask, mask, elems * sizeof(*mask));
+            std::memcpy(best_deltas, deltas, elems * sizeof(*deltas));
             best_bits = modeBits(m);
         }
     }
@@ -151,8 +155,7 @@ BdiCompressor::compress(const u8 *data) const
         bw.put(static_cast<u8>(BdiMode::Raw), 4);
         for (std::size_t i = 0; i < kEntryBytes; ++i)
             bw.put(data[i], 8);
-        CompressionResult r{bw.sizeBits(), bw.bytes()};
-        return r;
+        return bw.sizeBits();
     }
 
     bw.put(static_cast<u8>(best->mode), 4);
@@ -166,14 +169,14 @@ BdiCompressor::compress(const u8 *data) const
                         : ((1ull << (best->deltaBytes * 8)) - 1)),
                best->deltaBytes * 8);
     }
-    CompressionResult r{bw.sizeBits(), bw.bytes()};
-    return r;
+    return bw.sizeBits();
 }
 
 void
-BdiCompressor::decompress(const CompressionResult &result, u8 *out) const
+BdiCompressor::decompressFrom(const u8 *payload, std::size_t size_bits,
+                              u8 *out) const
 {
-    BitReader br(result.payload.data(), result.sizeBits);
+    BitReader br(payload, size_bits);
     const auto mode = static_cast<BdiMode>(br.get(4));
 
     if (mode == BdiMode::Zeros) {

@@ -40,7 +40,7 @@ enum class PlaneSym : u8 {
 };
 
 void
-emitZeroPlanes(BitWriter &bw, unsigned run)
+emitZeroPlanes(FixedBitWriter &bw, unsigned run)
 {
     while (run > 0) {
         if (run == 1) {
@@ -55,25 +55,6 @@ emitZeroPlanes(BitWriter &bw, unsigned run)
     }
 }
 
-/** Compute the delta bit planes (DBP) for one entry. Returns false and
- * leaves planes untouched only on internal error (never in practice). */
-void
-computePlanes(const u32 *words, std::array<u64, BpcCompressor::kPlanes> &dbp)
-{
-    u64 deltas[BpcCompressor::kPlaneBits];
-    for (unsigned i = 0; i < BpcCompressor::kPlaneBits; ++i) {
-        const i64 d = static_cast<i64>(words[i + 1]) -
-                      static_cast<i64>(words[i]);
-        deltas[i] = static_cast<u64>(d) & kDeltaMask;
-    }
-    for (unsigned b = 0; b < BpcCompressor::kPlanes; ++b) {
-        u64 plane = 0;
-        for (unsigned i = 0; i < BpcCompressor::kPlaneBits; ++i)
-            plane |= ((deltas[i] >> b) & 1ull) << i;
-        dbp[b] = plane;
-    }
-}
-
 /**
  * Base-word code:
  *   "00"            zero base                         (2 bits)
@@ -82,7 +63,7 @@ computePlanes(const u32 *words, std::array<u64, BpcCompressor::kPlanes> &dbp)
  *   "11" + 32 bits  raw base                         (34 bits)
  */
 void
-encodeBase(BitWriter &bw, u32 base)
+encodeBase(FixedBitWriter &bw, u32 base)
 {
     const i32 sbase = static_cast<i32>(base);
     if (base == 0) {
@@ -143,21 +124,32 @@ isTwoConsecutiveOnes(u64 plane, unsigned &pos)
 
 } // namespace
 
-CompressionResult
-BpcCompressor::compress(const u8 *data) const
+std::size_t
+BpcCompressor::compressInto(const u8 *data, u8 *out,
+                            CompressionScratch &) const
 {
     u32 words[kWordsPerEntry];
     loadWords(data, words);
 
-    std::array<u64, kPlanes> dbp;
-    computePlanes(words, dbp);
+    // Delta transform plus lazy bit-plane views. xd[i] holds the
+    // adjacent-plane XOR (DBX) bits contributed by delta i — bit b of
+    // xd[i] is d[b] ^ d[b+1] (and d[32] for the top plane) — so DBX
+    // plane b is the bit-b column across xd. The OR-reductions give
+    // constant-time nonzero-plane (or_x) and DBP-zero (or_d) tests:
+    // only planes that actually encode a symbol pay the 31-bit column
+    // gather, which is what makes zero and smooth entries cheap.
+    u64 xd[kPlaneBits];
+    u64 or_d = 0, or_x = 0;
+    for (unsigned i = 0; i < kPlaneBits; ++i) {
+        const i64 d = static_cast<i64>(words[i + 1]) -
+                      static_cast<i64>(words[i]);
+        const u64 du = static_cast<u64>(d) & kDeltaMask;
+        or_d |= du;
+        xd[i] = du ^ (du >> 1);
+        or_x |= xd[i];
+    }
 
-    std::array<u64, kPlanes> dbx;
-    dbx[kPlanes - 1] = dbp[kPlanes - 1];
-    for (unsigned b = 0; b + 1 < kPlanes; ++b)
-        dbx[b] = dbp[b] ^ dbp[b + 1];
-
-    BitWriter bw;
+    FixedBitWriter bw(out, kMaxEncodedBytes);
     bw.putBit(0); // format tag: 0 = BPC, 1 = raw fallback
     encodeBase(bw, words[0]);
 
@@ -165,18 +157,21 @@ BpcCompressor::compress(const u8 *data) const
     // data coalesce into long zero runs.
     unsigned zero_run = 0;
     for (int b = kPlanes - 1; b >= 0; --b) {
-        const u64 x = dbx[b];
-        if (x == 0) {
+        if (((or_x >> b) & 1ull) == 0) {
             ++zero_run;
             continue;
         }
         emitZeroPlanes(bw, zero_run);
         zero_run = 0;
 
+        u64 x = 0;
+        for (unsigned i = 0; i < kPlaneBits; ++i)
+            x |= ((xd[i] >> b) & 1ull) << i;
+
         unsigned pos = 0;
         if (x == kPlaneMask) {
             bw.put(0b00000, 5);
-        } else if (dbp[b] == 0) {
+        } else if (((or_d >> b) & 1ull) == 0) {
             // DBX nonzero but the underlying DBP plane is zero: tell the
             // decoder directly (5-bit shortcut instead of a raw plane).
             bw.putBit(0); bw.putBit(0); bw.putBit(0); bw.putBit(0);
@@ -197,27 +192,21 @@ BpcCompressor::compress(const u8 *data) const
     emitZeroPlanes(bw, zero_run);
 
     if (bw.sizeBits() >= kRawBits + 1) {
-        // Transform expanded the data: fall back to a tagged raw copy.
-        BitWriter raw;
-        raw.putBit(1);
+        // Transform expanded the data: fall back to a tagged raw copy,
+        // overwriting the transformed stream from the start of `out`.
+        bw.reset();
+        bw.putBit(1);
         for (std::size_t i = 0; i < kEntryBytes; ++i)
-            raw.put(data[i], 8);
-        CompressionResult r;
-        r.sizeBits = raw.sizeBits();
-        r.payload = raw.bytes();
-        return r;
+            bw.put(data[i], 8);
     }
-
-    CompressionResult r;
-    r.sizeBits = bw.sizeBits();
-    r.payload = bw.bytes();
-    return r;
+    return bw.sizeBits();
 }
 
 void
-BpcCompressor::decompress(const CompressionResult &result, u8 *out) const
+BpcCompressor::decompressFrom(const u8 *payload, std::size_t size_bits,
+                              u8 *out) const
 {
-    BitReader br(result.payload.data(), result.sizeBits);
+    BitReader br(payload, size_bits);
 
     if (br.getBit()) { // raw fallback
         for (std::size_t i = 0; i < kEntryBytes; ++i)

@@ -6,6 +6,14 @@
  * 128 B memory entry. Every codec in this library is a real, bit-exact
  * encoder/decoder pair: compression ratios reported by the experiments are
  * measured from actual encoded bit lengths, never estimated.
+ *
+ * The primary interface is allocation-free: codecs implement
+ * compressInto() / decompressFrom(), which encode into (decode from) a
+ * caller-provided buffer. A CompressionScratch bundles the buffers one
+ * in-flight access needs; the batched access plan (buddy::api) reuses one
+ * scratch across an entire AccessBatch, so the hot path performs zero
+ * per-entry heap allocations. The legacy compress()/decompress() calls
+ * remain as thin allocating wrappers for exploratory code and tests.
  */
 
 #pragma once
@@ -19,7 +27,30 @@
 
 namespace buddy {
 
-/** Result of compressing one 128 B memory entry. */
+/**
+ * Upper bound on any codec's encoded entry size in bytes. The worst case
+ * in the library is FPC's all-raw stream (1 + 32 * 35 = 1121 bits =
+ * 141 B); BPC and BDI cap at a tagged raw copy (1025 / 1028 bits).
+ * Rounded up with headroom so externally registered codecs with modest
+ * tag overhead also fit.
+ */
+constexpr std::size_t kMaxEncodedBytes = 160;
+
+/**
+ * Reusable working memory for one in-flight compression/decompression.
+ *
+ * `encode` receives encoder output; `io` is used by the access path to
+ * reassemble a payload split across device and buddy memory before
+ * decoding. Allocate one per batch (or thread) and reuse it: the buffers
+ * never need clearing between entries.
+ */
+struct CompressionScratch
+{
+    alignas(8) u8 encode[kMaxEncodedBytes];
+    alignas(8) u8 io[kMaxEncodedBytes];
+};
+
+/** Result of compressing one 128 B memory entry (allocating API). */
 struct CompressionResult
 {
     /** Exact encoded length in bits (including any format tag bits). */
@@ -41,22 +72,51 @@ class Compressor
     /** Human-readable codec name ("bpc", "bdi", ...). */
     virtual const char *name() const = 0;
 
-    /** Compress one 128 B entry. */
-    virtual CompressionResult compress(const u8 *data) const = 0;
+    /**
+     * Compress one 128 B entry into @p out without allocating.
+     *
+     * @param out     receives the LSB-first packed payload; must hold at
+     *                least kMaxEncodedBytes bytes (scratch.encode
+     *                qualifies, but any caller buffer works).
+     * @param scratch reusable working memory for codecs that need it.
+     * @return exact encoded length in bits.
+     */
+    virtual std::size_t compressInto(const u8 *data, u8 *out,
+                                     CompressionScratch &scratch) const = 0;
 
     /**
-     * Decompress an entry previously produced by compress().
-     * @param result encoded entry.
-     * @param out    receives exactly kEntryBytes bytes.
+     * Decompress an entry previously produced by compressInto().
+     * @param payload   LSB-first packed payload bytes.
+     * @param size_bits exact encoded length in bits.
+     * @param out       receives exactly kEntryBytes bytes.
      */
-    virtual void decompress(const CompressionResult &result, u8 *out)
-        const = 0;
+    virtual void decompressFrom(const u8 *payload, std::size_t size_bits,
+                                u8 *out) const = 0;
+
+    /** Legacy allocating wrapper around compressInto(). */
+    CompressionResult
+    compress(const u8 *data) const
+    {
+        CompressionScratch scratch;
+        CompressionResult r;
+        r.sizeBits = compressInto(data, scratch.encode, scratch);
+        r.payload.assign(scratch.encode, scratch.encode + r.sizeBytes());
+        return r;
+    }
+
+    /** Legacy wrapper around decompressFrom(). */
+    void
+    decompress(const CompressionResult &result, u8 *out) const
+    {
+        decompressFrom(result.payload.data(), result.sizeBits, out);
+    }
 
     /** Convenience: compressed size in bits without keeping the payload. */
     std::size_t
     compressedBits(const u8 *data) const
     {
-        return compress(data).sizeBits;
+        CompressionScratch scratch;
+        return compressInto(data, scratch.encode, scratch);
     }
 };
 
@@ -64,10 +124,15 @@ class Compressor
 inline bool
 entryIsZero(const u8 *data)
 {
-    for (std::size_t i = 0; i < kEntryBytes; ++i)
-        if (data[i] != 0)
-            return false;
-    return true;
+    // Word-wise OR-reduction: this runs on every write in the hot path,
+    // so avoid the byte-at-a-time early-exit loop. memcpy keeps the load
+    // alignment-safe; the compiler lowers it to plain vector loads.
+    u64 words[kEntryBytes / sizeof(u64)];
+    std::memcpy(words, data, kEntryBytes);
+    u64 acc = 0;
+    for (std::size_t i = 0; i < kEntryBytes / sizeof(u64); ++i)
+        acc |= words[i];
+    return acc == 0;
 }
 
 /** Load the entry as 32 little-endian 32-bit words. */

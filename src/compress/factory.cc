@@ -1,24 +1,13 @@
 #include "compress/factory.h"
 
-#include "compress/bdi.h"
-#include "compress/bpc.h"
-#include "compress/fpc.h"
-#include "compress/zero.h"
+#include "api/codec_registry.h"
 
 namespace buddy {
 
 std::unique_ptr<Compressor>
 makeCompressor(const std::string &name)
 {
-    if (name == "bpc")
-        return std::make_unique<BpcCompressor>();
-    if (name == "bdi")
-        return std::make_unique<BdiCompressor>();
-    if (name == "fpc")
-        return std::make_unique<FpcCompressor>();
-    if (name == "zero")
-        return std::make_unique<ZeroCompressor>();
-    return nullptr;
+    return api::CodecRegistry::instance().create(name);
 }
 
 } // namespace buddy

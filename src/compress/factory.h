@@ -1,7 +1,10 @@
 /**
  * @file
- * Codec factory: build a Compressor by name. The Buddy Compression paper
- * selects BPC; the others exist for the compressor ablation bench.
+ * Legacy codec factory shim over the api::CodecRegistry.
+ *
+ * New code should use CodecRegistry::instance() directly (it also
+ * exposes capability metadata and the registered-name list); this header
+ * remains so existing call sites keep compiling.
  */
 
 #pragma once
@@ -14,9 +17,11 @@
 namespace buddy {
 
 /**
- * Construct a codec by name.
- * @param name one of "bpc", "bdi", "fpc", "zero".
- * @return the codec, or nullptr for an unknown name.
+ * Construct a codec by registry name ("bpc", "bdi", "fpc", "zero", plus
+ * anything registered externally).
+ *
+ * Unknown names are a fatal configuration error that lists the
+ * registered codecs — this call never returns nullptr.
  */
 std::unique_ptr<Compressor> makeCompressor(const std::string &name);
 

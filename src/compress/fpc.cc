@@ -19,13 +19,14 @@ fitsSigned32(i32 v, unsigned bits)
 
 } // namespace
 
-CompressionResult
-FpcCompressor::compress(const u8 *data) const
+std::size_t
+FpcCompressor::compressInto(const u8 *data, u8 *out,
+                            CompressionScratch &) const
 {
     u32 words[kWordsPerEntry];
     loadWords(data, words);
 
-    BitWriter bw;
+    FixedBitWriter bw(out, kMaxEncodedBytes);
     bw.putBit(0); // format tag: 0 = FPC stream, 1 = raw fallback
     unsigned i = 0;
     while (i < kWordsPerEntry) {
@@ -71,22 +72,21 @@ FpcCompressor::compress(const u8 *data) const
     }
 
     if (bw.sizeBits() >= kEntryBytes * 8 + 1) {
-        // Incompressible: fall back to a tagged raw copy.
-        BitWriter raw;
-        raw.putBit(1);
+        // Incompressible: fall back to a tagged raw copy, overwriting
+        // the FPC stream from the start of `out`.
+        bw.reset();
+        bw.putBit(1);
         for (std::size_t k = 0; k < kEntryBytes; ++k)
-            raw.put(data[k], 8);
-        return CompressionResult{raw.sizeBits(), raw.bytes()};
+            bw.put(data[k], 8);
     }
-
-    CompressionResult r{bw.sizeBits(), bw.bytes()};
-    return r;
+    return bw.sizeBits();
 }
 
 void
-FpcCompressor::decompress(const CompressionResult &result, u8 *out) const
+FpcCompressor::decompressFrom(const u8 *payload, std::size_t size_bits,
+                              u8 *out) const
 {
-    BitReader br(result.payload.data(), result.sizeBits);
+    BitReader br(payload, size_bits);
     if (br.getBit()) { // raw fallback
         for (std::size_t k = 0; k < kEntryBytes; ++k)
             out[k] = static_cast<u8>(br.get(8));

@@ -30,8 +30,10 @@ class FpcCompressor : public Compressor
   public:
     const char *name() const override { return "fpc"; }
 
-    CompressionResult compress(const u8 *data) const override;
-    void decompress(const CompressionResult &result, u8 *out) const override;
+    std::size_t compressInto(const u8 *data, u8 *out,
+                             CompressionScratch &scratch) const override;
+    void decompressFrom(const u8 *payload, std::size_t size_bits,
+                        u8 *out) const override;
 };
 
 } // namespace buddy

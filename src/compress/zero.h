@@ -20,10 +20,11 @@ class ZeroCompressor : public Compressor
   public:
     const char *name() const override { return "zero"; }
 
-    CompressionResult
-    compress(const u8 *data) const override
+    std::size_t
+    compressInto(const u8 *data, u8 *out,
+                 CompressionScratch &) const override
     {
-        BitWriter bw;
+        FixedBitWriter bw(out, kMaxEncodedBytes);
         if (entryIsZero(data)) {
             bw.putBit(0);
         } else {
@@ -31,13 +32,14 @@ class ZeroCompressor : public Compressor
             for (std::size_t i = 0; i < kEntryBytes; ++i)
                 bw.put(data[i], 8);
         }
-        return CompressionResult{bw.sizeBits(), bw.bytes()};
+        return bw.sizeBits();
     }
 
     void
-    decompress(const CompressionResult &result, u8 *out) const override
+    decompressFrom(const u8 *payload, std::size_t size_bits,
+                   u8 *out) const override
     {
-        BitReader br(result.payload.data(), result.sizeBits);
+        BitReader br(payload, size_bits);
         if (!br.getBit()) {
             std::memset(out, 0, kEntryBytes);
             return;

@@ -3,17 +3,23 @@
  * Functional backing stores: GPU device memory and the buddy-memory
  * carve-out region.
  *
- * Both are flat byte arrays with capacity accounting. The buddy carve-out
- * is a physically contiguous region of the host/disaggregated memory that
- * is reserved at boot and addressed as GBBR + offset (Section 3.2), which
- * makes buddy translation a single add.
+ * Both sit on the pluggable api::BackingStore interface, selected by
+ * name through BuddyConfig (deviceBackend / buddyBackend). The buddy
+ * carve-out is a physically contiguous region of the host/disaggregated
+ * memory that is reserved at boot and addressed as GBBR + offset
+ * (Section 3.2), which makes buddy translation a single add. FlatMemory
+ * remains as a plain in-process byte array for code that does not need
+ * pluggability.
  */
 
 #pragma once
 
 #include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "api/backing_store.h"
 #include "common/log.h"
 #include "common/types.h"
 
@@ -57,7 +63,9 @@ class FlatMemory
 /**
  * The buddy-memory carve-out: a contiguous remote region sized as a
  * multiple of device memory (3x for a 4x maximum target ratio). The GBBR
- * holds its base; all buddy addressing is offset-based.
+ * holds its base; all buddy addressing is offset-based. The storage
+ * itself is a pluggable BackingStore ("host-um" by default, "remote"
+ * for disaggregated placements).
  */
 class BuddyCarveOut
 {
@@ -66,16 +74,18 @@ class BuddyCarveOut
      * @param device_bytes GPU device memory capacity.
      * @param ratio carve-out size as a multiple of device memory
      *        (paper default: 3x, supporting a 4x max target).
+     * @param backend backing-store kind (see api/backing_store.h).
      */
-    BuddyCarveOut(u64 device_bytes, unsigned ratio = 3)
+    BuddyCarveOut(u64 device_bytes, unsigned ratio = 3,
+                  const std::string &backend = "host-um")
         : gbbr_(0x1000000000ull), // arbitrary host-physical base
-          mem_(device_bytes * ratio)
+          mem_(makeBackingStore(backend, device_bytes * ratio))
     {}
 
     /** Global Buddy Base-address Register value. */
     Addr gbbr() const { return gbbr_; }
 
-    u64 capacity() const { return mem_.capacity(); }
+    u64 capacity() const { return mem_->capacity(); }
 
     /** Translate a carve-out offset to the host-physical address. */
     Addr translate(Addr offset) const { return gbbr_ + offset; }
@@ -83,18 +93,21 @@ class BuddyCarveOut
     void
     write(Addr offset, const u8 *src, std::size_t len)
     {
-        mem_.write(offset, src, len);
+        mem_->write(offset, src, len);
     }
 
     void
     read(Addr offset, u8 *dst, std::size_t len) const
     {
-        mem_.read(offset, dst, len);
+        mem_->read(offset, dst, len);
     }
+
+    /** The underlying store (kind and traffic accounting). */
+    const BackingStore &store() const { return *mem_; }
 
   private:
     Addr gbbr_;
-    FlatMemory mem_;
+    std::unique_ptr<BackingStore> mem_;
 };
 
 } // namespace buddy

@@ -2,7 +2,7 @@
 
 #include <cstring>
 
-#include "compress/factory.h"
+#include "api/codec_registry.h"
 
 namespace buddy {
 
@@ -19,13 +19,15 @@ sectorsFor(u64 bytes)
 
 BuddyController::BuddyController(const BuddyConfig &cfg)
     : cfg_(cfg),
-      codec_(makeCompressor(cfg.codec)),
-      device_(cfg.deviceBytes),
-      buddy_(cfg.deviceBytes, cfg.carveOutRatio),
+      // CodecRegistry::create and makeBackingStore fail fast on unknown
+      // names (listing what is registered), so a misconfigured codec or
+      // backend is caught here instead of at the first access.
+      codec_(api::CodecRegistry::instance().create(cfg.codec)),
+      device_(makeBackingStore(cfg.deviceBackend, cfg.deviceBytes)),
+      buddy_(cfg.deviceBytes, cfg.carveOutRatio, cfg.buddyBackend),
       deviceAlloc_(cfg.deviceBytes),
       buddyAlloc_(buddy_.capacity())
 {
-    BUDDY_CHECK(codec_ != nullptr, "unknown codec name");
     // The architectural metadata region must cover the largest logical
     // footprint: device memory fully expanded at the maximum 4x ratio.
     const std::size_t covered =
@@ -153,128 +155,217 @@ BuddyController::trafficFor(const EntryLoc &loc, EntryMeta meta,
 }
 
 AccessInfo
-BuddyController::writeEntry(Addr va, const u8 *data)
+BuddyController::executeOp(const AccessRequest &op,
+                           CompressionScratch &scratch,
+                           BatchSummary &summary)
 {
-    const EntryLoc loc = locate(va);
+    const EntryLoc loc = locate(op.va);
     const bool meta_hit = metaCache_->access(loc.globalEntryIdx);
 
-    EntryMeta meta;
-    CompressionResult comp;
-    if (entryIsZero(data)) {
-        meta = EntryMeta::Zero;
-    } else {
-        comp = codec_->compress(data);
-        if (comp.sizeBits > kEntryBytes * 8) {
-            meta = EntryMeta::Raw;
+    AccessInfo info;
+    u32 stored_bits = 0;
+    bool is_zero = false;
+
+    switch (op.kind) {
+      case AccessKind::Write: {
+        BUDDY_CHECK(op.src != nullptr, "write op needs a payload");
+        const u8 *data = op.src;
+
+        EntryMeta meta;
+        std::size_t comp_bits = 0;
+        if (entryIsZero(data)) {
+            meta = EntryMeta::Zero;
+            is_zero = true;
         } else {
-            meta = static_cast<EntryMeta>(compressedSectors(comp.sizeBits));
+            comp_bits = codec_->compressInto(data, scratch.encode, scratch);
+            if (comp_bits > kEntryBytes * 8) {
+                meta = EntryMeta::Raw;
+            } else {
+                meta = static_cast<EntryMeta>(compressedSectors(comp_bits));
+            }
         }
+
+        // Store the payload split across the device slot and the entry's
+        // fixed buddy slot.
+        if (meta == EntryMeta::Raw) {
+            const u64 on_dev =
+                std::min<u64>(kEntryBytes, loc.deviceSlotBytes);
+            device_->write(loc.deviceAddr, data, on_dev);
+            if (on_dev < kEntryBytes)
+                buddy_.write(loc.buddyOffset, data + on_dev,
+                             kEntryBytes - on_dev);
+            stored_bits = kEntryBytes * 8;
+        } else if (meta != EntryMeta::Zero) {
+            const u64 bytes = (comp_bits + 7) / 8;
+            const u64 on_dev = std::min<u64>(bytes, loc.deviceSlotBytes);
+            device_->write(loc.deviceAddr, scratch.encode, on_dev);
+            if (on_dev < bytes)
+                buddy_.write(loc.buddyOffset, scratch.encode + on_dev,
+                             bytes - on_dev);
+            stored_bits = static_cast<u32>(comp_bits);
+        }
+
+        metaStore_->set(loc.globalEntryIdx, meta);
+
+        info = trafficFor(loc, meta, stored_bits);
+        info.metadataHit = meta_hit;
+
+        // Track overflow population for the stats.
+        auto &st = entryState_[loc.globalEntryIdx];
+        const bool now_overflow = info.buddySectors > 0;
+        if (st.overflow != now_overflow) {
+            if (now_overflow)
+                ++stats_.overflowEntries;
+            else
+                --stats_.overflowEntries;
+            st.overflow = now_overflow;
+        }
+        st.bits = stored_bits;
+
+        ++stats_.writes;
+        ++summary.writes;
+        break;
+      }
+
+      case AccessKind::Read: {
+        BUDDY_CHECK(op.dst != nullptr, "read op needs a destination");
+        u8 *out = op.dst;
+
+        const EntryMeta meta = metaStore_->get(loc.globalEntryIdx);
+        const auto stit = entryState_.find(loc.globalEntryIdx);
+        const u32 bits = stit == entryState_.end() ? 0 : stit->second.bits;
+        stored_bits = bits;
+        is_zero = meta == EntryMeta::Zero;
+
+        info = trafficFor(loc, meta, bits);
+        info.metadataHit = meta_hit;
+
+        if (meta == EntryMeta::Zero) {
+            std::memset(out, 0, kEntryBytes);
+        } else if (meta == EntryMeta::Raw) {
+            const u64 on_dev =
+                std::min<u64>(kEntryBytes, loc.deviceSlotBytes);
+            device_->read(loc.deviceAddr, out, on_dev);
+            if (on_dev < kEntryBytes)
+                buddy_.read(loc.buddyOffset, out + on_dev,
+                            kEntryBytes - on_dev);
+        } else {
+            // Reassemble the split payload into the batch scratch and
+            // decode in place: no per-entry allocation.
+            const u64 bytes = (static_cast<u64>(bits) + 7) / 8;
+            const u64 on_dev = std::min<u64>(bytes, loc.deviceSlotBytes);
+            device_->read(loc.deviceAddr, scratch.io, on_dev);
+            if (on_dev < bytes)
+                buddy_.read(loc.buddyOffset, scratch.io + on_dev,
+                            bytes - on_dev);
+            codec_->decompressFrom(scratch.io, bits, out);
+        }
+
+        ++stats_.reads;
+        ++summary.reads;
+        break;
+      }
+
+      case AccessKind::Probe: {
+        const EntryMeta meta = metaStore_->get(loc.globalEntryIdx);
+        const auto stit = entryState_.find(loc.globalEntryIdx);
+        const u32 bits = stit == entryState_.end() ? 0 : stit->second.bits;
+        stored_bits = bits;
+        is_zero = meta == EntryMeta::Zero;
+
+        info = trafficFor(loc, meta, bits);
+        info.metadataHit = meta_hit;
+
+        // A probe models the traffic of a read: account it as one.
+        ++stats_.reads;
+        ++summary.probes;
+        break;
+      }
     }
 
-    // Store the payload split across the device slot and the entry's
-    // fixed buddy slot.
-    u64 stored_bits = 0;
-    if (meta == EntryMeta::Raw) {
-        const u64 on_dev = std::min<u64>(kEntryBytes, loc.deviceSlotBytes);
-        device_.write(loc.deviceAddr, data, on_dev);
-        if (on_dev < kEntryBytes)
-            buddy_.write(loc.buddyOffset, data + on_dev,
-                         kEntryBytes - on_dev);
-        stored_bits = kEntryBytes * 8;
-    } else if (meta != EntryMeta::Zero) {
-        const u64 bytes = comp.sizeBytes();
-        const u64 on_dev = std::min<u64>(bytes, loc.deviceSlotBytes);
-        device_.write(loc.deviceAddr, comp.payload.data(), on_dev);
-        if (on_dev < bytes)
-            buddy_.write(loc.buddyOffset, comp.payload.data() + on_dev,
-                         bytes - on_dev);
-        stored_bits = comp.sizeBits;
-    }
-
-    metaStore_->set(loc.globalEntryIdx, meta);
-
-    AccessInfo info =
-        trafficFor(loc, meta, static_cast<u32>(stored_bits));
-    info.metadataHit = meta_hit;
-
-    // Track overflow population for the stats.
-    auto &st = entryState_[loc.globalEntryIdx];
-    const bool now_overflow = info.buddySectors > 0;
-    if (st.overflow != now_overflow) {
-        if (now_overflow)
-            ++stats_.overflowEntries;
-        else
-            --stats_.overflowEntries;
-        st.overflow = now_overflow;
-    }
-    st.bits = static_cast<u32>(stored_bits);
-
-    ++stats_.writes;
     stats_.deviceSectorTraffic += info.deviceSectors;
     stats_.buddySectorTraffic += info.buddySectors;
     if (info.usedBuddy())
         ++stats_.buddyAccesses;
+
+    summary.deviceSectors += info.deviceSectors;
+    summary.buddySectors += info.buddySectors;
+    if (meta_hit)
+        ++summary.metadataHits;
+    else
+        ++summary.metadataMisses;
+    if (info.usedBuddy())
+        ++summary.buddyAccesses;
+
+    if (!hub_.empty()) {
+        AccessEvent event;
+        event.kind = op.kind;
+        event.va = op.va;
+        event.allocId = loc.alloc->id;
+        event.info = info;
+        event.storedBits = stored_bits;
+        event.isZero = is_zero;
+        hub_.emit(event);
+    }
+    return info;
+}
+
+const BatchSummary &
+BuddyController::execute(AccessBatch &batch)
+{
+    batch.results_.clear();
+    batch.results_.reserve(batch.ops_.size());
+    batch.summary_ = BatchSummary{};
+
+    // One scratch for the whole batch: the per-entry hot loop below is
+    // allocation-free (results_ was reserved up front).
+    CompressionScratch scratch;
+    for (const AccessRequest &op : batch.ops_)
+        batch.results_.push_back(executeOp(op, scratch, batch.summary_));
+
+    if (!hub_.empty())
+        hub_.emitBatch(batch.summary_);
+    return batch.summary_;
+}
+
+AccessInfo
+BuddyController::writeEntry(Addr va, const u8 *data)
+{
+    AccessRequest op;
+    op.kind = AccessKind::Write;
+    op.va = va;
+    op.src = data;
+    BatchSummary summary;
+    const AccessInfo info = executeOp(op, soloScratch_, summary);
+    if (!hub_.empty())
+        hub_.emitBatch(summary);
     return info;
 }
 
 AccessInfo
 BuddyController::readEntry(Addr va, u8 *out)
 {
-    const EntryLoc loc = locate(va);
-    const bool meta_hit = metaCache_->access(loc.globalEntryIdx);
-    const EntryMeta meta = metaStore_->get(loc.globalEntryIdx);
-    const auto stit = entryState_.find(loc.globalEntryIdx);
-    const u32 bits = stit == entryState_.end() ? 0 : stit->second.bits;
-
-    AccessInfo info = trafficFor(loc, meta, bits);
-    info.metadataHit = meta_hit;
-
-    if (meta == EntryMeta::Zero) {
-        std::memset(out, 0, kEntryBytes);
-    } else if (meta == EntryMeta::Raw) {
-        const u64 on_dev = std::min<u64>(kEntryBytes, loc.deviceSlotBytes);
-        device_.read(loc.deviceAddr, out, on_dev);
-        if (on_dev < kEntryBytes)
-            buddy_.read(loc.buddyOffset, out + on_dev,
-                        kEntryBytes - on_dev);
-    } else {
-        CompressionResult comp;
-        comp.sizeBits = bits;
-        const u64 bytes = comp.sizeBytes();
-        comp.payload.resize(bytes);
-        const u64 on_dev = std::min<u64>(bytes, loc.deviceSlotBytes);
-        device_.read(loc.deviceAddr, comp.payload.data(), on_dev);
-        if (on_dev < bytes)
-            buddy_.read(loc.buddyOffset, comp.payload.data() + on_dev,
-                        bytes - on_dev);
-        codec_->decompress(comp, out);
-    }
-
-    ++stats_.reads;
-    stats_.deviceSectorTraffic += info.deviceSectors;
-    stats_.buddySectorTraffic += info.buddySectors;
-    if (info.usedBuddy())
-        ++stats_.buddyAccesses;
+    AccessRequest op;
+    op.kind = AccessKind::Read;
+    op.va = va;
+    op.dst = out;
+    BatchSummary summary;
+    const AccessInfo info = executeOp(op, soloScratch_, summary);
+    if (!hub_.empty())
+        hub_.emitBatch(summary);
     return info;
 }
 
 AccessInfo
 BuddyController::probeEntry(Addr va)
 {
-    const EntryLoc loc = locate(va);
-    const bool meta_hit = metaCache_->access(loc.globalEntryIdx);
-    const EntryMeta meta = metaStore_->get(loc.globalEntryIdx);
-    const auto stit = entryState_.find(loc.globalEntryIdx);
-    const u32 bits = stit == entryState_.end() ? 0 : stit->second.bits;
-
-    AccessInfo info = trafficFor(loc, meta, bits);
-    info.metadataHit = meta_hit;
-
-    ++stats_.reads;
-    stats_.deviceSectorTraffic += info.deviceSectors;
-    stats_.buddySectorTraffic += info.buddySectors;
-    if (info.usedBuddy())
-        ++stats_.buddyAccesses;
+    AccessRequest op;
+    op.kind = AccessKind::Probe;
+    op.va = va;
+    BatchSummary summary;
+    const AccessInfo info = executeOp(op, soloScratch_, summary);
+    if (!hub_.empty())
+        hub_.emitBatch(summary);
     return info;
 }
 

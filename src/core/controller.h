@@ -1,10 +1,12 @@
 /**
  * @file
  * BuddyController: the Buddy Compression memory controller
- * (paper Section 3, Figures 1, 4 and 5a).
+ * (paper Section 3, Figures 1, 4 and 5a), fronted by the buddy::api
+ * batched access plan.
  *
- * The controller owns the compressor, the per-entry metadata (store +
- * cache), the device memory and the buddy carve-out. Allocations are
+ * The controller owns the codec (instantiated from the CodecRegistry),
+ * the per-entry metadata (store + cache), and two pluggable
+ * BackingStores: device memory and the buddy carve-out. Allocations are
  * created with a target compression ratio; each 128 B entry of an
  * allocation has `deviceSectors(target)` sectors in device memory and the
  * remaining sectors at a fixed pre-allocated slot in the buddy memory.
@@ -16,9 +18,17 @@
  * distinguishes Buddy Compression from CPU main-memory compression
  * schemes (Section 3.3).
  *
+ * The primary access surface is execute(AccessBatch&): submit a plan of
+ * read/write/probe spans, get one AccessInfo per operation plus a
+ * batch-level BatchSummary. The batch path reuses one CompressionScratch
+ * for the whole batch, so it performs zero per-entry heap allocations.
+ * The per-entry calls (writeEntry/readEntry/probeEntry) are thin
+ * single-op wrappers over the same execution path.
+ *
  * All traffic is accounted per access so the experiments can report the
  * paper's metrics (buddy-access fraction, metadata hit rate, achieved
- * compression ratio).
+ * compression ratio); observers subscribe to the same event stream via
+ * attachSink() (see api/traffic_sink.h).
  */
 
 #pragma once
@@ -30,6 +40,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/access.h"
+#include "api/backing_store.h"
+#include "api/traffic_sink.h"
 #include "common/stats.h"
 #include "compress/compressor.h"
 #include "compress/sector.h"
@@ -52,31 +65,17 @@ struct BuddyConfig
     /** Metadata cache geometry. */
     MetadataCacheConfig metadataCache;
 
-    /** Codec name ("bpc" is the paper's choice). */
+    /** Codec registry name ("bpc" is the paper's choice). */
     std::string codec = "bpc";
+
+    /** Backing store behind device memory (see api/backing_store.h). */
+    std::string deviceBackend = "dram";
+
+    /** Backing store behind the buddy carve-out. */
+    std::string buddyBackend = "host-um";
 
     /** Verify every read against the written data (debug aid). */
     bool verifyReads = false;
-};
-
-/** Traffic breakdown of a single entry access. */
-struct AccessInfo
-{
-    /** 32 B sectors transferred from/to device memory. */
-    unsigned deviceSectors = 0;
-
-    /** 32 B sectors transferred over the interconnect to buddy memory. */
-    unsigned buddySectors = 0;
-
-    /** True if the metadata lookup hit in the metadata cache. */
-    bool metadataHit = true;
-
-    /** True if any part of the entry lives in buddy memory. */
-    bool
-    usedBuddy() const
-    {
-        return buddySectors > 0;
-    }
 };
 
 /** Aggregated controller statistics. */
@@ -131,24 +130,42 @@ class BuddyController
     void free(AllocId id);
 
     /**
-     * Write one 128 B entry.
+     * Execute a batched access plan (the primary access surface).
+     *
+     * Fills batch.results() with one AccessInfo per planned operation
+     * (in plan order) and batch.summary() with the batch-level traffic
+     * totals. One CompressionScratch is reused across the whole batch:
+     * the hot path performs no per-entry heap allocations.
+     *
+     * @return the batch summary (also retained in the batch).
+     */
+    const BatchSummary &execute(AccessBatch &batch);
+
+    /**
+     * Write one 128 B entry (single-op wrapper over the batch path).
      * @param va   entry-aligned virtual address.
      * @param data kEntryBytes bytes of payload.
      */
     AccessInfo writeEntry(Addr va, const u8 *data);
 
     /**
-     * Read one 128 B entry back (decompresses).
+     * Read one 128 B entry back, decompressing (single-op wrapper).
      * @param va  entry-aligned virtual address.
      * @param out receives kEntryBytes bytes.
      */
     AccessInfo readEntry(Addr va, u8 *out);
 
     /**
-     * Traffic a read of @p va would generate, without performing it.
-     * Used by the performance simulator front end.
+     * Traffic a read of @p va would generate, without performing it
+     * (single-op wrapper). Used by the performance simulator front end.
      */
     AccessInfo probeEntry(Addr va);
+
+    /** Subscribe @p sink to the traffic event stream. */
+    void attachSink(TrafficSink *sink) { hub_.attach(sink); }
+
+    /** Unsubscribe @p sink. */
+    void detachSink(TrafficSink *sink) { hub_.detach(sink); }
 
     /** The allocation covering @p va (panics if none). */
     const Allocation &allocationFor(Addr va) const;
@@ -183,6 +200,15 @@ class BuddyController
     MetadataCache &metadataCache() { return *metaCache_; }
     const BuddyConfig &config() const { return cfg_; }
 
+    /** The codec the controller compresses with. */
+    const Compressor &codec() const { return *codec_; }
+
+    /** The device-memory backing store. */
+    const BackingStore &deviceStore() const { return *device_; }
+
+    /** The buddy carve-out (GBBR + backing store). */
+    const BuddyCarveOut &carveOut() const { return buddy_; }
+
   private:
     struct EntryLoc
     {
@@ -207,14 +233,24 @@ class BuddyController
     AccessInfo trafficFor(const EntryLoc &loc, EntryMeta meta,
                           u32 payload_bits) const;
 
+    /**
+     * Execute one planned operation: the shared core of execute() and
+     * the per-entry wrappers. Updates stats_ and @p summary, and emits
+     * an AccessEvent when sinks are attached.
+     */
+    AccessInfo executeOp(const AccessRequest &op,
+                         CompressionScratch &scratch,
+                         BatchSummary &summary);
+
     BuddyConfig cfg_;
     std::unique_ptr<Compressor> codec_;
-    FlatMemory device_;
+    std::unique_ptr<BackingStore> device_;
     BuddyCarveOut buddy_;
     std::unique_ptr<MetadataStore> metaStore_;
     std::unique_ptr<MetadataCache> metaCache_;
     RegionAllocator deviceAlloc_;
     RegionAllocator buddyAlloc_;
+    TrafficHub hub_;
 
     std::map<AllocId, Allocation> allocs_;
     std::map<Addr, AllocId> byVa_; // allocation base VA -> id
@@ -224,6 +260,9 @@ class BuddyController
     u64 buddyUsed_ = 0;
     u64 logicalUsed_ = 0;
     BuddyStats stats_;
+
+    /** Scratch reused by the single-op wrappers. */
+    CompressionScratch soloScratch_;
 
     std::unordered_map<u64, EntryState> entryState_;
 };

@@ -29,7 +29,6 @@ GpuSimulator::GpuSimulator(const SimConfig &cfg, const WorkloadModel &model,
 
     const unsigned nwarps = cfg_.sms * cfg_.warpsPerSm;
     warps_.resize(nwarps);
-    const u64 total = model_.totalEntries();
     for (unsigned w = 0; w < nwarps; ++w) {
         warps_[w].sm = w % cfg_.sms;
         warps_[w].opsLeft = cfg_.memOpsPerWarp;

@@ -1,6 +1,6 @@
 #include "gpusim/runner.h"
 
-#include "compress/bpc.h"
+#include "api/codec_registry.h"
 #include "workloads/analysis.h"
 
 namespace buddy {
@@ -11,10 +11,10 @@ namespace {
 std::vector<CompressionTarget>
 profileTargets(const WorkloadModel &model, const RunnerConfig &cfg)
 {
-    const BpcCompressor bpc;
+    const auto codec = api::CodecRegistry::instance().create(cfg.codec);
     AnalysisConfig acfg;
     acfg.maxSamplesPerAllocation = cfg.profileSamples;
-    const auto profiles = mergedProfiles(model, bpc, acfg);
+    const auto profiles = mergedProfiles(model, *codec, acfg);
     return Profiler(cfg.profiler).decide(profiles).targets;
 }
 

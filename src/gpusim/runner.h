@@ -47,6 +47,9 @@ struct RunnerConfig
     /** Scaled per-benchmark footprint materialized for simulation. */
     u64 modelBytes = 24 * MiB;
 
+    /** Codec registry name used for profiling (paper: BPC). */
+    std::string codec = "bpc";
+
     /** Base simulator configuration (mode/link overridden per run). */
     SimConfig sim;
 

@@ -27,6 +27,7 @@ analyzeSnapshot(const WorkloadModel &model, unsigned s,
     u64 sampled = 0;
 
     u8 buf[kEntryBytes];
+    CompressionScratch scratch; // reused across every sampled entry
     const auto &allocs = model.allocations();
     for (std::size_t a = 0; a < allocs.size(); ++a) {
         AllocationProfile prof(allocs[a].spec->name,
@@ -40,7 +41,8 @@ analyzeSnapshot(const WorkloadModel &model, unsigned s,
             const u64 e = base + mix64(base ^ (a * 0x9E37 + s)) % span;
             model.entryData(a, e, s, buf);
             const bool zero = entryIsZero(buf);
-            const std::size_t bits = zero ? 0 : codec.compressedBits(buf);
+            const std::size_t bits =
+                zero ? 0 : codec.compressInto(buf, scratch.encode, scratch);
             prof.addEntry(bits, zero);
             // Each sample stands for `stride` entries so that the mean
             // stays footprint-weighted across allocations of different

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Tests of the buddy::api facade: batched-vs-single-entry equivalence
+ * (execute() must yield exactly the AccessInfo and stats of N
+ * individual per-entry calls), the BatchSummary accounting, the
+ * TrafficSink event stream (stats, online profiling, memsys replay),
+ * the codec registry, and the pluggable backing stores.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "api/backing_store.h"
+#include "api/codec_registry.h"
+#include "core/controller.h"
+#include "core/profiler.h"
+#include "gpusim/memsys.h"
+#include "workloads/patterns.h"
+
+namespace buddy {
+namespace {
+
+BuddyConfig
+smallConfig()
+{
+    BuddyConfig cfg;
+    cfg.deviceBytes = 8 * MiB;
+    return cfg;
+}
+
+/** A deterministic mixed working set covering every need bucket. */
+std::vector<std::vector<u8>>
+mixedEntries(std::size_t count, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<u8>> entries(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        entries[i].assign(kEntryBytes, 0);
+        fillBucketEntry(rng, static_cast<unsigned>(i % kPatternBuckets),
+                        entries[i].data());
+    }
+    return entries;
+}
+
+bool
+sameInfo(const AccessInfo &a, const AccessInfo &b)
+{
+    return a.deviceSectors == b.deviceSectors &&
+           a.buddySectors == b.buddySectors &&
+           a.metadataHit == b.metadataHit;
+}
+
+bool
+sameStats(const BuddyStats &a, const BuddyStats &b)
+{
+    return a.reads == b.reads && a.writes == b.writes &&
+           a.deviceSectorTraffic == b.deviceSectorTraffic &&
+           a.buddySectorTraffic == b.buddySectorTraffic &&
+           a.buddyAccesses == b.buddyAccesses &&
+           a.overflowEntries == b.overflowEntries;
+}
+
+TEST(AccessBatch, BatchedWritesReadsProbesMatchSingleEntryCalls)
+{
+    // Two identical controllers: one driven through execute(), one
+    // through N per-entry calls. Every AccessInfo and the final stats
+    // must be identical.
+    BuddyController batched(smallConfig());
+    BuddyController single(smallConfig());
+
+    const auto idB =
+        batched.allocate("a", 256 * KiB, CompressionTarget::Ratio2);
+    const auto idS =
+        single.allocate("a", 256 * KiB, CompressionTarget::Ratio2);
+    ASSERT_TRUE(idB && idS);
+    const Addr vaB = batched.allocations().at(*idB).va;
+    const Addr vaS = single.allocations().at(*idS).va;
+
+    const std::size_t n = 512;
+    const auto entries = mixedEntries(n, 42);
+
+    // --- Writes.
+    AccessBatch wbatch;
+    for (std::size_t i = 0; i < n; ++i)
+        wbatch.write(vaB + i * kEntryBytes, entries[i].data());
+    batched.execute(wbatch);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const AccessInfo info =
+            single.writeEntry(vaS + i * kEntryBytes, entries[i].data());
+        ASSERT_TRUE(sameInfo(wbatch.result(i), info)) << "write " << i;
+    }
+    EXPECT_TRUE(sameStats(batched.stats(), single.stats()));
+
+    // --- Reads (interleaved with probes to stress ordering).
+    std::vector<std::vector<u8>> outB(n), outS(n);
+    AccessBatch rbatch;
+    for (std::size_t i = 0; i < n; ++i) {
+        outB[i].assign(kEntryBytes, 0xEE);
+        outS[i].assign(kEntryBytes, 0x11);
+        if (i % 3 == 0)
+            rbatch.probe(vaB + i * kEntryBytes);
+        else
+            rbatch.read(vaB + i * kEntryBytes, outB[i].data());
+    }
+    batched.execute(rbatch);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const AccessInfo info =
+            i % 3 == 0
+                ? single.probeEntry(vaS + i * kEntryBytes)
+                : single.readEntry(vaS + i * kEntryBytes, outS[i].data());
+        ASSERT_TRUE(sameInfo(rbatch.result(i), info)) << "read " << i;
+        if (i % 3 != 0) {
+            ASSERT_EQ(std::memcmp(outB[i].data(), entries[i].data(),
+                                  kEntryBytes),
+                      0);
+            ASSERT_EQ(std::memcmp(outS[i].data(), entries[i].data(),
+                                  kEntryBytes),
+                      0);
+        }
+    }
+    EXPECT_TRUE(sameStats(batched.stats(), single.stats()));
+}
+
+TEST(AccessBatch, SummaryMatchesStatsDelta)
+{
+    BuddyController gpu(smallConfig());
+    const auto id = gpu.allocate("a", 128 * KiB, CompressionTarget::Ratio2);
+    ASSERT_TRUE(id);
+    const Addr va = gpu.allocations().at(*id).va;
+
+    const auto entries = mixedEntries(200, 9);
+    AccessBatch batch;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        batch.write(va + i * kEntryBytes, entries[i].data());
+
+    const BuddyStats before = gpu.stats();
+    const BatchSummary &s = gpu.execute(batch);
+
+    EXPECT_EQ(s.writes, entries.size());
+    EXPECT_EQ(s.reads, 0u);
+    EXPECT_EQ(s.probes, 0u);
+    EXPECT_EQ(s.operations(), entries.size());
+    EXPECT_EQ(s.deviceSectors,
+              gpu.stats().deviceSectorTraffic - before.deviceSectorTraffic);
+    EXPECT_EQ(s.buddySectors,
+              gpu.stats().buddySectorTraffic - before.buddySectorTraffic);
+    EXPECT_EQ(s.buddyAccesses,
+              gpu.stats().buddyAccesses - before.buddyAccesses);
+    EXPECT_EQ(s.metadataHits + s.metadataMisses, entries.size());
+
+    // Re-execution of a cleared batch reuses its capacity.
+    batch.clear();
+    EXPECT_TRUE(batch.empty());
+    EXPECT_EQ(batch.summary().operations(), 0u);
+}
+
+/** Counting sink used by the event-stream tests. */
+struct CountingSink : api::TrafficSink
+{
+    u64 events = 0;
+    u64 writes = 0;
+    u64 deviceSectors = 0;
+    u64 buddySectors = 0;
+    u64 batches = 0;
+    BatchSummary last;
+
+    void
+    onAccess(const api::AccessEvent &e) override
+    {
+        ++events;
+        if (e.kind == api::AccessKind::Write)
+            ++writes;
+        deviceSectors += e.info.deviceSectors;
+        buddySectors += e.info.buddySectors;
+    }
+
+    void
+    onBatch(const BatchSummary &s) override
+    {
+        ++batches;
+        last = s;
+    }
+};
+
+TEST(TrafficSink, SinkSeesTheSameTrafficAsBuddyStats)
+{
+    BuddyController gpu(smallConfig());
+    CountingSink sink;
+    gpu.attachSink(&sink);
+
+    const auto id = gpu.allocate("a", 128 * KiB, CompressionTarget::Ratio2);
+    ASSERT_TRUE(id);
+    const Addr va = gpu.allocations().at(*id).va;
+
+    const auto entries = mixedEntries(128, 3);
+    AccessBatch batch;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        batch.write(va + i * kEntryBytes, entries[i].data());
+    gpu.execute(batch);
+
+    EXPECT_EQ(sink.events, entries.size());
+    EXPECT_EQ(sink.writes, entries.size());
+    EXPECT_EQ(sink.deviceSectors, gpu.stats().deviceSectorTraffic);
+    EXPECT_EQ(sink.buddySectors, gpu.stats().buddySectorTraffic);
+    EXPECT_EQ(sink.batches, 1u);
+    EXPECT_EQ(sink.last.writes, entries.size());
+
+    // Detached sinks see nothing further.
+    gpu.detachSink(&sink);
+    u8 out[kEntryBytes];
+    gpu.readEntry(va, out);
+    EXPECT_EQ(sink.events, entries.size());
+}
+
+TEST(TrafficSink, OnlineProfileMatchesDecisionFromSameData)
+{
+    // Profile the written data live off the event stream; the decision
+    // must match one computed from an offline histogram of the same
+    // entries.
+    BuddyController gpu(smallConfig());
+    OnlineProfileSink online;
+    gpu.attachSink(&online);
+
+    const auto id =
+        gpu.allocate("field", 256 * KiB, CompressionTarget::None);
+    ASSERT_TRUE(id);
+    const Allocation &alloc = gpu.allocations().at(*id);
+    online.track(alloc.id, alloc.name, alloc.bytes);
+
+    const auto entries = mixedEntries(1024, 21);
+    AccessBatch batch;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        batch.write(alloc.va + i * kEntryBytes, entries[i].data());
+    gpu.execute(batch);
+
+    AllocationProfile offline(alloc.name, alloc.bytes);
+    CompressionScratch scratch;
+    const Compressor &codec = gpu.codec();
+    for (const auto &e : entries) {
+        const bool zero = entryIsZero(e.data());
+        offline.addEntry(
+            zero ? 0 : codec.compressInto(e.data(), scratch.encode, scratch),
+            zero);
+    }
+
+    ASSERT_EQ(online.profiles().size(), 1u);
+    const Profiler prof;
+    EXPECT_EQ(prof.chooseTarget(online.profiles()[0]),
+              prof.chooseTarget(offline));
+    for (std::size_t b = 0; b < kNeedBuckets.size(); ++b) {
+        EXPECT_EQ(online.profiles()[0].histogram().count(b),
+                  offline.histogram().count(b))
+            << "bucket " << b;
+    }
+}
+
+TEST(TrafficSink, MemsysReplayChargesDeviceAndLinkTraffic)
+{
+    BuddyController gpu(smallConfig());
+    DramModel dram(8, 16.0, 100.0);
+    LinkModel link(2.0, 500.0);
+    MemsysReplaySink replay(dram, link);
+    gpu.attachSink(&replay);
+
+    const auto id = gpu.allocate("a", 128 * KiB, CompressionTarget::Ratio2);
+    ASSERT_TRUE(id);
+    const Addr va = gpu.allocations().at(*id).va;
+
+    const auto entries = mixedEntries(256, 5);
+    AccessBatch batch;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        batch.write(va + i * kEntryBytes, entries[i].data());
+    gpu.execute(batch);
+
+    EXPECT_EQ(replay.operations(), entries.size());
+    EXPECT_EQ(dram.sectorsTransferred(), gpu.stats().deviceSectorTraffic);
+    EXPECT_EQ(link.sectorsTransferred(), gpu.stats().buddySectorTraffic);
+    EXPECT_GT(replay.end(), 0.0);
+}
+
+TEST(CodecRegistry, ListsBuiltinsAndCreatesThem)
+{
+    auto &reg = api::CodecRegistry::instance();
+    for (const char *name : {"bpc", "bdi", "fpc", "zero"}) {
+        EXPECT_TRUE(reg.contains(name)) << name;
+        const auto codec = reg.create(name);
+        EXPECT_STREQ(codec->name(), name);
+        const CodecInfo *info = reg.find(name);
+        ASSERT_NE(info, nullptr);
+        EXPECT_TRUE(info->supportsScratch);
+        EXPECT_GT(info->maxRatio, 1.0);
+    }
+}
+
+TEST(CodecRegistryDeath, UnknownCodecFailsFastWithRegisteredList)
+{
+    EXPECT_DEATH(
+        { api::CodecRegistry::instance().create("lzma"); },
+        "bpc");
+}
+
+TEST(CodecRegistryDeath, ControllerValidatesConfiguredCodec)
+{
+    BuddyConfig cfg = smallConfig();
+    cfg.codec = "no-such-codec";
+    EXPECT_DEATH({ BuddyController gpu(cfg); }, "unknown codec");
+}
+
+TEST(BackingStore, KindsRoundTripData)
+{
+    for (const auto &kind : api::backingStoreKinds()) {
+        const auto store = makeBackingStore(kind, 64 * KiB);
+        EXPECT_STREQ(store->kind(), kind.c_str());
+        EXPECT_EQ(store->capacity(), 64 * KiB);
+
+        u8 src[kEntryBytes], dst[kEntryBytes];
+        for (std::size_t i = 0; i < kEntryBytes; ++i)
+            src[i] = static_cast<u8>(i * 7 + 1);
+        store->write(1024, src, kEntryBytes);
+        store->read(1024, dst, kEntryBytes);
+        EXPECT_EQ(std::memcmp(src, dst, kEntryBytes), 0) << kind;
+        EXPECT_GE(store->bytesWritten(), kEntryBytes);
+        EXPECT_GE(store->bytesRead(), kEntryBytes);
+    }
+}
+
+TEST(BackingStoreDeath, UnknownKindFailsFast)
+{
+    EXPECT_DEATH({ makeBackingStore("nvme-of", 1 * MiB); },
+                 "unknown backing store");
+}
+
+TEST(BackingStore, ControllerHonoursConfiguredBackends)
+{
+    BuddyConfig cfg = smallConfig();
+    cfg.deviceBackend = "dram";
+    cfg.buddyBackend = "remote";
+    BuddyController gpu(cfg);
+    EXPECT_STREQ(gpu.deviceStore().kind(), "dram");
+    EXPECT_STREQ(gpu.carveOut().store().kind(), "remote");
+
+    // The functional path still round-trips through a remote carve-out.
+    const auto id = gpu.allocate("a", 64 * KiB, CompressionTarget::Ratio4);
+    ASSERT_TRUE(id);
+    const Addr va = gpu.allocations().at(*id).va;
+    u8 entry[kEntryBytes], out[kEntryBytes];
+    Rng rng(2);
+    for (std::size_t i = 0; i < kEntryBytes; ++i)
+        entry[i] = static_cast<u8>(rng.below(256));
+    gpu.writeEntry(va, entry);
+    gpu.readEntry(va, out);
+    EXPECT_EQ(std::memcmp(entry, out, kEntryBytes), 0);
+    EXPECT_GT(gpu.carveOut().store().bytesWritten(), 0u);
+}
+
+TEST(BackingStoreDeath, ControllerValidatesConfiguredBackend)
+{
+    BuddyConfig cfg = smallConfig();
+    cfg.buddyBackend = "bogus";
+    EXPECT_DEATH({ BuddyController gpu(cfg); }, "backing");
+}
+
+} // namespace
+} // namespace buddy

@@ -249,10 +249,19 @@ TEST(Controller, BulkRandomizedRoundTrip)
         c.writeEntry(a.va + e * kEntryBytes, buf.data());
         shadow[e] = std::move(buf);
     }
-    u8 out[kEntryBytes];
+    // Verify everything through one batched read plan (equivalent to
+    // entryCount() individual readEntry calls — see test_api_batch).
+    std::vector<std::vector<u8>> out(a.entryCount(),
+                                     std::vector<u8>(kEntryBytes, 0xCD));
+    AccessBatch batch(a.entryCount());
+    for (u64 e = 0; e < a.entryCount(); ++e)
+        batch.read(a.va + e * kEntryBytes, out[e].data());
+    const BatchSummary &s = c.execute(batch);
+    EXPECT_EQ(s.reads, a.entryCount());
     for (u64 e = 0; e < a.entryCount(); ++e) {
-        c.readEntry(a.va + e * kEntryBytes, out);
-        ASSERT_EQ(std::memcmp(shadow[e].data(), out, kEntryBytes), 0)
+        ASSERT_EQ(std::memcmp(shadow[e].data(), out[e].data(),
+                              kEntryBytes),
+                  0)
             << "entry " << e;
     }
 }

@@ -12,7 +12,7 @@
 
 #include <cstring>
 
-#include "compress/bpc.h"
+#include "api/codec_registry.h"
 #include "core/controller.h"
 #include "core/profiler.h"
 #include "workloads/analysis.h"
@@ -37,10 +37,10 @@ runPipeline(const std::string &bench, u64 model_bytes)
     const WorkloadModel model(spec, model_bytes);
 
     // Profile and decide targets.
-    const BpcCompressor bpc;
+    const auto bpc = api::CodecRegistry::instance().create("bpc");
     AnalysisConfig acfg;
     acfg.maxSamplesPerAllocation = 1024;
-    const auto profiles = mergedProfiles(model, bpc, acfg);
+    const auto profiles = mergedProfiles(model, *bpc, acfg);
     const auto decision = Profiler().decide(profiles);
 
     // A controller sized for the compressed footprint.
@@ -60,22 +60,28 @@ runPipeline(const std::string &bench, u64 model_bytes)
         ids.push_back(*id);
     }
 
-    u8 buf[kEntryBytes];
+    // Write each allocation's sampled image as one batched access plan
+    // (the api surface the functional experiments now drive).
     u64 buddy_writes = 0, writes = 0;
     for (std::size_t a = 0; a < ids.size(); ++a) {
         const Allocation &alloc = gpu.allocations().at(ids[a]);
         const u64 stride = 3; // sample 1/3 of the image for speed
-        for (u64 e = 0; e < model.allocations()[a].entries;
-             e += stride) {
+        const u64 entries = model.allocations()[a].entries;
+        std::vector<u8> data((entries / stride + 1) * kEntryBytes);
+        AccessBatch batch;
+        std::size_t n = 0;
+        for (u64 e = 0; e < entries; e += stride, ++n) {
+            u8 *buf = data.data() + n * kEntryBytes;
             model.entryData(a, e, snapshot, buf);
-            const auto info =
-                gpu.writeEntry(alloc.va + e * kEntryBytes, buf);
-            buddy_writes += info.usedBuddy() ? 1 : 0;
-            ++writes;
+            batch.write(alloc.va + e * kEntryBytes, buf);
         }
+        const BatchSummary &s = gpu.execute(batch);
+        buddy_writes += s.buddyAccesses;
+        writes += s.writes;
     }
 
     // Read a sample back and verify.
+    u8 buf[kEntryBytes];
     u8 out[kEntryBytes];
     for (std::size_t a = 0; a < ids.size(); ++a) {
         const Allocation &alloc = gpu.allocations().at(ids[a]);

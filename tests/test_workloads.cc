@@ -136,10 +136,13 @@ TEST(Registry, MixturesAreNormalized)
 
 TEST(Registry, StripePatternsMatchPeriod)
 {
-    for (const auto &b : benchmarkRegistry())
-        for (const auto &a : b.allocations)
-            if (!a.stripeBuckets.empty())
+    for (const auto &b : benchmarkRegistry()) {
+        for (const auto &a : b.allocations) {
+            if (!a.stripeBuckets.empty()) {
                 EXPECT_EQ(a.stripeBuckets.size(), a.stripePeriod);
+            }
+        }
+    }
 }
 
 TEST(Registry, UnknownBenchmarkDies)
