@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Engine scaling: simulated-traffic throughput vs. shard count.
+ *
+ * Builds one mixed working set (entries cycling through all six
+ * compressibility need buckets), then for each shard count in a
+ * power-of-two sweep constructs a fresh ShardedEngine, writes the whole
+ * set through batched plans and reads it back, and reports wall-clock
+ * entries/s plus the speedup over the 1-shard configuration.
+ *
+ * Correctness ride-along: the cross-shard traffic totals (reads,
+ * writes, device and buddy sectors, buddy accesses) of every sharded
+ * run are checked bit-identical to the 1-shard reference — the engine's
+ * core invariant — so a scaling win can never come from doing different
+ * work.
+ *
+ *   bench_engine_scaling --shards=8 --threads=0 --entries=131072
+ *   bench_engine_scaling --smoke       # tiny set + "SMOKE OK" for CI
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "engine/engine.h"
+#include "workloads/patterns.h"
+
+using namespace buddy;
+
+namespace {
+
+struct RunResult
+{
+    double seconds = 0;
+    BuddyStats stats;
+};
+
+/** Write + read the whole working set through one engine. */
+RunResult
+runOnce(unsigned shards, unsigned threads, const std::string &codec,
+        std::size_t entries, std::size_t allocs, const std::vector<u8> &data,
+        std::size_t batch_entries)
+{
+    EngineConfig cfg;
+    cfg.shards = shards;
+    cfg.threads = threads;
+    cfg.shard.codec = codec;
+    // Worst case the ordinal hash lands every allocation on one shard:
+    // give each shard room for the whole logical set at the 2x target.
+    cfg.shard.deviceBytes = entries * kEntryBytes + 8 * MiB;
+    ShardedEngine eng(cfg);
+
+    const std::size_t per_alloc = (entries + allocs - 1) / allocs;
+    std::vector<Addr> vas(entries);
+    std::size_t e = 0;
+    for (std::size_t a = 0; a < allocs && e < entries; ++a) {
+        const std::size_t count = std::min(per_alloc, entries - e);
+        const auto id = eng.allocate("set" + std::to_string(a),
+                                     count * kEntryBytes,
+                                     CompressionTarget::Ratio2);
+        if (!id) {
+            std::fprintf(stderr, "engine allocation failed\n");
+            std::exit(1);
+        }
+        const Addr base = eng.allocations().at(*id).va;
+        for (std::size_t i = 0; i < count; ++i, ++e)
+            vas[e] = base + i * kEntryBytes;
+    }
+
+    std::vector<u8> readback(entries * kEntryBytes);
+    AccessBatch plan(batch_entries);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t base = 0; base < entries; base += batch_entries) {
+        const std::size_t count = std::min(batch_entries, entries - base);
+        plan.clear();
+        for (std::size_t i = 0; i < count; ++i)
+            plan.write(vas[base + i], data.data() + (base + i) * kEntryBytes);
+        eng.execute(plan);
+    }
+    for (std::size_t base = 0; base < entries; base += batch_entries) {
+        const std::size_t count = std::min(batch_entries, entries - base);
+        plan.clear();
+        for (std::size_t i = 0; i < count; ++i)
+            plan.read(vas[base + i],
+                      readback.data() + (base + i) * kEntryBytes);
+        eng.execute(plan);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunResult r;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.stats = eng.stats();
+    return r;
+}
+
+bool
+sameTraffic(const BuddyStats &a, const BuddyStats &b)
+{
+    return a.reads == b.reads && a.writes == b.writes &&
+           a.deviceSectorTraffic == b.deviceSectorTraffic &&
+           a.buddySectorTraffic == b.buddySectorTraffic &&
+           a.buddyAccesses == b.buddyAccesses &&
+           a.overflowEntries == b.overflowEntries;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliFlags cli("bench_engine_scaling",
+                 "simulated-traffic throughput vs. shard count");
+    cli.addUint("shards", 8, "maximum shard count in the sweep");
+    cli.addUint("threads", 0, "worker threads (0 = one per shard)");
+    cli.addUint("entries", 128 * 1024, "working-set size in 128 B entries");
+    cli.addString("codec", "bpc", "codec registry name");
+    cli.addUint("allocs", 16, "allocations the set is spread over");
+    cli.addUint("batch", 8192, "entries per submitted access plan");
+    cli.addBool("smoke", "tiny working set + pass/fail line for CI");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    const bool smoke = cli.boolOf("smoke");
+    // --smoke shrinks the sweep but an explicit --entries/--shards wins.
+    const std::size_t entries = static_cast<std::size_t>(
+        !cli.wasSet("entries") && smoke ? 4096 : cli.uintOf("entries"));
+    const unsigned max_shards = static_cast<unsigned>(
+        !cli.wasSet("shards") && smoke ? 4 : cli.uintOf("shards"));
+    const unsigned threads = static_cast<unsigned>(cli.uintOf("threads"));
+    const std::size_t allocs = std::max<u64>(1, cli.uintOf("allocs"));
+    const std::size_t batch_entries = std::max<u64>(1, cli.uintOf("batch"));
+    const std::string &codec = cli.stringOf("codec");
+    if (entries == 0 || max_shards == 0) {
+        std::fprintf(stderr, "--entries and --shards must be nonzero\n");
+        return 1;
+    }
+
+    std::printf("=== engine scaling: %zu-entry mixed working set, codec "
+                "%s ===\n\n",
+                entries, codec.c_str());
+
+    // One mixed working set shared by every run (seeded off the engine's
+    // deterministic shard-0 seed so reruns are bit-identical).
+    std::vector<u8> data(entries * kEntryBytes);
+    {
+        Rng rng(engine::splitmix64(EngineConfig{}.seed ^ 1)); // shardSeed(0)
+        for (std::size_t e = 0; e < entries; ++e)
+            fillBucketEntry(rng, static_cast<unsigned>(e % kPatternBuckets),
+                            data.data() + e * kEntryBytes);
+    }
+
+    Table t({"shards", "threads", "wall-ms", "entries/s", "speedup"});
+    RunResult ref;
+    bool totals_ok = true;
+    for (unsigned shards = 1; shards <= max_shards; shards *= 2) {
+        const RunResult r = runOnce(shards, threads, codec, entries, allocs,
+                                    data, batch_entries);
+        if (shards == 1)
+            ref = r;
+        else if (!sameTraffic(r.stats, ref.stats))
+            totals_ok = false;
+
+        const double eps = 2.0 * static_cast<double>(entries); // W + R
+        t.addRow({strfmt("%u", shards),
+                  strfmt("%u", threads == 0 ? shards : threads),
+                  strfmt("%.1f", r.seconds * 1e3),
+                  strfmt("%.0f", eps / r.seconds),
+                  strfmt("%.2fx", ref.seconds / r.seconds)});
+    }
+    t.print();
+
+    std::printf("\ncross-shard traffic totals vs. 1-shard reference: %s\n",
+                totals_ok ? "bit-identical" : "MISMATCH");
+    if (smoke)
+        std::printf("%s\n", totals_ok ? "SMOKE OK" : "SMOKE FAILED");
+    return totals_ok ? 0 : 1;
+}

@@ -22,6 +22,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/cli.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -33,8 +34,16 @@
 using namespace buddy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliFlags cli("bench_fig10_sim_speed",
+                 "simulator fidelity proxy and speed");
+    cli.addUint("entries", 32768,
+                "entries in the functional-throughput plan (iii)");
+    cli.addString("codec", "bpc", "codec for the functional path");
+    if (!cli.parse(argc, argv))
+        return 0;
+
     std::printf("=== Figure 10: simulator fidelity proxy and speed "
                 "===\n\n");
 
@@ -109,18 +118,19 @@ main()
 
     // (iii) Functional-path throughput via the batched access plan.
     {
+        const std::size_t n = cli.uintOf("entries");
         BuddyConfig cfg;
-        cfg.deviceBytes = 32 * MiB;
+        cfg.codec = cli.stringOf("codec");
+        cfg.deviceBytes = 4 * n * kEntryBytes + 8 * MiB;
         BuddyController gpu(cfg);
-        const auto id =
-            gpu.allocate("span", 8 * MiB, CompressionTarget::Ratio2);
+        const auto id = gpu.allocate("span", n * kEntryBytes,
+                                     CompressionTarget::Ratio2);
         if (!id) {
             std::fprintf(stderr, "functional span allocation failed\n");
             return 1;
         }
         const Addr va = gpu.allocations().at(*id).va;
 
-        const std::size_t n = 32768;
         Rng rng(11);
         std::vector<u8> data(n * kEntryBytes);
         for (std::size_t e = 0; e < n; ++e)

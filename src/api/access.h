@@ -26,6 +26,10 @@ namespace buddy {
 
 class BuddyController;
 
+namespace engine {
+class ShardedEngine;
+}
+
 namespace api {
 
 /** What one access-plan operation does. */
@@ -182,7 +186,9 @@ class AccessBatch
     const BatchSummary &summary() const { return summary_; }
 
   private:
-    friend class ::buddy::BuddyController; // fills results_ / summary_
+    // Fill results_ / summary_ after execution.
+    friend class ::buddy::BuddyController;
+    friend class ::buddy::engine::ShardedEngine;
 
     std::vector<AccessRequest> ops_;
     std::vector<AccessInfo> results_;

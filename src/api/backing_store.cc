@@ -29,6 +29,7 @@ class FlatStore : public BackingStore
                     "backing-store write out of range");
         std::memcpy(data_.data() + addr, src, len);
         written_ += len;
+        ++writeOps_;
     }
 
     void
@@ -38,6 +39,7 @@ class FlatStore : public BackingStore
                     "backing-store read out of range");
         std::memcpy(dst, data_.data() + addr, len);
         read_ += len;
+        ++readOps_;
     }
 
     void
@@ -47,47 +49,21 @@ class FlatStore : public BackingStore
                     "backing-store fill out of range");
         std::memset(data_.data() + addr, value, len);
         written_ += len;
+        ++writeOps_;
     }
 
     u64 bytesWritten() const override { return written_; }
     u64 bytesRead() const override { return read_; }
+    u64 writeOps() const override { return writeOps_; }
+    u64 readOps() const override { return readOps_; }
 
   private:
     const char *kind_;
     std::vector<u8> data_;
     u64 written_ = 0;
     mutable u64 read_ = 0;
-};
-
-/**
- * Far-memory store: flat storage plus a round-trip counter, the hook a
- * timing model charges fabric latency against.
- */
-class RemoteStore : public FlatStore
-{
-  public:
-    explicit RemoteStore(u64 capacity_bytes)
-        : FlatStore("remote", capacity_bytes)
-    {}
-
-    void
-    write(Addr addr, const u8 *src, std::size_t len) override
-    {
-        ++roundTrips_;
-        FlatStore::write(addr, src, len);
-    }
-
-    void
-    read(Addr addr, u8 *dst, std::size_t len) const override
-    {
-        ++roundTrips_;
-        FlatStore::read(addr, dst, len);
-    }
-
-    u64 roundTrips() const { return roundTrips_; }
-
-  private:
-    mutable u64 roundTrips_ = 0;
+    u64 writeOps_ = 0;
+    mutable u64 readOps_ = 0;
 };
 
 } // namespace
@@ -99,8 +75,11 @@ makeBackingStore(const std::string &kind, u64 capacity_bytes)
         return std::make_unique<FlatStore>("dram", capacity_bytes);
     if (kind == "host-um")
         return std::make_unique<FlatStore>("host-um", capacity_bytes);
-    if (kind == "remote")
-        return std::make_unique<RemoteStore>(capacity_bytes);
+    if (kind == "remote") {
+        // Same flat storage; the per-operation counters double as the
+        // fabric round-trip count a timing model charges (roundTrips()).
+        return std::make_unique<FlatStore>("remote", capacity_bytes);
+    }
 
     std::string known;
     for (const auto &k : backingStoreKinds()) {

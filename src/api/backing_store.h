@@ -49,6 +49,17 @@ class BackingStore
     /** Total bytes written / read since construction. */
     virtual u64 bytesWritten() const = 0;
     virtual u64 bytesRead() const = 0;
+
+    /** Number of write()/fill() and read() calls since construction. */
+    virtual u64 writeOps() const = 0;
+    virtual u64 readOps() const = 0;
+
+    /**
+     * Access round trips a timing model would charge. One per operation
+     * for every in-process kind; only "remote" crosses a fabric, so only
+     * there does the count translate into link latency.
+     */
+    u64 roundTrips() const { return writeOps() + readOps(); }
 };
 
 /**

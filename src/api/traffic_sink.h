@@ -46,6 +46,13 @@ struct AccessEvent
 
     /** True if the entry is all zeros (described by metadata alone). */
     bool isZero = false;
+
+    /**
+     * Write payload (kEntryBytes bytes) for Write events, null otherwise.
+     * Valid only for the duration of the onAccess() callback; sinks that
+     * keep it (e.g. the trace recorder) must copy the bytes.
+     */
+    const u8 *data = nullptr;
 };
 
 /** Observer of the controller's traffic event stream. */

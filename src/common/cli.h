@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Minimal shared command-line flag parser for the bench and example
+ * binaries, replacing per-binary ad-hoc argv handling.
+ *
+ * Flags are registered with a default and a help line, then parsed from
+ * argv as `--name=value`, `--name value`, or bare `--name` for bools.
+ * `--help` prints the registered flags and parse() returns false so the
+ * caller can exit. Unknown flags are a fatal usage error naming the
+ * known ones.
+ *
+ *   CliFlags cli("bench_engine_scaling",
+ *                "throughput vs. shard count on a mixed working set");
+ *   cli.addUint("shards", 8, "maximum shard count in the sweep");
+ *   cli.addString("codec", "bpc", "codec registry name");
+ *   cli.addBool("smoke", "tiny working set for CI smoke runs");
+ *   if (!cli.parse(argc, argv))
+ *       return 0;
+ *   const u64 shards = cli.uintOf("shards");
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace buddy {
+
+/** Registered typed flags plus a tiny parser (see file header). */
+class CliFlags
+{
+  public:
+    explicit CliFlags(std::string program, std::string blurb = "")
+        : program_(std::move(program)), blurb_(std::move(blurb))
+    {}
+
+    void
+    addUint(const std::string &name, u64 def, const std::string &help)
+    {
+        Flag f;
+        f.name = name;
+        f.kind = Kind::Uint;
+        f.u = def;
+        f.help = help;
+        flags_.push_back(std::move(f));
+    }
+
+    void
+    addString(const std::string &name, std::string def,
+              const std::string &help)
+    {
+        Flag f;
+        f.name = name;
+        f.kind = Kind::String;
+        f.s = std::move(def);
+        f.help = help;
+        flags_.push_back(std::move(f));
+    }
+
+    /** Bool flags default to false and take no value. */
+    void
+    addBool(const std::string &name, const std::string &help)
+    {
+        Flag f;
+        f.name = name;
+        f.kind = Kind::Bool;
+        f.help = help;
+        flags_.push_back(std::move(f));
+    }
+
+    /**
+     * Parse argv. @return false if --help was requested (usage has been
+     * printed and the caller should exit successfully).
+     */
+    bool
+    parse(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                usage(stdout);
+                return false;
+            }
+            if (arg.rfind("--", 0) != 0)
+                badUsage(("unexpected argument \"" + arg + "\"").c_str());
+
+            std::string name = arg.substr(2);
+            std::string value;
+            bool have_value = false;
+            const auto eq = name.find('=');
+            if (eq != std::string::npos) {
+                value = name.substr(eq + 1);
+                name = name.substr(0, eq);
+                have_value = true;
+            }
+
+            Flag *f = find(name);
+            if (f == nullptr)
+                badUsage(("unknown flag --" + name).c_str());
+
+            if (f->kind == Kind::Bool) {
+                if (have_value)
+                    badUsage(("--" + name + " takes no value").c_str());
+                f->b = true;
+                f->set = true;
+                continue;
+            }
+            if (!have_value) {
+                if (i + 1 >= argc)
+                    badUsage(("--" + name + " needs a value").c_str());
+                value = argv[++i];
+            }
+            if (f->kind == Kind::Uint) {
+                // Reject what strtoull would quietly accept: empty
+                // strings (-> 0) and signed values (-> 2^64 wraps).
+                char *end = nullptr;
+                if (value.empty() || value[0] < '0' || value[0] > '9')
+                    badUsage(("--" + name +
+                              " needs a non-negative integer, got \"" +
+                              value + "\"")
+                                 .c_str());
+                f->u = std::strtoull(value.c_str(), &end, 0);
+                if (end == nullptr || *end != '\0')
+                    badUsage(("--" + name + " needs an integer, got \"" +
+                              value + "\"")
+                                 .c_str());
+            } else {
+                f->s = value;
+            }
+            f->set = true;
+        }
+        return true;
+    }
+
+    u64
+    uintOf(const std::string &name) const
+    {
+        return get(name, Kind::Uint)->u;
+    }
+
+    const std::string &
+    stringOf(const std::string &name) const
+    {
+        return get(name, Kind::String)->s;
+    }
+
+    bool
+    boolOf(const std::string &name) const
+    {
+        return get(name, Kind::Bool)->b;
+    }
+
+    /** True if the flag appeared on the command line. */
+    bool
+    wasSet(const std::string &name) const
+    {
+        for (const Flag &f : flags_)
+            if (f.name == name)
+                return f.set;
+        BUDDY_PANIC("access to unregistered flag");
+    }
+
+  private:
+    enum class Kind { Uint, String, Bool };
+
+    struct Flag
+    {
+        std::string name;
+        Kind kind = Kind::Uint;
+        u64 u = 0;
+        std::string s;
+        bool b = false;
+        bool set = false; ///< appeared on the command line
+        std::string help;
+    };
+
+    Flag *
+    find(const std::string &name)
+    {
+        for (Flag &f : flags_)
+            if (f.name == name)
+                return &f;
+        return nullptr;
+    }
+
+    const Flag *
+    get(const std::string &name, Kind kind) const
+    {
+        for (const Flag &f : flags_)
+            if (f.name == name) {
+                BUDDY_CHECK(f.kind == kind, "flag accessed as wrong type");
+                return &f;
+            }
+        BUDDY_PANIC("access to unregistered flag");
+    }
+
+    void
+    usage(std::FILE *out) const
+    {
+        std::fprintf(out, "usage: %s [flags]\n", program_.c_str());
+        if (!blurb_.empty())
+            std::fprintf(out, "  %s\n", blurb_.c_str());
+        std::fprintf(out, "\nflags:\n");
+        for (const Flag &f : flags_) {
+            std::string def;
+            switch (f.kind) {
+              case Kind::Uint:
+                def = std::to_string(f.u);
+                break;
+              case Kind::String:
+                def = "\"" + f.s + "\"";
+                break;
+              case Kind::Bool:
+                def = "false";
+                break;
+            }
+            std::fprintf(out, "  --%-12s %s (default %s)\n",
+                         f.name.c_str(), f.help.c_str(), def.c_str());
+        }
+    }
+
+    [[noreturn]] void
+    badUsage(const char *msg) const
+    {
+        std::fprintf(stderr, "%s: %s\n\n", program_.c_str(), msg);
+        usage(stderr);
+        BUDDY_FATAL("bad command line");
+    }
+
+    std::string program_;
+    std::string blurb_;
+    std::vector<Flag> flags_;
+};
+
+} // namespace buddy

@@ -305,6 +305,7 @@ BuddyController::executeOp(const AccessRequest &op,
         event.info = info;
         event.storedBits = stored_bits;
         event.isZero = is_zero;
+        event.data = op.kind == AccessKind::Write ? op.src : nullptr;
         hub_.emit(event);
     }
     return info;

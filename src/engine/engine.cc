@@ -1,0 +1,393 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <thread>
+
+namespace buddy {
+namespace engine {
+
+namespace {
+
+/** Capture sink: collects the events of one sub-plan execution. */
+struct CaptureSink : api::TrafficSink
+{
+    std::vector<AccessEvent> events;
+
+    void
+    onAccess(const AccessEvent &e) override
+    {
+        events.push_back(e);
+    }
+};
+
+} // namespace
+
+/**
+ * One worker thread plus the queues of the shards it owns. A shard's
+ * queue lives with its owning worker and is only ever popped by that
+ * worker, so per-shard execution is serial and FIFO by construction.
+ */
+struct ShardedEngine::Worker
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool stop = false;
+    std::vector<unsigned> shards; ///< shard ids this worker serves
+
+    /** Task: (job, sub index). Parallel to `shards`. */
+    std::vector<std::deque<std::pair<std::shared_ptr<BatchJob>, unsigned>>>
+        queues;
+
+    std::size_t cursor = 0; ///< round-robin scan position
+    std::thread th;
+};
+
+ShardedEngine::ShardedEngine(const EngineConfig &cfg)
+    : cfg_(cfg)
+{
+    BUDDY_CHECK(cfg.shards > 0, "engine needs at least one shard");
+    shards_.reserve(cfg.shards);
+    for (unsigned s = 0; s < cfg.shards; ++s)
+        shards_.push_back(std::make_unique<BuddyController>(cfg.shard));
+
+    const unsigned nthreads =
+        std::min(cfg.threads == 0 ? cfg.shards : cfg.threads, cfg.shards);
+    workers_.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t)
+        workers_.push_back(std::make_unique<Worker>());
+    for (unsigned s = 0; s < cfg.shards; ++s) {
+        Worker &w = *workers_[workerOf(s)];
+        w.shards.push_back(s);
+        w.queues.emplace_back();
+    }
+    for (auto &w : workers_)
+        w->th = std::thread([this, &w = *w] { workerMain(w); });
+}
+
+ShardedEngine::~ShardedEngine()
+{
+    for (auto &w : workers_) {
+        {
+            std::lock_guard<std::mutex> lk(w->m);
+            w->stop = true;
+        }
+        w->cv.notify_one();
+    }
+    for (auto &w : workers_)
+        w->th.join();
+}
+
+unsigned
+ShardedEngine::workerOf(unsigned shard) const
+{
+    return shard % static_cast<unsigned>(workers_.size());
+}
+
+u64
+ShardedEngine::shardSeed(unsigned s) const
+{
+    return splitmix64(cfg_.seed ^ (static_cast<u64>(s) + 1));
+}
+
+std::optional<AllocId>
+ShardedEngine::allocate(const std::string &name, u64 bytes,
+                        CompressionTarget target)
+{
+    // Fixed ordinal hash: the same allocation sequence always lands on
+    // the same shards, independent of thread count and scheduling.
+    const unsigned n = shardCount();
+    const unsigned home = static_cast<unsigned>(
+        splitmix64(nextOrdinal_ ^ cfg_.shardSalt) % n);
+    ++nextOrdinal_;
+
+    for (unsigned probe = 0; probe < n; ++probe) {
+        const unsigned s = (home + probe) % n;
+        const auto shardId = shards_[s]->allocate(name, bytes, target);
+        if (!shardId)
+            continue;
+
+        const Allocation &sa = shards_[s]->allocations().at(*shardId);
+        EngineAllocation a;
+        a.id = nextId_++;
+        a.shard = s;
+        a.shardId = *shardId;
+        a.name = name;
+        a.bytes = sa.bytes; // page-rounded by the controller
+        a.target = target;
+        a.va = nextVa_;
+        a.shardVa = sa.va;
+        nextVa_ += a.bytes;
+        logicalUsed_ += a.bytes;
+        byVa_[a.va] = a.id;
+        allocs_[a.id] = a;
+        return a.id;
+    }
+    return std::nullopt;
+}
+
+void
+ShardedEngine::free(AllocId id)
+{
+    const auto it = allocs_.find(id);
+    BUDDY_CHECK(it != allocs_.end(), "free of unknown engine allocation");
+    const EngineAllocation &a = it->second;
+    shards_[a.shard]->free(a.shardId);
+    logicalUsed_ -= a.bytes;
+    byVa_.erase(a.va);
+    allocs_.erase(it);
+}
+
+const EngineAllocation &
+ShardedEngine::allocationFor(Addr va) const
+{
+    auto it = byVa_.upper_bound(va);
+    BUDDY_CHECK(it != byVa_.begin(), "address below all engine allocations");
+    --it;
+    const EngineAllocation &a = allocs_.at(it->second);
+    BUDDY_CHECK(a.contains(va), "address not inside any engine allocation");
+    return a;
+}
+
+std::future<BatchSummary>
+ShardedEngine::submit(AccessBatch &batch)
+{
+    auto job = std::make_shared<BatchJob>();
+    job->batch = &batch;
+
+    const std::size_t n = batch.ops_.size();
+    batch.results_.assign(n, AccessInfo{});
+    batch.summary_ = BatchSummary{};
+    job->opSub.resize(n);
+    job->opAlloc.resize(n);
+
+    // Split the plan: one sub-plan per participating shard, ops kept in
+    // submission order with shard-local addresses.
+    std::vector<int> subOf(shardCount(), -1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const AccessRequest &op = batch.ops_[i];
+        const EngineAllocation &a = allocationFor(op.va);
+        int &sub = subOf[a.shard];
+        if (sub < 0) {
+            sub = static_cast<int>(job->subs.size());
+            job->subs.emplace_back();
+            job->subs.back().shard = a.shard;
+        }
+        SubPlan &sp = job->subs[static_cast<std::size_t>(sub)];
+        AccessRequest local = op;
+        local.va = a.shardVa + (op.va - a.va);
+        sp.plan.ops_.push_back(local);
+        sp.origIdx.push_back(static_cast<u32>(i));
+        job->opSub[i] = static_cast<u32>(sub);
+        job->opAlloc[i] = a.id;
+    }
+
+    auto fut = job->done.get_future();
+    if (job->subs.empty()) {
+        // Empty plan: nothing to enqueue.
+        if (!hub_.empty()) {
+            std::lock_guard<std::mutex> lk(emitMutex_);
+            hub_.emitBatch(batch.summary_);
+        }
+        job->done.set_value(batch.summary_);
+        return fut;
+    }
+
+    job->remaining.store(static_cast<unsigned>(job->subs.size()),
+                         std::memory_order_relaxed);
+    for (unsigned sub = 0; sub < job->subs.size(); ++sub) {
+        const unsigned s = job->subs[sub].shard;
+        Worker &w = *workers_[workerOf(s)];
+        const auto slot = std::find(w.shards.begin(), w.shards.end(), s) -
+                          w.shards.begin();
+        {
+            std::lock_guard<std::mutex> lk(w.m);
+            w.queues[static_cast<std::size_t>(slot)].emplace_back(job, sub);
+        }
+        w.cv.notify_one();
+    }
+    return fut;
+}
+
+const BatchSummary &
+ShardedEngine::execute(AccessBatch &batch)
+{
+    submit(batch).get();
+    return batch.summary_;
+}
+
+void
+ShardedEngine::workerMain(Worker &w)
+{
+    for (;;) {
+        std::shared_ptr<BatchJob> job;
+        unsigned sub = 0;
+        {
+            std::unique_lock<std::mutex> lk(w.m);
+            w.cv.wait(lk, [&] {
+                if (w.stop)
+                    return true;
+                for (const auto &q : w.queues)
+                    if (!q.empty())
+                        return true;
+                return false;
+            });
+            // Round-robin over this worker's shard queues so one busy
+            // shard cannot starve its siblings.
+            for (std::size_t k = 0; k < w.queues.size() && !job; ++k) {
+                auto &q = w.queues[(w.cursor + k) % w.queues.size()];
+                if (!q.empty()) {
+                    job = std::move(q.front().first);
+                    sub = q.front().second;
+                    q.pop_front();
+                    w.cursor = (w.cursor + k + 1) % w.queues.size();
+                }
+            }
+            if (!job) {
+                if (w.stop)
+                    return;
+                continue;
+            }
+        }
+        runTask(job, sub);
+    }
+}
+
+void
+ShardedEngine::runTask(const std::shared_ptr<BatchJob> &job, unsigned sub)
+{
+    SubPlan &sp = job->subs[sub];
+    BuddyController &c = *shards_[sp.shard];
+
+    // Only this worker ever touches this shard, so attaching a capture
+    // sink around the execution is race-free.
+    const bool capture = !hub_.empty();
+    CaptureSink cap;
+    if (capture) {
+        cap.events.reserve(sp.plan.ops_.size());
+        c.attachSink(&cap);
+    }
+    c.execute(sp.plan);
+    if (capture) {
+        c.detachSink(&cap);
+        sp.events = std::move(cap.events);
+    }
+
+    if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        finish(*job);
+}
+
+void
+ShardedEngine::finish(BatchJob &job)
+{
+    AccessBatch &batch = *job.batch;
+
+    // Scatter per-op results back into submission order and fold the
+    // per-shard summaries (u64 sums, so the merge is order-independent
+    // and bit-identical to a single-controller run of the same plan).
+    BatchSummary merged;
+    for (const SubPlan &sp : job.subs) {
+        const BatchSummary &s = sp.plan.summary_;
+        merged.reads += s.reads;
+        merged.writes += s.writes;
+        merged.probes += s.probes;
+        merged.deviceSectors += s.deviceSectors;
+        merged.buddySectors += s.buddySectors;
+        merged.metadataHits += s.metadataHits;
+        merged.metadataMisses += s.metadataMisses;
+        merged.buddyAccesses += s.buddyAccesses;
+        for (std::size_t j = 0; j < sp.origIdx.size(); ++j)
+            batch.results_[sp.origIdx[j]] = sp.plan.results_[j];
+    }
+    batch.summary_ = merged;
+
+    // Replay captured events to engine-level sinks in submission order:
+    // sinks observe exactly the stream a single controller would emit
+    // (with engine-global addresses and allocation ids).
+    if (!hub_.empty()) {
+        std::lock_guard<std::mutex> lk(emitMutex_);
+        std::vector<std::size_t> cursor(job.subs.size(), 0);
+        for (std::size_t i = 0; i < batch.ops_.size(); ++i) {
+            SubPlan &sp = job.subs[job.opSub[i]];
+            AccessEvent ev = sp.events[cursor[job.opSub[i]]++];
+            ev.va = batch.ops_[i].va;
+            ev.allocId = job.opAlloc[i]; // resolved during the split
+            hub_.emit(ev);
+        }
+        hub_.emitBatch(merged);
+    }
+
+    job.done.set_value(merged);
+}
+
+BuddyStats
+ShardedEngine::stats() const
+{
+    BuddyStats total;
+    for (const auto &s : shards_) {
+        const BuddyStats &st = s->stats();
+        total.reads += st.reads;
+        total.writes += st.writes;
+        total.deviceSectorTraffic += st.deviceSectorTraffic;
+        total.buddySectorTraffic += st.buddySectorTraffic;
+        total.buddyAccesses += st.buddyAccesses;
+        total.overflowEntries += st.overflowEntries;
+    }
+    return total;
+}
+
+void
+ShardedEngine::clearStats()
+{
+    for (auto &s : shards_)
+        s->clearStats();
+}
+
+u64
+ShardedEngine::deviceBytesReserved() const
+{
+    u64 total = 0;
+    for (const auto &s : shards_)
+        total += s->deviceBytesReserved();
+    return total;
+}
+
+u64
+ShardedEngine::buddyBytesReserved() const
+{
+    u64 total = 0;
+    for (const auto &s : shards_)
+        total += s->buddyBytesReserved();
+    return total;
+}
+
+double
+ShardedEngine::compressionRatio() const
+{
+    const u64 device = deviceBytesReserved();
+    return device ? static_cast<double>(logicalUsed_) /
+                        static_cast<double>(device)
+                  : 1.0;
+}
+
+u64
+ShardedEngine::metadataAccesses() const
+{
+    u64 total = 0;
+    for (const auto &s : shards_)
+        total += s->metadataCache().accesses();
+    return total;
+}
+
+u64
+ShardedEngine::metadataMisses() const
+{
+    u64 total = 0;
+    for (const auto &s : shards_)
+        total += s->metadataCache().misses();
+    return total;
+}
+
+} // namespace engine
+} // namespace buddy

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * buddy::engine — the sharded concurrent simulation engine.
+ *
+ * Buddy Compression's fixed buddy-slot property (paper Section 3.3:
+ * a compressibility change never moves any other entry) makes 128 B
+ * entries embarrassingly shardable: no access ever needs state owned by
+ * another entry's allocation. The ShardedEngine exploits this by
+ * partitioning allocations across N shards, each shard owning a complete
+ * BuddyController (codec, metadata store + cache, device and buddy
+ * backing stores), and executing access plans on a worker thread pool
+ * with per-shard work queues.
+ *
+ * Submission is asynchronous: submit(AccessBatch&) splits the plan by
+ * shard, enqueues one sub-plan per participating shard, and returns a
+ * std::future<BatchSummary>. Workers execute sub-plans in parallel; the
+ * last one to finish merges the per-op AccessInfo back into submission
+ * order and folds the per-shard summaries into one BatchSummary.
+ *
+ * Determinism: a shard is only ever touched by the one worker thread
+ * that owns its queue, and each shard sees its sub-plan's operations in
+ * submission order, so results are independent of thread scheduling.
+ * Shard assignment hashes the allocation ordinal with a fixed salt
+ * (EngineConfig::shardSalt) and per-shard RNG seeds derive from
+ * EngineConfig::seed, so multi-threaded runs are reproducible
+ * run-to-run. Cross-shard traffic totals are bit-identical to a single
+ * BuddyController executing the same plan; per-op metadata hit/miss
+ * results also match whenever the metadata working set fits the cache
+ * (no capacity evictions), which tests/test_engine.cc pins.
+ *
+ * Thread-safety contract: allocate()/free()/attachSink()/detachSink()
+ * and the merged-stat accessors must be called with no batch in flight
+ * (between submit() and future completion only workers touch shard
+ * state). Multiple batches may be in flight at once; per-shard FIFO
+ * order keeps same-entry dependencies correct across batches. Engine
+ * sinks are invoked with an internal lock held, in submission order, so
+ * they need no locking of their own.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/access.h"
+#include "api/traffic_sink.h"
+#include "core/controller.h"
+
+namespace buddy {
+namespace engine {
+
+/** Configuration of the sharded engine. */
+struct EngineConfig
+{
+    /** Number of shards; each owns a complete BuddyController. */
+    unsigned shards = 4;
+
+    /** Worker threads (0 = one per shard; clamped to the shard count). */
+    unsigned threads = 0;
+
+    /**
+     * Base seed for per-shard RNG streams (shardSeed()). Purely a
+     * convenience for deterministic workload drivers — the engine itself
+     * draws no randomness.
+     */
+    u64 seed = 0x9e3779b97f4a7c15ull;
+
+    /**
+     * Salt of the allocation-ordinal shard hash. Fixed so the
+     * allocation-to-shard map — and therefore every multi-threaded run —
+     * is reproducible run-to-run.
+     */
+    u64 shardSalt = 0xb5297a4d3c2d6ed3ull;
+
+    /**
+     * Template for every shard's BuddyController. deviceBytes is the
+     * per-shard device capacity (total capacity = shards * deviceBytes).
+     */
+    BuddyConfig shard;
+};
+
+/** One engine-level allocation and its placement. */
+struct EngineAllocation
+{
+    AllocId id = 0;       ///< engine-level allocation id
+    unsigned shard = 0;   ///< owning shard
+    AllocId shardId = 0;  ///< id within the shard's controller
+    std::string name;
+    u64 bytes = 0;        ///< logical size, page-rounded
+    CompressionTarget target = CompressionTarget::None;
+    Addr va = 0;          ///< engine-global virtual base address
+    Addr shardVa = 0;     ///< base address within the shard controller
+
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= va && addr < va + bytes;
+    }
+};
+
+/** SplitMix64 — the engine's fixed shard-hash / seed-derivation mix. */
+inline u64
+splitmix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * The sharded concurrent engine (see file header).
+ *
+ * Owns `shards` BuddyControllers and a worker pool. Addresses handed to
+ * submit()/execute() are engine-global virtual addresses returned by
+ * allocate(); the engine translates them to shard-local addresses when
+ * splitting a plan.
+ */
+class ShardedEngine
+{
+  public:
+    explicit ShardedEngine(const EngineConfig &cfg);
+    ~ShardedEngine();
+
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    /**
+     * Create a compressed allocation on the shard selected by the fixed
+     * ordinal hash (falling back to the next shard with capacity).
+     * @return the engine-level allocation id, or std::nullopt if every
+     *         shard is out of device or buddy memory.
+     */
+    std::optional<AllocId> allocate(const std::string &name, u64 bytes,
+                                    CompressionTarget target);
+
+    /** Release an engine allocation. */
+    void free(AllocId id);
+
+    /**
+     * Submit a batched access plan for parallel execution.
+     *
+     * The plan is split by shard and executed concurrently; when the
+     * future becomes ready, batch.results() holds one AccessInfo per
+     * operation in submission order and batch.summary() the merged
+     * cross-shard totals (also the future's value). The batch and every
+     * src/dst buffer it references must stay alive and untouched until
+     * the future is ready.
+     */
+    std::future<BatchSummary> submit(AccessBatch &batch);
+
+    /** Submit and wait: the synchronous convenience wrapper. */
+    const BatchSummary &execute(AccessBatch &batch);
+
+    /** Subscribe @p sink to the engine-level traffic event stream. */
+    void attachSink(TrafficSink *sink) { hub_.attach(sink); }
+
+    /** Unsubscribe @p sink. */
+    void detachSink(TrafficSink *sink) { hub_.detach(sink); }
+
+    unsigned shardCount() const { return static_cast<unsigned>(shards_.size()); }
+    unsigned threadCount() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Shard @p s's controller (tests / per-shard introspection). */
+    const BuddyController &shard(unsigned s) const { return *shards_[s]; }
+
+    /**
+     * Deterministic per-shard RNG seed: splitmix64 over
+     * EngineConfig::seed and the shard index. Identical across runs and
+     * engines with the same config.
+     */
+    u64 shardSeed(unsigned s) const;
+
+    /** All live engine allocations, keyed by engine-level id. */
+    const std::map<AllocId, EngineAllocation> &allocations() const
+    {
+        return allocs_;
+    }
+
+    /** The allocation covering @p va (panics if none). */
+    const EngineAllocation &allocationFor(Addr va) const;
+
+    /** Merged controller statistics across all shards. */
+    BuddyStats stats() const;
+
+    /** Clear every shard's statistics. */
+    void clearStats();
+
+    /** Device bytes reserved across all shards. */
+    u64 deviceBytesReserved() const;
+
+    /** Buddy-carve-out bytes reserved across all shards. */
+    u64 buddyBytesReserved() const;
+
+    /** Achieved capacity compression ratio across all shards. */
+    double compressionRatio() const;
+
+    /** Merged metadata-cache accesses / misses across all shards. */
+    u64 metadataAccesses() const;
+    u64 metadataMisses() const;
+
+    const EngineConfig &config() const { return cfg_; }
+
+  private:
+    /** One shard's slice of an in-flight batch. */
+    struct SubPlan
+    {
+        unsigned shard = 0;
+        AccessBatch plan;           ///< shard-local (translated) ops
+        std::vector<u32> origIdx;   ///< submission index of each op
+        std::vector<AccessEvent> events; ///< captured when sinks attached
+    };
+
+    /** One in-flight batch: sub-plans plus completion bookkeeping. */
+    struct BatchJob
+    {
+        AccessBatch *batch = nullptr;
+        std::vector<SubPlan> subs;
+        std::vector<u32> opSub;     ///< sub index of each submission op
+        std::vector<AllocId> opAlloc; ///< engine alloc id of each op
+        std::atomic<unsigned> remaining{0};
+        std::promise<BatchSummary> done;
+    };
+
+    struct Worker;
+
+    unsigned workerOf(unsigned shard) const;
+    void workerMain(Worker &w);
+    void runTask(const std::shared_ptr<BatchJob> &job, unsigned sub);
+    void finish(BatchJob &job);
+
+    EngineConfig cfg_;
+    std::vector<std::unique_ptr<BuddyController>> shards_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    TrafficHub hub_;
+    std::mutex emitMutex_; ///< serializes engine-level sink emission
+
+    std::map<AllocId, EngineAllocation> allocs_;
+    std::map<Addr, AllocId> byVa_; // engine base VA -> id
+    AllocId nextId_ = 1;
+    u64 nextOrdinal_ = 0; ///< shard-hash input, counts all allocates
+    Addr nextVa_ = 0x10000000ull;
+    u64 logicalUsed_ = 0;
+};
+
+} // namespace engine
+
+using engine::EngineAllocation;
+using engine::EngineConfig;
+using engine::ShardedEngine;
+
+} // namespace buddy

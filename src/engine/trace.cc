@@ -1,0 +1,367 @@
+#include "engine/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.h"
+#include "core/controller.h"
+#include "engine/engine.h"
+
+namespace buddy {
+namespace engine {
+
+namespace {
+
+constexpr u8 kMagic[4] = {'B', 'D', 'Y', 'T'};
+constexpr u8 kVersion = 1;
+constexpr u8 kTagZeroWrite = 0x10;
+constexpr u8 kTagBatch = 0xFE;
+constexpr u8 kTagFooter = 0xFF;
+
+const u8 kZeroEntry[kEntryBytes] = {};
+
+void
+putVarint(std::vector<u8> &out, u64 v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<u8>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<u8>(v));
+}
+
+/** Bounds-checked byte-stream reader over a loaded trace image. */
+struct Reader
+{
+    const std::vector<u8> &data;
+    std::size_t pos = 0;
+
+    bool atEnd() const { return pos >= data.size(); }
+
+    u8
+    byte()
+    {
+        BUDDY_CHECK(pos < data.size(), "truncated trace");
+        return data[pos++];
+    }
+
+    u64
+    varint()
+    {
+        u64 v = 0;
+        unsigned shift = 0;
+        for (;;) {
+            const u8 b = byte();
+            v |= static_cast<u64>(b & 0x7F) << shift;
+            if (!(b & 0x80))
+                return v;
+            shift += 7;
+            BUDDY_CHECK(shift < 64, "malformed trace varint");
+        }
+    }
+
+    const u8 *
+    raw(std::size_t len)
+    {
+        // pos <= size always holds; phrase the bound so a huge length
+        // from a corrupt varint cannot overflow past the check.
+        BUDDY_CHECK(len <= data.size() - pos, "truncated trace");
+        const u8 *p = data.data() + pos;
+        pos += len;
+        return p;
+    }
+};
+
+void
+putTotals(std::vector<u8> &out, const TraceTotals &t)
+{
+    putVarint(out, t.summary.reads);
+    putVarint(out, t.summary.writes);
+    putVarint(out, t.summary.probes);
+    putVarint(out, t.summary.deviceSectors);
+    putVarint(out, t.summary.buddySectors);
+    putVarint(out, t.summary.metadataHits);
+    putVarint(out, t.summary.metadataMisses);
+    putVarint(out, t.summary.buddyAccesses);
+    putVarint(out, t.batches);
+}
+
+TraceTotals
+readTotals(Reader &r)
+{
+    TraceTotals t;
+    t.summary.reads = r.varint();
+    t.summary.writes = r.varint();
+    t.summary.probes = r.varint();
+    t.summary.deviceSectors = r.varint();
+    t.summary.buddySectors = r.varint();
+    t.summary.metadataHits = r.varint();
+    t.summary.metadataMisses = r.varint();
+    t.summary.buddyAccesses = r.varint();
+    t.batches = r.varint();
+    return t;
+}
+
+void
+accumulate(TraceTotals &t, const BatchSummary &s)
+{
+    t.summary.reads += s.reads;
+    t.summary.writes += s.writes;
+    t.summary.probes += s.probes;
+    t.summary.deviceSectors += s.deviceSectors;
+    t.summary.buddySectors += s.buddySectors;
+    t.summary.metadataHits += s.metadataHits;
+    t.summary.metadataMisses += s.metadataMisses;
+    t.summary.buddyAccesses += s.buddyAccesses;
+    ++t.batches;
+}
+
+} // namespace
+
+// ------------------------------------------------------------- recorder --
+
+void
+TraceRecorderSink::noteAllocation(const std::string &name, Addr va,
+                                  u64 bytes, CompressionTarget target)
+{
+    TraceAllocation a;
+    a.name = name;
+    a.va = va;
+    a.bytes = bytes;
+    a.target = target;
+    allocs_.push_back(std::move(a));
+}
+
+void
+TraceRecorderSink::onAccess(const api::AccessEvent &event)
+{
+    const bool zero_write =
+        event.kind == AccessKind::Write && event.isZero;
+    if (event.kind == AccessKind::Write && !zero_write &&
+        event.data == nullptr) {
+        // Not a replayable entry write: emitters other than the
+        // controller (e.g. the UM model's migration reports) publish
+        // payload-less Write events on the shared stream. Count and
+        // skip rather than record an op that cannot be re-executed.
+        ++skipped_;
+        return;
+    }
+    u8 tag = static_cast<u8>(event.kind);
+    if (zero_write)
+        tag |= kTagZeroWrite;
+    stream_.push_back(tag);
+    putVarint(stream_, event.va / kEntryBytes);
+    if (event.kind == AccessKind::Write && !zero_write)
+        stream_.insert(stream_.end(), event.data, event.data + kEntryBytes);
+    ++ops_;
+    ++opsInBatch_;
+}
+
+void
+TraceRecorderSink::onBatch(const BatchSummary &summary)
+{
+    stream_.push_back(kTagBatch);
+    putVarint(stream_, opsInBatch_);
+    opsInBatch_ = 0;
+    accumulate(totals_, summary);
+}
+
+std::vector<u8>
+TraceRecorderSink::serialize() const
+{
+    std::vector<u8> out;
+    out.insert(out.end(), kMagic, kMagic + 4);
+    out.push_back(kVersion);
+    putVarint(out, allocs_.size());
+    for (const TraceAllocation &a : allocs_) {
+        putVarint(out, a.name.size());
+        out.insert(out.end(), a.name.begin(), a.name.end());
+        putVarint(out, a.va / kEntryBytes);
+        putVarint(out, a.bytes);
+        out.push_back(static_cast<u8>(a.target));
+    }
+    out.insert(out.end(), stream_.begin(), stream_.end());
+    out.push_back(kTagFooter);
+    putTotals(out, totals_);
+    return out;
+}
+
+void
+TraceRecorderSink::save(const std::string &path) const
+{
+    const std::vector<u8> image = serialize();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open trace \"%s\" for writing\n",
+                     path.c_str());
+        BUDDY_FATAL("trace save failed");
+    }
+    const std::size_t n = std::fwrite(image.data(), 1, image.size(), f);
+    std::fclose(f);
+    BUDDY_CHECK(n == image.size(), "short trace write");
+}
+
+// ------------------------------------------------------------- replayer --
+
+void
+TraceReplayer::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open trace \"%s\"\n", path.c_str());
+        BUDDY_FATAL("trace load failed");
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<u8> image(size > 0 ? static_cast<std::size_t>(size) : 0);
+    const std::size_t n = std::fread(image.data(), 1, image.size(), f);
+    std::fclose(f);
+    BUDDY_CHECK(n == image.size(), "short trace read");
+    loadImage(std::move(image));
+}
+
+void
+TraceReplayer::loadImage(std::vector<u8> image)
+{
+    image_ = std::move(image);
+    allocs_.clear();
+    batches_.clear();
+    ops_ = 0;
+    recorded_ = TraceTotals{};
+
+    Reader r{image_};
+    BUDDY_CHECK(std::memcmp(r.raw(4), kMagic, 4) == 0,
+                "not a buddy trace (bad magic)");
+    BUDDY_CHECK(r.byte() == kVersion, "unsupported trace version");
+
+    const u64 alloc_count = r.varint();
+    allocs_.reserve(alloc_count);
+    for (u64 i = 0; i < alloc_count; ++i) {
+        TraceAllocation a;
+        const u64 name_len = r.varint();
+        const u8 *name = r.raw(name_len);
+        a.name.assign(reinterpret_cast<const char *>(name), name_len);
+        a.va = r.varint() * kEntryBytes;
+        a.bytes = r.varint();
+        a.target = static_cast<CompressionTarget>(r.byte());
+        allocs_.push_back(std::move(a));
+    }
+
+    std::vector<Op> batch;
+    for (;;) {
+        const u8 tag = r.byte();
+        if (tag == kTagFooter) {
+            recorded_ = readTotals(r);
+            BUDDY_CHECK(r.atEnd(), "trailing bytes after trace footer");
+            BUDDY_CHECK(batch.empty(),
+                        "trace ends inside an unterminated batch");
+            return;
+        }
+        if (tag == kTagBatch) {
+            const u64 count = r.varint();
+            BUDDY_CHECK(count == batch.size(),
+                        "trace batch-mark op count mismatch");
+            batches_.push_back(std::move(batch));
+            batch.clear();
+            continue;
+        }
+
+        Op op;
+        const u8 kind = tag & 0x0F;
+        BUDDY_CHECK(kind <= static_cast<u8>(AccessKind::Probe),
+                    "unknown trace op kind");
+        op.kind = static_cast<AccessKind>(kind);
+        op.va = r.varint() * kEntryBytes;
+        if (op.kind == AccessKind::Write)
+            op.payload = (tag & kTagZeroWrite) ? kZeroEntry
+                                               : r.raw(kEntryBytes);
+        batch.push_back(op);
+        ++ops_;
+    }
+}
+
+template <typename Target>
+TraceTotals
+TraceReplayer::replayInto(Target &target, unsigned repeat) const
+{
+    // Re-create the allocation table in recorded order, building the
+    // recorded-VA -> target-VA translation.
+    struct Range
+    {
+        Addr oldBase;
+        u64 bytes;
+        Addr newBase;
+    };
+    std::vector<Range> ranges;
+    ranges.reserve(allocs_.size());
+    for (const TraceAllocation &a : allocs_) {
+        const auto id = target.allocate(a.name, a.bytes, a.target);
+        BUDDY_CHECK(id.has_value(), "replay target out of memory");
+        ranges.push_back({a.va, a.bytes, target.allocations().at(*id).va});
+    }
+    std::sort(ranges.begin(), ranges.end(),
+              [](const Range &x, const Range &y) {
+                  return x.oldBase < y.oldBase;
+              });
+    const auto translate = [&ranges](Addr va) -> Addr {
+        const auto it = std::upper_bound(
+            ranges.begin(), ranges.end(), va,
+            [](Addr v, const Range &x) { return v < x.oldBase; });
+        BUDDY_CHECK(it != ranges.begin(),
+                    "trace address below every recorded allocation");
+        const Range &x = *(it - 1);
+        BUDDY_CHECK(va < x.oldBase + x.bytes,
+                    "trace address outside every recorded allocation");
+        return x.newBase + (va - x.oldBase);
+    };
+
+    TraceTotals totals;
+    AccessBatch plan;
+    std::vector<u8> read_buf;
+    for (unsigned pass = 0; pass < repeat; ++pass) {
+        for (const std::vector<Op> &ops : batches_) {
+            std::size_t reads = 0;
+            for (const Op &op : ops)
+                if (op.kind == AccessKind::Read)
+                    ++reads;
+            read_buf.resize(std::max<std::size_t>(1, reads * kEntryBytes));
+
+            plan.clear();
+            std::size_t next_read = 0;
+            for (const Op &op : ops) {
+                const Addr va = translate(op.va);
+                switch (op.kind) {
+                  case AccessKind::Read:
+                    plan.read(va,
+                              read_buf.data() + next_read++ * kEntryBytes);
+                    break;
+                  case AccessKind::Write:
+                    plan.write(va, op.payload);
+                    break;
+                  case AccessKind::Probe:
+                    plan.probe(va);
+                    break;
+                }
+            }
+            accumulate(totals, target.execute(plan));
+        }
+    }
+    return totals;
+}
+
+TraceTotals
+TraceReplayer::replay(ShardedEngine &target, unsigned repeat) const
+{
+    return replayInto(target, repeat);
+}
+
+TraceTotals
+TraceReplayer::replay(BuddyController &target, unsigned repeat) const
+{
+    return replayInto(target, repeat);
+}
+
+} // namespace engine
+} // namespace buddy

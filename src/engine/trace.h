@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The access-trace layer: capture a workload once, replay it at scale.
+ *
+ * A trace is a compact binary file holding (i) the allocation table
+ * (name, base VA, size, target ratio), (ii) the executed operation
+ * stream — kind + entry address per op, plus the 128 B payload for
+ * non-zero writes — with batch boundaries preserved, and (iii) a footer
+ * with the recorder's accumulated traffic totals.
+ *
+ * TraceRecorderSink records through the existing TrafficSink stream, so
+ * it works unchanged on a plain BuddyController or on a ShardedEngine
+ * (which replays events to its sinks in submission order — recorded
+ * traces are deterministic byte-for-byte when batches are submitted
+ * sequentially). TraceReplayer drives a fresh engine or controller from
+ * the file: it re-creates the allocation table in recorded order,
+ * translates recorded addresses into the new address space, and
+ * re-executes the batches. Replaying onto an identically-configured
+ * target reproduces the recorded totals exactly; traffic totals
+ * (sectors, buddy accesses) are shard-count-independent, so a trace
+ * captured anywhere can be replayed under any sharding.
+ *
+ * Format (all multi-byte integers are LEB128 varints unless noted):
+ *
+ *   magic "BDYT" (4 raw bytes), version u8
+ *   allocCount; per allocation:
+ *     nameLen, name bytes, baseVa/128, bytes, target (u8)
+ *   record stream, one tag byte each:
+ *     0x00..0x02  op: tag = kind (read/write/probe), then entryIdx
+ *                 (va/128); tag|0x10 marks an all-zero write;
+ *                 non-zero writes append 128 raw payload bytes
+ *     0xFE        batch end: opCount (redundant, checked on load)
+ *     0xFF        footer: the nine accumulated totals, then EOF
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/access.h"
+#include "api/traffic_sink.h"
+#include "common/types.h"
+#include "compress/sector.h"
+
+namespace buddy {
+
+class BuddyController;
+
+namespace engine {
+
+class ShardedEngine;
+
+/** One allocation-table entry of a trace. */
+struct TraceAllocation
+{
+    std::string name;
+    Addr va = 0; ///< base VA in the recording address space
+    u64 bytes = 0;
+    CompressionTarget target = CompressionTarget::None;
+};
+
+/** Accumulated traffic totals of a recording or a replay. */
+struct TraceTotals
+{
+    BatchSummary summary;
+    u64 batches = 0;
+};
+
+/**
+ * TrafficSink that records the access stream into the trace format.
+ *
+ * Usage: attach to a ShardedEngine (or BuddyController), declare each
+ * allocation with noteAllocation() right after allocating it, run the
+ * workload, then save(). Write payloads are copied during onAccess(),
+ * so the recorder has no lifetime coupling to the caller's buffers.
+ */
+class TraceRecorderSink : public api::TrafficSink
+{
+  public:
+    /** Declare an allocation (recorded in call order). */
+    void noteAllocation(const std::string &name, Addr va, u64 bytes,
+                        CompressionTarget target);
+
+    void onAccess(const api::AccessEvent &event) override;
+    void onBatch(const BatchSummary &summary) override;
+
+    /** Totals accumulated so far (one onBatch = one batch). */
+    const TraceTotals &totals() const { return totals_; }
+
+    u64 opCount() const { return ops_; }
+
+    /**
+     * Write events skipped because they carried no payload (emitters
+     * other than the controller, e.g. umsim migration reports, publish
+     * such events on the shared stream; they cannot be re-executed).
+     */
+    u64 skippedOps() const { return skipped_; }
+
+    /** Serialize header + allocation table + stream + footer. */
+    std::vector<u8> serialize() const;
+
+    /** Serialize to @p path (fatal on I/O failure). */
+    void save(const std::string &path) const;
+
+  private:
+    std::vector<TraceAllocation> allocs_;
+    std::vector<u8> stream_; ///< op + batch-mark records
+    u64 ops_ = 0;
+    u64 opsInBatch_ = 0;
+    u64 skipped_ = 0;
+    TraceTotals totals_;
+};
+
+/**
+ * Replays a recorded trace against a fresh engine or controller.
+ *
+ * load() parses the file; replay() re-creates the allocations in
+ * recorded order on the target, then re-executes every recorded batch
+ * (@p repeat times), translating recorded VAs into the target's
+ * allocation bases. Reads land in an internal scratch buffer.
+ */
+class TraceReplayer
+{
+  public:
+    /** Parse @p path (fatal on malformed input or I/O failure). */
+    void load(const std::string &path);
+
+    /** Parse an in-memory image (fatal on malformed input). */
+    void loadImage(std::vector<u8> image);
+
+    const std::vector<TraceAllocation> &allocations() const
+    {
+        return allocs_;
+    }
+
+    /** Totals recorded in the trace footer. */
+    const TraceTotals &recordedTotals() const { return recorded_; }
+
+    u64 batchCount() const { return batches_.size(); }
+    u64 opCount() const { return ops_; }
+
+    /**
+     * Drive @p target from the trace.
+     * @param repeat replay the whole batch stream this many times.
+     * @return the totals accumulated across the replayed batches.
+     */
+    TraceTotals replay(ShardedEngine &target, unsigned repeat = 1) const;
+    TraceTotals replay(BuddyController &target, unsigned repeat = 1) const;
+
+  private:
+    /** One parsed operation; payload points into image_ (or zeros). */
+    struct Op
+    {
+        AccessKind kind = AccessKind::Probe;
+        Addr va = 0;
+        const u8 *payload = nullptr; ///< writes only
+    };
+
+    template <typename Target>
+    TraceTotals replayInto(Target &target, unsigned repeat) const;
+
+    std::vector<u8> image_;
+    std::vector<TraceAllocation> allocs_;
+    std::vector<std::vector<Op>> batches_;
+    u64 ops_ = 0;
+    TraceTotals recorded_;
+};
+
+} // namespace engine
+
+using engine::TraceRecorderSink;
+using engine::TraceReplayer;
+using engine::TraceTotals;
+
+} // namespace buddy
