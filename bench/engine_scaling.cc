@@ -9,10 +9,11 @@
  * entries/s plus the speedup over the 1-shard configuration.
  *
  * Correctness ride-along: the cross-shard traffic totals (reads,
- * writes, device and buddy sectors, buddy accesses) of every sharded
+ * writes, device and buddy sectors, buddy accesses, and the simulated
+ * cycle charges of the LinkModel-timed backing stores) of every sharded
  * run are checked bit-identical to the 1-shard reference — the engine's
  * core invariant — so a scaling win can never come from doing different
- * work.
+ * work. The sim-Mcycles column reports that simulated time.
  *
  *   bench_engine_scaling --shards=8 --threads=0 --entries=131072
  *   bench_engine_scaling --smoke       # tiny set + "SMOKE OK" for CI
@@ -104,7 +105,9 @@ sameTraffic(const BuddyStats &a, const BuddyStats &b)
            a.deviceSectorTraffic == b.deviceSectorTraffic &&
            a.buddySectorTraffic == b.buddySectorTraffic &&
            a.buddyAccesses == b.buddyAccesses &&
-           a.overflowEntries == b.overflowEntries;
+           a.overflowEntries == b.overflowEntries &&
+           a.deviceCycles == b.deviceCycles &&
+           a.buddyCycles == b.buddyCycles;
 }
 
 } // namespace
@@ -153,7 +156,8 @@ main(int argc, char **argv)
                             data.data() + e * kEntryBytes);
     }
 
-    Table t({"shards", "threads", "wall-ms", "entries/s", "speedup"});
+    Table t({"shards", "threads", "wall-ms", "entries/s", "speedup",
+             "sim-Mcycles"});
     RunResult ref;
     bool totals_ok = true;
     for (unsigned shards = 1; shards <= max_shards; shards *= 2) {
@@ -169,11 +173,15 @@ main(int argc, char **argv)
                   strfmt("%u", threads == 0 ? shards : threads),
                   strfmt("%.1f", r.seconds * 1e3),
                   strfmt("%.0f", eps / r.seconds),
-                  strfmt("%.2fx", ref.seconds / r.seconds)});
+                  strfmt("%.2fx", ref.seconds / r.seconds),
+                  strfmt("%.2f", static_cast<double>(r.stats.deviceCycles +
+                                                     r.stats.buddyCycles) /
+                                     1e6)});
     }
     t.print();
 
-    std::printf("\ncross-shard traffic totals vs. 1-shard reference: %s\n",
+    std::printf("\ncross-shard traffic totals (incl. LinkModel cycle "
+                "charges) vs. 1-shard reference: %s\n",
                 totals_ok ? "bit-identical" : "MISMATCH");
     if (smoke)
         std::printf("%s\n", totals_ok ? "SMOKE OK" : "SMOKE FAILED");

@@ -15,23 +15,160 @@
  *      sweeps tractable;
  *  (iii) functional throughput: entries/s through the controller's
  *      batched access plan, the path the functional experiments (write
- *      image -> read back) spend their time in.
+ *      image -> read back) spend their time in;
+ *  (iv) simulated time of the timed backends: the same working set
+ *      written and read through dram/host-um, dram/remote, and a
+ *      4-shard engine with NVLink-peer carve-outs, reporting the
+ *      LinkModel cycle totals (not just op counts) and checking that
+ *      multi-shard cycle totals reproduce run-to-run.
+ *
+ * --smoke shrinks the set and runs section (iv) only, emitting
+ * "SMOKE OK"/"SMOKE FAILED" — the CI ThreadSanitizer job drives the
+ * engine's timed clock paths through this mode.
  */
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/controller.h"
+#include "engine/engine.h"
 #include "gpusim/gpu.h"
 #include "workloads/benchmark.h"
 #include "workloads/patterns.h"
 
 using namespace buddy;
+
+namespace {
+
+/** Cycle totals of one timed write+read pass over the working set. */
+struct TimedRun
+{
+    u64 deviceCycles = 0;
+    u64 buddyCycles = 0;
+    u64 buddySectors = 0;
+
+    u64 total() const { return deviceCycles + buddyCycles; }
+
+    bool
+    operator==(const TimedRun &o) const
+    {
+        return deviceCycles == o.deviceCycles &&
+               buddyCycles == o.buddyCycles &&
+               buddySectors == o.buddySectors;
+    }
+};
+
+/** Write the set then read it back through @p target, summing cycles. */
+template <typename Target>
+TimedRun
+runTimed(Target &target, std::size_t entries, const std::vector<u8> &data)
+{
+    constexpr std::size_t kAllocs = 8;
+    const std::size_t per_alloc = (entries + kAllocs - 1) / kAllocs;
+    std::vector<Addr> vas;
+    vas.reserve(entries);
+    std::size_t e = 0;
+    for (std::size_t a = 0; a < kAllocs && e < entries; ++a) {
+        const std::size_t count = std::min(per_alloc, entries - e);
+        const auto id = target.allocate("t" + std::to_string(a),
+                                        count * kEntryBytes,
+                                        CompressionTarget::Ratio2);
+        if (!id) {
+            std::fprintf(stderr, "timed-run allocation failed\n");
+            std::exit(1);
+        }
+        const Addr base = target.allocations().at(*id).va;
+        for (std::size_t i = 0; i < count; ++i, ++e)
+            vas.push_back(base + i * kEntryBytes);
+    }
+
+    std::vector<u8> out(entries * kEntryBytes);
+    TimedRun r;
+    AccessBatch plan(entries);
+    for (std::size_t i = 0; i < entries; ++i)
+        plan.write(vas[i], data.data() + i * kEntryBytes);
+    target.execute(plan);
+    r.deviceCycles += plan.summary().deviceCycles;
+    r.buddyCycles += plan.summary().buddyCycles;
+    r.buddySectors += plan.summary().buddySectors;
+
+    plan.clear();
+    for (std::size_t i = 0; i < entries; ++i)
+        plan.read(vas[i], out.data() + i * kEntryBytes);
+    target.execute(plan);
+    r.deviceCycles += plan.summary().deviceCycles;
+    r.buddyCycles += plan.summary().buddyCycles;
+    r.buddySectors += plan.summary().buddySectors;
+    return r;
+}
+
+/** Section (iv): simulated cycles per timed backend configuration. */
+bool
+timedBackendSection(std::size_t entries, const std::string &codec)
+{
+    std::vector<u8> data(entries * kEntryBytes);
+    Rng rng(29);
+    for (std::size_t e = 0; e < entries; ++e)
+        fillBucketEntry(rng, static_cast<unsigned>(e % kPatternBuckets),
+                        data.data() + e * kEntryBytes);
+
+    Table t({"device/buddy backends", "dev-cycles", "buddy-cycles",
+             "total", "vs dram/host-um"});
+    double baseline = 0;
+    const auto addRow = [&](const char *name, const TimedRun &r) {
+        if (baseline == 0)
+            baseline = static_cast<double>(r.total());
+        t.addRow({name, strfmt("%llu", (unsigned long long)r.deviceCycles),
+                  strfmt("%llu", (unsigned long long)r.buddyCycles),
+                  strfmt("%llu", (unsigned long long)r.total()),
+                  strfmt("%.2fx",
+                         static_cast<double>(r.total()) / baseline)});
+    };
+
+    for (const char *buddy_kind : {"host-um", "remote"}) {
+        BuddyConfig cfg;
+        cfg.codec = codec;
+        cfg.deviceBytes = entries * kEntryBytes + 8 * MiB;
+        cfg.buddyBackend = buddy_kind;
+        BuddyController gpu(cfg);
+        const TimedRun r = runTimed(gpu, entries, data);
+        addRow(buddy_kind == std::string("host-um") ? "dram / host-um"
+                                                    : "dram / remote",
+               r);
+    }
+
+    // 4-shard engine with NVLink-peer carve-outs; run twice to check
+    // the multi-shard cycle totals reproduce run-to-run.
+    const auto peerRun = [&]() {
+        EngineConfig cfg;
+        cfg.shards = 4;
+        cfg.shard.codec = codec;
+        cfg.shard.deviceBytes = entries * kEntryBytes + 8 * MiB;
+        cfg.shard.buddyBackend = "peer";
+        ShardedEngine eng(cfg);
+        return runTimed(eng, entries, data);
+    };
+    const TimedRun peerA = peerRun();
+    const TimedRun peerB = peerRun();
+    addRow("dram / peer (4-shard engine)", peerA);
+    t.print();
+
+    const bool reproducible = peerA == peerB;
+    std::printf("\n4-shard peer cycle totals run-to-run: %s\n",
+                reproducible ? "bit-identical" : "MISMATCH");
+    std::printf("link cycles are LinkModel charges "
+                "(timing/link_model.h); the remote fabric's latency "
+                "dominates its row, NVLink peer recovers most of it\n");
+    return reproducible;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -39,10 +176,20 @@ main(int argc, char **argv)
     CliFlags cli("bench_fig10_sim_speed",
                  "simulator fidelity proxy and speed");
     cli.addUint("entries", 32768,
-                "entries in the functional-throughput plan (iii)");
+                "entries in the functional-throughput plan (iii/iv)");
     cli.addString("codec", "bpc", "codec for the functional path");
+    cli.addBool("smoke", "small set, timed section only, pass/fail line");
     if (!cli.parse(argc, argv))
         return 0;
+
+    const bool smoke = cli.boolOf("smoke");
+    if (smoke) {
+        const std::size_t n = static_cast<std::size_t>(
+            cli.wasSet("entries") ? cli.uintOf("entries") : 4096);
+        const bool ok = timedBackendSection(n, cli.stringOf("codec"));
+        std::printf("%s\n", ok ? "SMOKE OK" : "SMOKE FAILED");
+        return ok ? 0 : 1;
+    }
 
     std::printf("=== Figure 10: simulator fidelity proxy and speed "
                 "===\n\n");
@@ -148,8 +295,15 @@ main(int argc, char **argv)
         const double sec =
             std::chrono::duration<double>(t1 - t0).count();
         std::printf("functional batch write throughput: %.0f entries/s "
-                    "(%zu-entry plan, all six need buckets)\n",
+                    "(%zu-entry plan, all six need buckets)\n\n",
                     static_cast<double>(n) / sec, n);
     }
-    return 0;
+
+    // (iv) Simulated time of the timed backends.
+    std::printf("--- timed functional backends (simulated cycles) "
+                "---\n\n");
+    const bool ok = timedBackendSection(
+        static_cast<std::size_t>(cli.uintOf("entries")),
+        cli.stringOf("codec"));
+    return ok ? 0 : 1;
 }

@@ -8,15 +8,110 @@
  * heuristics often perform *worse* than simply pinning everything in
  * host memory; Buddy Compression at a conservative 50 GB/s link stays
  * under 1.67x even at 50% effective oversubscription.
+ *
+ * Two extra mode rows per benchmark report simulated time from the
+ * functional timing path instead of the UM model: the oversubscribed
+ * fraction of a working set is placed behind the buddy carve-out's
+ * LinkModel (host-um NVLink timing) and the whole set is read once.
+ * "buddy serial" is the serialized LinkModel charge (every round trip
+ * pays full link latency: the latency-bound upper bound); "buddy bw"
+ * is the bottleneck pipe's transfer occupancy (latency fully hidden:
+ * the bandwidth-bound lower bound). A real latency-overlapping GPU
+ * lands between the two — the paper measures ~1.67x.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/table.h"
+#include "core/controller.h"
 #include "umsim/um.h"
 #include "workloads/benchmark.h"
 
 using namespace buddy;
+
+namespace {
+
+/** The two timed bounds of one oversubscribed read pass. */
+struct TimedBounds
+{
+    u64 serial = 0;     ///< serialized LinkModel charge (latency-bound)
+    u64 overlapped = 0; ///< bottleneck-pipe occupancy (bandwidth-bound)
+};
+
+/**
+ * Simulated cycles to read an @p entries-entry set of which a fraction
+ * @p oversub lives behind the buddy link: the resident part is
+ * allocated at target None (fully device resident), the oversubscribed
+ * part at Ratio4 with incompressible payloads, so 96 of its 128 bytes
+ * per entry cross the buddy link on every read.
+ */
+TimedBounds
+timedReadCycles(std::size_t entries, double oversub)
+{
+    const std::size_t spill =
+        static_cast<std::size_t>(static_cast<double>(entries) * oversub);
+    const std::size_t resident = entries - spill;
+
+    BuddyConfig cfg;
+    cfg.deviceBytes = entries * kEntryBytes + 8 * MiB;
+    BuddyController gpu(cfg);
+
+    Rng rng(31);
+    std::vector<Addr> vas;
+    vas.reserve(entries);
+    const auto place = [&](const char *name, std::size_t count,
+                           CompressionTarget target) {
+        if (count == 0)
+            return;
+        const auto id =
+            gpu.allocate(name, count * kEntryBytes, target);
+        if (!id) {
+            std::fprintf(stderr, "fig12 timed allocation failed\n");
+            std::exit(1);
+        }
+        const Addr base = gpu.allocations().at(*id).va;
+        for (std::size_t i = 0; i < count; ++i)
+            vas.push_back(base + i * kEntryBytes);
+    };
+    place("resident", resident, CompressionTarget::None);
+    place("oversub", spill, CompressionTarget::Ratio4);
+
+    // Payloads must outlive execute(): the plan stores pointers, so
+    // each entry needs its own bytes (random data stays incompressible
+    // and keeps the Ratio4 allocation spilling).
+    std::vector<u8> data(entries * kEntryBytes);
+    for (auto &b : data)
+        b = static_cast<u8>(rng.below(256));
+    AccessBatch plan(entries);
+    for (std::size_t i = 0; i < vas.size(); ++i)
+        plan.write(vas[i], data.data() + i * kEntryBytes);
+    gpu.execute(plan);
+
+    const u64 dev_busy0 =
+        gpu.deviceStore().link().reader().busyCycles();
+    const u64 bud_busy0 =
+        gpu.carveOut().store().link().reader().busyCycles();
+
+    plan.clear();
+    std::vector<u8> readback(entries * kEntryBytes);
+    for (std::size_t i = 0; i < vas.size(); ++i)
+        plan.read(vas[i], readback.data() + i * kEntryBytes);
+    gpu.execute(plan);
+
+    TimedBounds b;
+    b.serial = plan.summary().totalCycles();
+    // Perfectly overlapped, the read pass takes as long as its busiest
+    // pipe is occupied.
+    b.overlapped = std::max(
+        gpu.deviceStore().link().reader().busyCycles() - dev_busy0,
+        gpu.carveOut().store().link().reader().busyCycles() - bud_busy0);
+    return b;
+}
+
+} // namespace
 
 int
 main()
@@ -33,6 +128,15 @@ main()
         headers.push_back(strfmt("%.0f%%", o * 100));
     Table t(headers);
 
+    // The timed buddy-link lines are workload-independent in this model
+    // (the link charge depends only on the spilled fraction): compute
+    // the LinkModel cycle ratios once.
+    constexpr std::size_t kTimedEntries = 16 * 1024;
+    const TimedBounds timed_base = timedReadCycles(kTimedEntries, 0.0);
+    std::vector<TimedBounds> timed;
+    for (const double o : oversub)
+        timed.push_back(timedReadCycles(kTimedEntries, o));
+
     for (const char *name : {"360.ilbdc", "356.sp", "351.palm"}) {
         const auto &spec = findBenchmark(name);
         const double base =
@@ -40,22 +144,39 @@ main()
 
         std::vector<std::string> mig = {name, "UM migrate"};
         std::vector<std::string> pin = {name, "pinned"};
-        for (const double o : oversub) {
+        std::vector<std::string> ser = {name, "buddy serial"};
+        std::vector<std::string> bwb = {name, "buddy bw"};
+        for (std::size_t i = 0; i < oversub.size(); ++i) {
+            const double o = oversub[i];
             mig.push_back(strfmt(
                 "%.2f", runUm(spec, cfg, UmMode::Migrate, o).cycles /
                             base));
             pin.push_back(strfmt(
                 "%.2f",
                 runUm(spec, cfg, UmMode::Pinned, o).cycles / base));
+            ser.push_back(
+                strfmt("%.2f", static_cast<double>(timed[i].serial) /
+                                   static_cast<double>(
+                                       timed_base.serial)));
+            bwb.push_back(
+                strfmt("%.2f",
+                       static_cast<double>(timed[i].overlapped) /
+                           static_cast<double>(timed_base.overlapped)));
         }
         t.addRow(mig);
         t.addRow(pin);
+        t.addRow(ser);
+        t.addRow(bwb);
     }
     t.print();
 
     std::printf("\npaper: migration runtime explodes with "
-                "oversubscription and often exceeds the pinned line; "
-                "Buddy Compression (Fig. 11) stays within ~1.67x even "
-                "at a 50 GB/s link\n");
+                "oversubscription and often exceeds the pinned line. "
+                "The buddy rows charge the spilled fraction through the "
+                "LinkModel (host-um NVLink timing): \"serial\" pays "
+                "full link latency per access (upper bound), \"bw\" is "
+                "pure pipe occupancy (lower bound); a "
+                "latency-overlapping GPU lands between them — the "
+                "paper measures ~1.67x at a 50 GB/s link (Fig. 11)\n");
     return 0;
 }

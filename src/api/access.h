@@ -66,6 +66,28 @@ struct AccessInfo
     /** True if the metadata lookup hit in the metadata cache. */
     bool metadataHit = true;
 
+    /**
+     * Simulated cycles the device store's LinkModel charged this access
+     * (see timing/link_model.h). A pure function of the traffic, so it
+     * is identical under any sharding — the engine's determinism
+     * contract extends to these fields.
+     */
+    Cycles deviceCycles = 0;
+
+    /** Simulated cycles the buddy store's LinkModel charged. */
+    Cycles buddyCycles = 0;
+
+    /**
+     * Total link cycles charged for this access. The device and buddy
+     * portions occupy different links, so this is link occupancy (the
+     * quantity that sums across a batch), not a parallel makespan.
+     */
+    Cycles
+    cycles() const
+    {
+        return deviceCycles + buddyCycles;
+    }
+
     /** True if any part of the entry lives in buddy memory. */
     bool
     usedBuddy() const
@@ -86,7 +108,16 @@ struct BatchSummary
     u64 metadataMisses = 0;
     u64 buddyAccesses = 0; ///< operations that touched buddy memory
 
+    /** Simulated cycles charged to the device link across the batch. */
+    u64 deviceCycles = 0;
+
+    /** Simulated cycles charged to the buddy/interconnect link. */
+    u64 buddyCycles = 0;
+
     u64 operations() const { return reads + writes + probes; }
+
+    /** Total link cycles the batch charged (occupancy, additive). */
+    u64 totalCycles() const { return deviceCycles + buddyCycles; }
 
     /** Fraction of the batch's operations that needed buddy memory. */
     double

@@ -14,56 +14,62 @@ namespace {
 class FlatStore : public BackingStore
 {
   public:
-    FlatStore(const char *kind, u64 capacity_bytes)
-        : kind_(kind), data_(capacity_bytes, 0)
+    FlatStore(const char *kind, u64 capacity_bytes,
+              const timing::LinkTiming &timing)
+        : BackingStore(kind, timing), data_(capacity_bytes, 0)
     {}
-
-    const char *kind() const override { return kind_; }
 
     u64 capacity() const override { return data_.size(); }
 
+  protected:
     void
-    write(Addr addr, const u8 *src, std::size_t len) override
+    doWrite(Addr addr, const u8 *src, std::size_t len) override
     {
         BUDDY_CHECK(addr + len <= data_.size(),
                     "backing-store write out of range");
         std::memcpy(data_.data() + addr, src, len);
-        written_ += len;
-        ++writeOps_;
     }
 
     void
-    read(Addr addr, u8 *dst, std::size_t len) const override
+    doRead(Addr addr, u8 *dst, std::size_t len) const override
     {
         BUDDY_CHECK(addr + len <= data_.size(),
                     "backing-store read out of range");
         std::memcpy(dst, data_.data() + addr, len);
-        read_ += len;
-        ++readOps_;
     }
 
     void
-    fill(Addr addr, u8 value, std::size_t len) override
+    doFill(Addr addr, u8 value, std::size_t len) override
     {
         BUDDY_CHECK(addr + len <= data_.size(),
                     "backing-store fill out of range");
         std::memset(data_.data() + addr, value, len);
-        written_ += len;
-        ++writeOps_;
     }
 
-    u64 bytesWritten() const override { return written_; }
-    u64 bytesRead() const override { return read_; }
-    u64 writeOps() const override { return writeOps_; }
-    u64 readOps() const override { return readOps_; }
+  private:
+    std::vector<u8> data_;
+};
+
+/**
+ * NVLink peer access to another shard's device memory. The bytes model
+ * a region reserved in the peer GPU's memory exclusively for this
+ * shard's carve-out, so the storage is owned here (no cross-shard data
+ * races); what distinguishes the kind is its NVLink-peer link timing
+ * and the recorded peer topology, which the sharded engine wires as a
+ * ring (shard s spills into shard (s+1) mod N).
+ */
+class PeerStore : public FlatStore
+{
+  public:
+    PeerStore(u64 capacity_bytes, const timing::LinkTiming &timing,
+              int peer_ordinal)
+        : FlatStore("peer", capacity_bytes, timing), peer_(peer_ordinal)
+    {}
+
+    int peerOrdinal() const override { return peer_; }
 
   private:
-    const char *kind_;
-    std::vector<u8> data_;
-    u64 written_ = 0;
-    mutable u64 read_ = 0;
-    u64 writeOps_ = 0;
-    mutable u64 readOps_ = 0;
+    int peer_;
 };
 
 } // namespace
@@ -71,15 +77,25 @@ class FlatStore : public BackingStore
 std::unique_ptr<BackingStore>
 makeBackingStore(const std::string &kind, u64 capacity_bytes)
 {
+    return makeBackingStore(kind, capacity_bytes,
+                            timing::defaultLinkTiming(kind));
+}
+
+std::unique_ptr<BackingStore>
+makeBackingStore(const std::string &kind, u64 capacity_bytes,
+                 const timing::LinkTiming &timing, int peer_ordinal)
+{
     if (kind == "dram")
-        return std::make_unique<FlatStore>("dram", capacity_bytes);
+        return std::make_unique<FlatStore>("dram", capacity_bytes, timing);
     if (kind == "host-um")
-        return std::make_unique<FlatStore>("host-um", capacity_bytes);
-    if (kind == "remote") {
-        // Same flat storage; the per-operation counters double as the
-        // fabric round-trip count a timing model charges (roundTrips()).
-        return std::make_unique<FlatStore>("remote", capacity_bytes);
-    }
+        return std::make_unique<FlatStore>("host-um", capacity_bytes,
+                                           timing);
+    if (kind == "remote")
+        return std::make_unique<FlatStore>("remote", capacity_bytes,
+                                           timing);
+    if (kind == "peer")
+        return std::make_unique<PeerStore>(capacity_bytes, timing,
+                                           peer_ordinal);
 
     std::string known;
     for (const auto &k : backingStoreKinds()) {
@@ -96,7 +112,7 @@ makeBackingStore(const std::string &kind, u64 capacity_bytes)
 std::vector<std::string>
 backingStoreKinds()
 {
-    return {"dram", "host-um", "remote"};
+    return {"dram", "host-um", "remote", "peer"};
 }
 
 } // namespace api

@@ -3,21 +3,29 @@
  * BackingStore: the pluggable storage interface behind the controller's
  * device memory and buddy carve-out.
  *
- * The functional model only needs byte-addressable load/store with
- * capacity accounting, so the interface is deliberately small. Three
- * kinds ship in-tree, all flat in-process memory differing in what they
- * model and count:
+ * The functional model needs byte-addressable load/store with capacity
+ * accounting; the timing model needs every access charged through a
+ * latency/bandwidth server. The base class therefore owns both the
+ * traffic counters and a timing::LinkModel: concrete stores implement
+ * only the raw byte movement (doWrite/doRead/doFill) while the
+ * non-virtual public calls account the operation, charge the link at
+ * sector (32 B) granularity, and return the simulated cycles charged.
+ *
+ * Four kinds ship in-tree, all flat in-process memory differing in what
+ * they model and in their default link timing:
  *
  *   "dram"    GPU device memory (HBM2/GDDR class).
  *   "host-um" host memory reachable through unified-memory mappings —
  *             the paper's buddy carve-out placement (Section 3.2).
- *   "remote"  disaggregated/far memory behind a fabric; counts access
- *             round trips so future timing models can charge them.
+ *   "remote"  disaggregated/far memory behind a fabric.
+ *   "peer"    another GPU's device memory over NVLink peer access; the
+ *             sharded engine wires each shard's peer store to a
+ *             neighbouring shard (peerOrdinal()).
  *
  * Stores are selected by name through BuddyConfig
  * (deviceBackend/buddyBackend) and created by makeBackingStore(), which
- * fails fast on unknown kinds. Future backends (multi-GPU peers, CXL
- * pools) plug in the same way without touching the controller.
+ * fails fast on unknown kinds. Future backends (CXL pools, GPUDirect
+ * NVMe) plug in the same way without touching the controller.
  */
 
 #pragma once
@@ -27,47 +35,146 @@
 #include <vector>
 
 #include "common/types.h"
+#include "timing/link_model.h"
 
 namespace buddy {
 namespace api {
 
-/** Byte-addressable storage with capacity and traffic accounting. */
+/**
+ * Byte-addressable storage with capacity, traffic, and simulated-time
+ * accounting (see file header).
+ */
 class BackingStore
 {
   public:
+    BackingStore(const char *kind, const timing::LinkTiming &timing)
+        : kind_(kind), link_(timing)
+    {}
+
     virtual ~BackingStore() = default;
 
-    /** Store kind ("dram", "host-um", "remote", ...). */
-    virtual const char *kind() const = 0;
+    /** Store kind ("dram", "host-um", "remote", "peer", ...). */
+    const char *kind() const { return kind_; }
 
     virtual u64 capacity() const = 0;
 
-    virtual void write(Addr addr, const u8 *src, std::size_t len) = 0;
-    virtual void read(Addr addr, u8 *dst, std::size_t len) const = 0;
-    virtual void fill(Addr addr, u8 value, std::size_t len) = 0;
-
-    /** Total bytes written / read since construction. */
-    virtual u64 bytesWritten() const = 0;
-    virtual u64 bytesRead() const = 0;
-
-    /** Number of write()/fill() and read() calls since construction. */
-    virtual u64 writeOps() const = 0;
-    virtual u64 readOps() const = 0;
+    /**
+     * Shard ordinal of the GPU whose memory a "peer" store maps, -1 for
+     * every other kind (and for unwired peer stores).
+     */
+    virtual int peerOrdinal() const { return -1; }
 
     /**
-     * Access round trips a timing model would charge. One per operation
-     * for every in-process kind; only "remote" crosses a fabric, so only
-     * there does the count translate into link latency.
+     * Store @p len bytes at @p addr.
+     * @return simulated cycles the link charged for the transfer.
      */
-    u64 roundTrips() const { return writeOps() + readOps(); }
+    Cycles
+    write(Addr addr, const u8 *src, std::size_t len)
+    {
+        doWrite(addr, src, len);
+        written_ += len;
+        ++writeOps_;
+        return chargeWrite(len);
+    }
+
+    /** Load @p len bytes from @p addr. @return cycles charged. */
+    Cycles
+    read(Addr addr, u8 *dst, std::size_t len) const
+    {
+        doRead(addr, dst, len);
+        read_ += len;
+        ++readOps_;
+        return chargeRead(len);
+    }
+
+    /** Fill @p len bytes with @p value. @return cycles charged. */
+    Cycles
+    fill(Addr addr, u8 value, std::size_t len)
+    {
+        doFill(addr, value, len);
+        written_ += len;
+        ++writeOps_;
+        return chargeWrite(len);
+    }
+
+    /**
+     * Charge the link for a @p len-byte read without moving any data:
+     * the traffic a probe models. Advances the store's simulated clock
+     * exactly as a real read of @p len bytes would, so probe and read
+     * cycle accounting are bit-identical; the byte/op counters are not
+     * touched.
+     */
+    Cycles
+    chargeRead(std::size_t len) const
+    {
+        return link_.charge(timing::LinkDir::Read, sectorBytes(len));
+    }
+
+    /** Write-direction counterpart of chargeRead(). */
+    Cycles
+    chargeWrite(std::size_t len) const
+    {
+        return link_.charge(timing::LinkDir::Write, sectorBytes(len));
+    }
+
+    /** Total bytes written / read since construction. */
+    u64 bytesWritten() const { return written_; }
+    u64 bytesRead() const { return read_; }
+
+    /** Number of write()/fill() and read() calls since construction. */
+    u64 writeOps() const { return writeOps_; }
+    u64 readOps() const { return readOps_; }
+
+    /**
+     * Access round trips the timing model charges. One per operation
+     * for every in-process kind; only "remote" and "peer" cross a
+     * fabric, so only there does the count dominate the cycle total.
+     */
+    u64 roundTrips() const { return writeOps_ + readOps_; }
+
+    /** The link this store charges its transfers through. */
+    const timing::LinkModel &link() const { return link_; }
+
+    /** Simulated cycles elapsed on this store's clock. */
+    Cycles cyclesElapsed() const { return link_.now(); }
+
+  protected:
+    virtual void doWrite(Addr addr, const u8 *src, std::size_t len) = 0;
+    virtual void doRead(Addr addr, u8 *dst, std::size_t len) const = 0;
+    virtual void doFill(Addr addr, u8 value, std::size_t len) = 0;
+
+  private:
+    /** Links transfer whole 32 B sectors (the DRAM access granule). */
+    static u64
+    sectorBytes(std::size_t len)
+    {
+        return (static_cast<u64>(len) + kSectorBytes - 1) / kSectorBytes *
+               kSectorBytes;
+    }
+
+    const char *kind_;
+    mutable timing::LinkModel link_;
+    u64 written_ = 0;
+    mutable u64 read_ = 0;
+    u64 writeOps_ = 0;
+    mutable u64 readOps_ = 0;
 };
 
 /**
- * Create a backing store of @p kind with @p capacity bytes.
+ * Create a backing store of @p kind with @p capacity bytes and the
+ * kind's default link timing (timing::defaultLinkTiming).
  * Unknown kinds are a fatal configuration error naming the known kinds.
  */
 std::unique_ptr<BackingStore> makeBackingStore(const std::string &kind,
                                                u64 capacity_bytes);
+
+/**
+ * Create a backing store with explicit link timing. @p peer_ordinal
+ * names the peer shard a "peer" store maps (ignored by other kinds).
+ */
+std::unique_ptr<BackingStore>
+makeBackingStore(const std::string &kind, u64 capacity_bytes,
+                 const timing::LinkTiming &timing, int peer_ordinal = -1);
 
 /** All backing-store kinds makeBackingStore() accepts. */
 std::vector<std::string> backingStoreKinds();

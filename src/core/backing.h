@@ -16,12 +16,14 @@
 
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "api/backing_store.h"
 #include "common/log.h"
 #include "common/types.h"
+#include "timing/link_model.h"
 
 namespace buddy {
 
@@ -75,11 +77,20 @@ class BuddyCarveOut
      * @param ratio carve-out size as a multiple of device memory
      *        (paper default: 3x, supporting a 4x max target).
      * @param backend backing-store kind (see api/backing_store.h).
+     * @param timing link timing override; the backend kind's default
+     *        when unset (timing::defaultLinkTiming).
+     * @param peer_ordinal peer shard a "peer" backend maps.
      */
     BuddyCarveOut(u64 device_bytes, unsigned ratio = 3,
-                  const std::string &backend = "host-um")
+                  const std::string &backend = "host-um",
+                  const std::optional<timing::LinkTiming> &timing =
+                      std::nullopt,
+                  int peer_ordinal = -1)
         : gbbr_(0x1000000000ull), // arbitrary host-physical base
-          mem_(makeBackingStore(backend, device_bytes * ratio))
+          mem_(makeBackingStore(
+              backend, device_bytes * ratio,
+              timing ? *timing : timing::defaultLinkTiming(backend),
+              peer_ordinal))
     {}
 
     /** Global Buddy Base-address Register value. */
@@ -90,19 +101,28 @@ class BuddyCarveOut
     /** Translate a carve-out offset to the host-physical address. */
     Addr translate(Addr offset) const { return gbbr_ + offset; }
 
-    void
+    /** @return simulated cycles the carve-out's link charged. */
+    Cycles
     write(Addr offset, const u8 *src, std::size_t len)
     {
-        mem_->write(offset, src, len);
+        return mem_->write(offset, src, len);
     }
 
-    void
+    /** @return simulated cycles the carve-out's link charged. */
+    Cycles
     read(Addr offset, u8 *dst, std::size_t len) const
     {
-        mem_->read(offset, dst, len);
+        return mem_->read(offset, dst, len);
     }
 
-    /** The underlying store (kind and traffic accounting). */
+    /** Charge the traffic a @p len-byte read would generate (probes). */
+    Cycles
+    chargeRead(std::size_t len) const
+    {
+        return mem_->chargeRead(len);
+    }
+
+    /** The underlying store (kind, traffic, and cycle accounting). */
     const BackingStore &store() const { return *mem_; }
 
   private:

@@ -23,8 +23,12 @@ BuddyController::BuddyController(const BuddyConfig &cfg)
       // names (listing what is registered), so a misconfigured codec or
       // backend is caught here instead of at the first access.
       codec_(api::CodecRegistry::instance().create(cfg.codec)),
-      device_(makeBackingStore(cfg.deviceBackend, cfg.deviceBytes)),
-      buddy_(cfg.deviceBytes, cfg.carveOutRatio, cfg.buddyBackend),
+      device_(makeBackingStore(
+          cfg.deviceBackend, cfg.deviceBytes,
+          cfg.deviceLink ? *cfg.deviceLink
+                         : timing::defaultLinkTiming(cfg.deviceBackend))),
+      buddy_(cfg.deviceBytes, cfg.carveOutRatio, cfg.buddyBackend,
+             cfg.buddyLink, cfg.buddyPeerOrdinal),
       deviceAlloc_(cfg.deviceBytes),
       buddyAlloc_(buddy_.capacity())
 {
@@ -165,6 +169,8 @@ BuddyController::executeOp(const AccessRequest &op,
     AccessInfo info;
     u32 stored_bits = 0;
     bool is_zero = false;
+    Cycles dev_cycles = 0; // link charges of this op's store traffic
+    Cycles bud_cycles = 0;
 
     switch (op.kind) {
       case AccessKind::Write: {
@@ -190,18 +196,20 @@ BuddyController::executeOp(const AccessRequest &op,
         if (meta == EntryMeta::Raw) {
             const u64 on_dev =
                 std::min<u64>(kEntryBytes, loc.deviceSlotBytes);
-            device_->write(loc.deviceAddr, data, on_dev);
+            dev_cycles = device_->write(loc.deviceAddr, data, on_dev);
             if (on_dev < kEntryBytes)
-                buddy_.write(loc.buddyOffset, data + on_dev,
-                             kEntryBytes - on_dev);
+                bud_cycles = buddy_.write(loc.buddyOffset, data + on_dev,
+                                          kEntryBytes - on_dev);
             stored_bits = kEntryBytes * 8;
         } else if (meta != EntryMeta::Zero) {
             const u64 bytes = (comp_bits + 7) / 8;
             const u64 on_dev = std::min<u64>(bytes, loc.deviceSlotBytes);
-            device_->write(loc.deviceAddr, scratch.encode, on_dev);
+            dev_cycles = device_->write(loc.deviceAddr, scratch.encode,
+                                        on_dev);
             if (on_dev < bytes)
-                buddy_.write(loc.buddyOffset, scratch.encode + on_dev,
-                             bytes - on_dev);
+                bud_cycles = buddy_.write(loc.buddyOffset,
+                                          scratch.encode + on_dev,
+                                          bytes - on_dev);
             stored_bits = static_cast<u32>(comp_bits);
         }
 
@@ -245,19 +253,20 @@ BuddyController::executeOp(const AccessRequest &op,
         } else if (meta == EntryMeta::Raw) {
             const u64 on_dev =
                 std::min<u64>(kEntryBytes, loc.deviceSlotBytes);
-            device_->read(loc.deviceAddr, out, on_dev);
+            dev_cycles = device_->read(loc.deviceAddr, out, on_dev);
             if (on_dev < kEntryBytes)
-                buddy_.read(loc.buddyOffset, out + on_dev,
-                            kEntryBytes - on_dev);
+                bud_cycles = buddy_.read(loc.buddyOffset, out + on_dev,
+                                         kEntryBytes - on_dev);
         } else {
             // Reassemble the split payload into the batch scratch and
             // decode in place: no per-entry allocation.
             const u64 bytes = (static_cast<u64>(bits) + 7) / 8;
             const u64 on_dev = std::min<u64>(bytes, loc.deviceSlotBytes);
-            device_->read(loc.deviceAddr, scratch.io, on_dev);
+            dev_cycles = device_->read(loc.deviceAddr, scratch.io, on_dev);
             if (on_dev < bytes)
-                buddy_.read(loc.buddyOffset, scratch.io + on_dev,
-                            bytes - on_dev);
+                bud_cycles = buddy_.read(loc.buddyOffset,
+                                         scratch.io + on_dev,
+                                         bytes - on_dev);
             codec_->decompressFrom(scratch.io, bits, out);
         }
 
@@ -276,6 +285,20 @@ BuddyController::executeOp(const AccessRequest &op,
         info = trafficFor(loc, meta, bits);
         info.metadataHit = meta_hit;
 
+        // Charge the links for the traffic a read would generate (the
+        // same stored-byte split the read path moves), so probe and
+        // read cycle accounting are bit-identical.
+        u64 stored = 0;
+        if (meta == EntryMeta::Raw)
+            stored = kEntryBytes;
+        else if (meta != EntryMeta::Zero)
+            stored = (static_cast<u64>(bits) + 7) / 8;
+        const u64 on_dev = std::min<u64>(stored, loc.deviceSlotBytes);
+        if (on_dev > 0)
+            dev_cycles = device_->chargeRead(on_dev);
+        if (stored > on_dev)
+            bud_cycles = buddy_.chargeRead(stored - on_dev);
+
         // A probe models the traffic of a read: account it as one.
         ++stats_.reads;
         ++summary.probes;
@@ -283,13 +306,20 @@ BuddyController::executeOp(const AccessRequest &op,
       }
     }
 
+    info.deviceCycles = dev_cycles;
+    info.buddyCycles = bud_cycles;
+
     stats_.deviceSectorTraffic += info.deviceSectors;
     stats_.buddySectorTraffic += info.buddySectors;
+    stats_.deviceCycles += info.deviceCycles;
+    stats_.buddyCycles += info.buddyCycles;
     if (info.usedBuddy())
         ++stats_.buddyAccesses;
 
     summary.deviceSectors += info.deviceSectors;
     summary.buddySectors += info.buddySectors;
+    summary.deviceCycles += info.deviceCycles;
+    summary.buddyCycles += info.buddyCycles;
     if (meta_hit)
         ++summary.metadataHits;
     else

@@ -71,8 +71,24 @@ struct BuddyConfig
     /** Backing store behind device memory (see api/backing_store.h). */
     std::string deviceBackend = "dram";
 
-    /** Backing store behind the buddy carve-out. */
+    /** Backing store behind the buddy carve-out ("peer" spills into a
+     *  neighbouring shard's device memory over NVLink). */
     std::string buddyBackend = "host-um";
+
+    /**
+     * Link timing overrides for the two stores; each defaults to its
+     * backend kind's calibration (timing::defaultLinkTiming) when
+     * unset. See timing/link_model.h.
+     */
+    std::optional<timing::LinkTiming> deviceLink;
+    std::optional<timing::LinkTiming> buddyLink;
+
+    /**
+     * Shard ordinal a "peer" buddy backend maps. The sharded engine
+     * wires a ring ((s + 1) mod shards); -1 marks an unwired peer
+     * (standalone controllers).
+     */
+    int buddyPeerOrdinal = -1;
 
     /** Verify every read against the written data (debug aid). */
     bool verifyReads = false;
@@ -87,6 +103,8 @@ struct BuddyStats
     u64 buddySectorTraffic = 0;
     u64 buddyAccesses = 0;  ///< accesses that touched buddy memory
     u64 overflowEntries = 0; ///< current entries spilling to buddy
+    u64 deviceCycles = 0;   ///< simulated cycles charged to the device link
+    u64 buddyCycles = 0;    ///< simulated cycles charged to the buddy link
 
     /** Fraction of accesses that needed buddy memory. */
     double

@@ -49,8 +49,17 @@ ShardedEngine::ShardedEngine(const EngineConfig &cfg)
 {
     BUDDY_CHECK(cfg.shards > 0, "engine needs at least one shard");
     shards_.reserve(cfg.shards);
-    for (unsigned s = 0; s < cfg.shards; ++s)
-        shards_.push_back(std::make_unique<BuddyController>(cfg.shard));
+    for (unsigned s = 0; s < cfg.shards; ++s) {
+        BuddyConfig shard_cfg = cfg.shard;
+        // Wire "peer" buddy carve-outs as a ring: shard s spills into
+        // shard (s+1) mod N over NVLink peer access. An explicit
+        // buddyPeerOrdinal in the template overrides the ring.
+        if (shard_cfg.buddyBackend == "peer" &&
+            shard_cfg.buddyPeerOrdinal < 0)
+            shard_cfg.buddyPeerOrdinal =
+                static_cast<int>((s + 1) % cfg.shards);
+        shards_.push_back(std::make_unique<BuddyController>(shard_cfg));
+    }
 
     const unsigned nthreads =
         std::min(cfg.threads == 0 ? cfg.shards : cfg.threads, cfg.shards);
@@ -297,6 +306,8 @@ ShardedEngine::finish(BatchJob &job)
         merged.metadataHits += s.metadataHits;
         merged.metadataMisses += s.metadataMisses;
         merged.buddyAccesses += s.buddyAccesses;
+        merged.deviceCycles += s.deviceCycles;
+        merged.buddyCycles += s.buddyCycles;
         for (std::size_t j = 0; j < sp.origIdx.size(); ++j)
             batch.results_[sp.origIdx[j]] = sp.plan.results_[j];
     }
@@ -333,6 +344,8 @@ ShardedEngine::stats() const
         total.buddySectorTraffic += st.buddySectorTraffic;
         total.buddyAccesses += st.buddyAccesses;
         total.overflowEntries += st.overflowEntries;
+        total.deviceCycles += st.deviceCycles;
+        total.buddyCycles += st.buddyCycles;
     }
     return total;
 }

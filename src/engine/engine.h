@@ -23,8 +23,11 @@
  * Shard assignment hashes the allocation ordinal with a fixed salt
  * (EngineConfig::shardSalt) and per-shard RNG seeds derive from
  * EngineConfig::seed, so multi-threaded runs are reproducible
- * run-to-run. Cross-shard traffic totals are bit-identical to a single
- * BuddyController executing the same plan; per-op metadata hit/miss
+ * run-to-run. Cross-shard traffic totals — including the simulated
+ * cycle charges of every shard's LinkModel-timed backing stores, which
+ * are pure per-operation functions of the traffic — are bit-identical
+ * to a single BuddyController executing the same plan; per-op metadata
+ * hit/miss
  * results also match whenever the metadata working set fits the cache
  * (no capacity evictions), which tests/test_engine.cc pins.
  *
@@ -169,6 +172,17 @@ class ShardedEngine
 
     /** Shard @p s's controller (tests / per-shard introspection). */
     const BuddyController &shard(unsigned s) const { return *shards_[s]; }
+
+    /**
+     * Peer shard the buddy carve-out of shard @p s spills into, -1 when
+     * the buddy backend is not "peer". The engine wires a ring
+     * ((s + 1) mod shards) unless the shard template pins an ordinal.
+     */
+    int
+    buddyPeerOf(unsigned s) const
+    {
+        return shards_[s]->carveOut().store().peerOrdinal();
+    }
 
     /**
      * Deterministic per-shard RNG seed: splitmix64 over

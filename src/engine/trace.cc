@@ -14,7 +14,9 @@ namespace engine {
 namespace {
 
 constexpr u8 kMagic[4] = {'B', 'D', 'Y', 'T'};
-constexpr u8 kVersion = 1;
+// v2: the footer carries the deviceCycles/buddyCycles link-charge
+// totals after the traffic counters.
+constexpr u8 kVersion = 2;
 constexpr u8 kTagZeroWrite = 0x10;
 constexpr u8 kTagBatch = 0xFE;
 constexpr u8 kTagFooter = 0xFF;
@@ -84,6 +86,8 @@ putTotals(std::vector<u8> &out, const TraceTotals &t)
     putVarint(out, t.summary.metadataHits);
     putVarint(out, t.summary.metadataMisses);
     putVarint(out, t.summary.buddyAccesses);
+    putVarint(out, t.summary.deviceCycles);
+    putVarint(out, t.summary.buddyCycles);
     putVarint(out, t.batches);
 }
 
@@ -99,6 +103,8 @@ readTotals(Reader &r)
     t.summary.metadataHits = r.varint();
     t.summary.metadataMisses = r.varint();
     t.summary.buddyAccesses = r.varint();
+    t.summary.deviceCycles = r.varint();
+    t.summary.buddyCycles = r.varint();
     t.batches = r.varint();
     return t;
 }
@@ -114,6 +120,8 @@ accumulate(TraceTotals &t, const BatchSummary &s)
     t.summary.metadataHits += s.metadataHits;
     t.summary.metadataMisses += s.metadataMisses;
     t.summary.buddyAccesses += s.buddyAccesses;
+    t.summary.deviceCycles += s.deviceCycles;
+    t.summary.buddyCycles += s.buddyCycles;
     ++t.batches;
 }
 
@@ -317,11 +325,25 @@ TraceReplayer::replayInto(Target &target, unsigned repeat) const
         return x.newBase + (va - x.oldBase);
     };
 
+    // Translate every recorded VA exactly once: repeat passes re-execute
+    // the same batches, so re-walking the allocation table per pass was
+    // pure overhead (and totals must scale exactly linearly with repeat
+    // — tests/test_trace_timing.cc pins both properties).
+    std::vector<std::vector<Op>> translated(batches_.size());
+    for (std::size_t b = 0; b < batches_.size(); ++b) {
+        translated[b].reserve(batches_[b].size());
+        for (const Op &op : batches_[b]) {
+            Op t = op;
+            t.va = translate(op.va);
+            translated[b].push_back(t);
+        }
+    }
+
     TraceTotals totals;
     AccessBatch plan;
     std::vector<u8> read_buf;
     for (unsigned pass = 0; pass < repeat; ++pass) {
-        for (const std::vector<Op> &ops : batches_) {
+        for (const std::vector<Op> &ops : translated) {
             std::size_t reads = 0;
             for (const Op &op : ops)
                 if (op.kind == AccessKind::Read)
@@ -331,17 +353,16 @@ TraceReplayer::replayInto(Target &target, unsigned repeat) const
             plan.clear();
             std::size_t next_read = 0;
             for (const Op &op : ops) {
-                const Addr va = translate(op.va);
                 switch (op.kind) {
                   case AccessKind::Read:
-                    plan.read(va,
+                    plan.read(op.va,
                               read_buf.data() + next_read++ * kEntryBytes);
                     break;
                   case AccessKind::Write:
-                    plan.write(va, op.payload);
+                    plan.write(op.va, op.payload);
                     break;
                   case AccessKind::Probe:
-                    plan.probe(va);
+                    plan.probe(op.va);
                     break;
                 }
             }

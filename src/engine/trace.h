@@ -22,7 +22,7 @@
  *
  * Format (all multi-byte integers are LEB128 varints unless noted):
  *
- *   magic "BDYT" (4 raw bytes), version u8
+ *   magic "BDYT" (4 raw bytes), version u8 (2)
  *   allocCount; per allocation:
  *     nameLen, name bytes, baseVa/128, bytes, target (u8)
  *   record stream, one tag byte each:
@@ -30,7 +30,9 @@
  *                 (va/128); tag|0x10 marks an all-zero write;
  *                 non-zero writes append 128 raw payload bytes
  *     0xFE        batch end: opCount (redundant, checked on load)
- *     0xFF        footer: the nine accumulated totals, then EOF
+ *     0xFF        footer: the eleven accumulated totals (traffic
+ *                 counters plus the v2 deviceCycles/buddyCycles link
+ *                 charges), then EOF
  */
 
 #pragma once

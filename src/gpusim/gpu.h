@@ -113,7 +113,7 @@ class GpuSimulator
     SectoredCache l2_;
     MetadataCache metaCache_;
     DramModel dram_;
-    LinkModel link_;
+    SectorLink link_;
     std::vector<SimTime> smFree_;
     std::vector<Warp> warps_;
 

@@ -1,160 +1,30 @@
 /**
  * @file
- * Bandwidth/latency servers for the memory system: HBM2 channels and the
- * NVLink interconnect.
+ * The gpusim memory system's view of the timing subsystem.
  *
- * Each server models a pipe with a fixed service rate (sectors per core
- * cycle) and a fixed transfer latency. Requests are serialized FCFS on
- * the pipe; the completion time of a k-sector request issued at time t
- * is max(t, next_free) + k/rate + latency. This captures the two
- * first-order effects the paper's evaluation depends on: queueing under
- * bandwidth saturation, and the ~6x rate gap between device memory and
- * the interconnect (Section 4.2).
+ * The latency/bandwidth servers themselves live in src/timing/
+ * (timing/servers.h: fractional-rate SectorServer / DramModel /
+ * SectorLink; timing/link_model.h: the integer-cycle LinkModel every
+ * BackingStore charges through). This header re-exports the names the
+ * simulator uses and provides MemsysReplaySink, the bridge that turns
+ * the controller's functional traffic stream into simulated time.
  */
 
 #pragma once
 
 #include <algorithm>
-#include <vector>
 
 #include "api/traffic_sink.h"
-#include "common/log.h"
 #include "common/types.h"
+#include "timing/link_model.h"
+#include "timing/servers.h"
 
 namespace buddy {
 
-/** Fractional-cycle time used inside the memory system. */
-using SimTime = double;
-
-/** One FCFS bandwidth server (a DRAM channel or a link direction). */
-class BandwidthServer
-{
-  public:
-    /**
-     * @param sectors_per_cycle service rate.
-     * @param latency fixed pipe latency in cycles.
-     */
-    BandwidthServer(double sectors_per_cycle, double latency)
-        : rate_(sectors_per_cycle), latency_(latency)
-    {
-        BUDDY_CHECK(rate_ > 0.0, "server rate must be positive");
-    }
-
-    /**
-     * Enqueue a @p sectors transfer at time @p now.
-     * @return completion time.
-     */
-    SimTime
-    request(SimTime now, unsigned sectors)
-    {
-        if (sectors == 0)
-            return now;
-        const SimTime start = std::max(now, nextFree_);
-        const SimTime xfer =
-            static_cast<SimTime>(sectors) / rate_;
-        nextFree_ = start + xfer;
-        busy_ += xfer;
-        sectors_ += sectors;
-        return nextFree_ + latency_;
-    }
-
-    /** Time the pipe becomes idle. */
-    SimTime nextFree() const { return nextFree_; }
-
-    /** Total busy time (for utilization). */
-    SimTime busyTime() const { return busy_; }
-
-    /** Total sectors transferred. */
-    u64 sectorsTransferred() const { return sectors_; }
-
-  private:
-    double rate_;
-    double latency_;
-    SimTime nextFree_ = 0.0;
-    SimTime busy_ = 0.0;
-    u64 sectors_ = 0;
-};
-
-/** The device-memory side: N interleaved channels. */
-class DramModel
-{
-  public:
-    DramModel(unsigned channels, double total_sectors_per_cycle,
-              double latency)
-    {
-        BUDDY_CHECK(channels > 0, "need at least one DRAM channel");
-        const double per_chan =
-            total_sectors_per_cycle / static_cast<double>(channels);
-        for (unsigned c = 0; c < channels; ++c)
-            chans_.emplace_back(per_chan, latency);
-    }
-
-    /** Route a request to the channel owning @p line_addr. */
-    SimTime
-    request(SimTime now, u64 line_addr, unsigned sectors)
-    {
-        return chans_[line_addr % chans_.size()].request(now, sectors);
-    }
-
-    u64
-    sectorsTransferred() const
-    {
-        u64 s = 0;
-        for (const auto &c : chans_)
-            s += c.sectorsTransferred();
-        return s;
-    }
-
-    /** Aggregate utilization over an interval of @p cycles. */
-    double
-    utilization(SimTime cycles) const
-    {
-        if (cycles <= 0)
-            return 0.0;
-        SimTime busy = 0;
-        for (const auto &c : chans_)
-            busy += c.busyTime();
-        return busy / (cycles * static_cast<SimTime>(chans_.size()));
-    }
-
-  private:
-    std::vector<BandwidthServer> chans_;
-};
-
-/** The interconnect: full-duplex, one server per direction. */
-class LinkModel
-{
-  public:
-    LinkModel(double sectors_per_cycle_per_dir, double latency)
-        : toHost_(sectors_per_cycle_per_dir, latency),
-          fromHost_(sectors_per_cycle_per_dir, latency)
-    {}
-
-    /** A read sourced from buddy/host memory (from-host direction). */
-    SimTime
-    read(SimTime now, unsigned sectors)
-    {
-        return fromHost_.request(now, sectors);
-    }
-
-    /** A write headed to buddy/host memory (to-host direction). */
-    SimTime
-    write(SimTime now, unsigned sectors)
-    {
-        return toHost_.request(now, sectors);
-    }
-
-    u64
-    sectorsTransferred() const
-    {
-        return toHost_.sectorsTransferred() +
-               fromHost_.sectorsTransferred();
-    }
-
-  private:
-    BandwidthServer toHost_;
-    BandwidthServer fromHost_;
-};
+using timing::DramModel;
+using timing::SectorLink;
+using timing::SectorServer;
+using timing::SimTime;
 
 /**
  * Replays the controller's functional traffic into the bandwidth/latency
@@ -164,6 +34,16 @@ class LinkModel
  * it to a BuddyController (or feed it a replayed event log) to get a
  * first-order time estimate of a functional run without standing up the
  * full GpuSimulator pipeline.
+ *
+ * Timed backing stores can participate in the same clock: with
+ * honor_store_cycles set, an event carrying integer cycle charges from
+ * the store-level LinkModel cannot complete before the slower of its
+ * store charges — remote traffic advances the timeline the cache-side
+ * servers use instead of living in a separate counter. The coupling is
+ * opt-in because every store is timed by default: when this sink's own
+ * SectorLink already models the buddy interconnect, folding the store
+ * charge in as well would model the same link twice with different
+ * calibrations.
  */
 class MemsysReplaySink : public api::TrafficSink
 {
@@ -173,10 +53,15 @@ class MemsysReplaySink : public api::TrafficSink
      * @param link interconnect timing model (charged buddySectors).
      * @param issue_interval cycles between successive issued accesses
      *        (models the front end's issue rate).
+     * @param honor_store_cycles bound each access's completion by its
+     *        LinkModel store charges (remote/peer replays where the
+     *        store timing is the link model; see file header).
      */
-    MemsysReplaySink(DramModel &dram, LinkModel &link,
-                     double issue_interval = 1.0)
-        : dram_(dram), link_(link), issueInterval_(issue_interval)
+    MemsysReplaySink(DramModel &dram, SectorLink &link,
+                     double issue_interval = 1.0,
+                     bool honor_store_cycles = false)
+        : dram_(dram), link_(link), issueInterval_(issue_interval),
+          honorStoreCycles_(honor_store_cycles)
     {}
 
     void
@@ -195,6 +80,15 @@ class MemsysReplaySink : public api::TrafficSink
                     : link_.read(now_, event.info.buddySectors);
             done = std::max(done, link_done);
         }
+        // Store-level LinkModel charges ride the same clock: the device
+        // and buddy portions of one access transfer in parallel, so the
+        // slower charge bounds the completion.
+        if (honorStoreCycles_) {
+            const Cycles store =
+                std::max(event.info.deviceCycles, event.info.buddyCycles);
+            if (store)
+                done = std::max(done, now_ + static_cast<SimTime>(store));
+        }
         end_ = std::max(end_, done);
         now_ += issueInterval_;
         ++ops_;
@@ -208,8 +102,9 @@ class MemsysReplaySink : public api::TrafficSink
 
   private:
     DramModel &dram_;
-    LinkModel &link_;
+    SectorLink &link_;
     double issueInterval_;
+    bool honorStoreCycles_;
     SimTime now_ = 0.0;
     SimTime end_ = 0.0;
     u64 ops_ = 0;

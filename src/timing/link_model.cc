@@ -1,0 +1,27 @@
+#include "timing/link_model.h"
+
+namespace buddy {
+namespace timing {
+
+LinkTiming
+defaultLinkTiming(const std::string &kind)
+{
+    // Calibration sketch at 1.3 GHz (paper Table 2 class hardware):
+    // HBM2 ~900 GB/s ≈ 650 B/cycle; NVLink2 to the host ~75 GB/s per
+    // direction ≈ 57 B/cycle shared with UM traffic; NVLink peer
+    // ~150 GB/s ≈ 115 B/cycle; a disaggregation fabric is assumed to
+    // deliver a quarter of the host path at several-microsecond RTT.
+    if (kind == "dram")
+        return LinkTiming{4, 512, 512};
+    if (kind == "host-um")
+        return LinkTiming{600, 32, 32};
+    if (kind == "remote")
+        return LinkTiming{1200, 16, 16};
+    if (kind == "peer")
+        return LinkTiming{400, 64, 64};
+    // Unknown kinds are untimed until they opt in with explicit timing.
+    return LinkTiming{};
+}
+
+} // namespace timing
+} // namespace buddy

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The LinkModel timing subsystem: integer-cycle latency/bandwidth
+ * servers that turn BackingStore traffic into simulated time.
+ *
+ * Every BackingStore owns one LinkModel (see api/backing_store.h) and
+ * charges each read/write round trip through it: a request issued at
+ * the store's current simulated time occupies the per-direction
+ * bandwidth server for ceil(bytes / bytesPerCycle) cycles and completes
+ * a fixed link latency later. Stores are driven synchronously (each
+ * operation issues when the previous one completed), so the per-request
+ * charge is exactly the unloaded cost
+ *
+ *     cost(bytes) = latency + ceil(bytes / bytesPerCycle)
+ *
+ * — a pure function of the transferred bytes. That purity is the
+ * property the engine's determinism contract rests on: per-operation
+ * cycle charges are independent of shard placement and thread
+ * scheduling, so cross-shard cycle totals merge by addition and are
+ * bit-identical to a single-controller run (tests/test_link_model.cc,
+ * tests/test_engine.cc).
+ *
+ * The servers themselves are general FCFS queues over a simulated
+ * clock: driven with overlapping arrival times (as a memory-system
+ * front end would) they serialize on the pipe and accumulate queueing
+ * delay. The gpusim memory system's fractional-rate servers live in
+ * timing/servers.h; both layers share this directory so the repo has
+ * one home for time.
+ *
+ * All arithmetic is unsigned 64-bit integer: cycle totals are exact,
+ * reproducible run-to-run, and safe to compare bit-for-bit in tests.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace buddy {
+namespace timing {
+
+/** Transfer direction through a link (from the GPU's point of view). */
+enum class LinkDir : u8 {
+    Read,  ///< data flowing toward the GPU (loads, fills)
+    Write, ///< data flowing away from the GPU (stores, writebacks)
+};
+
+/**
+ * Latency/bandwidth parameters of one link. A bytesPerCycle of 0 means
+ * infinite bandwidth (no transfer cycles); latency 0 means none. The
+ * default-constructed timing is free: charging through it costs nothing,
+ * which keeps untimed uses of a store exact no-ops.
+ */
+struct LinkTiming
+{
+    /** Fixed per-request latency in core cycles. */
+    Cycles latency = 0;
+
+    /** Per-direction bandwidth in bytes per core cycle (0 = infinite). */
+    u64 readBytesPerCycle = 0;
+    u64 writeBytesPerCycle = 0;
+
+    bool
+    free() const
+    {
+        return latency == 0 && readBytesPerCycle == 0 &&
+               writeBytesPerCycle == 0;
+    }
+};
+
+/**
+ * Default link timing for a backing-store kind, loosely calibrated to
+ * the paper's reference machine at a ~1.3 GHz core clock:
+ *
+ *   "dram"     HBM2 device memory: ~650 B/cycle, short access latency.
+ *   "host-um"  host memory over NVLink2 (the buddy carve-out): tens of
+ *              B/cycle per direction, host-memory round-trip latency.
+ *   "remote"   disaggregated/far memory behind a fabric: lower
+ *              bandwidth, much higher latency.
+ *   "peer"     another GPU's device memory over NVLink peer access:
+ *              more bandwidth and less latency than the host path.
+ *
+ * Unknown kinds get the free timing (future stores opt in explicitly).
+ */
+LinkTiming defaultLinkTiming(const std::string &kind);
+
+/**
+ * One FCFS latency/bandwidth server over an integer simulated clock.
+ * A request of b bytes issued at time t starts at max(t, nextFree),
+ * occupies the pipe for ceil(b / bytesPerCycle) cycles, and completes
+ * a fixed latency after its transfer finishes.
+ */
+class LatencyBandwidthServer
+{
+  public:
+    LatencyBandwidthServer(Cycles latency, u64 bytes_per_cycle)
+        : latency_(latency), bytesPerCycle_(bytes_per_cycle)
+    {}
+
+    /** Transfer cycles of a @p bytes request (no latency, no queue). */
+    Cycles
+    transferCycles(u64 bytes) const
+    {
+        if (bytes == 0 || bytesPerCycle_ == 0)
+            return 0;
+        return (bytes + bytesPerCycle_ - 1) / bytesPerCycle_;
+    }
+
+    /** Unloaded request cost: the closed form tests check against. */
+    Cycles
+    cost(u64 bytes) const
+    {
+        return bytes == 0 ? 0 : latency_ + transferCycles(bytes);
+    }
+
+    /**
+     * Enqueue a @p bytes transfer arriving at time @p now.
+     * @return absolute completion time.
+     */
+    Cycles
+    request(Cycles now, u64 bytes)
+    {
+        if (bytes == 0)
+            return now;
+        const Cycles start = std::max(now, nextFree_);
+        queued_ += start - now;
+        const Cycles xfer = transferCycles(bytes);
+        nextFree_ = start + xfer;
+        busy_ += xfer;
+        bytes_ += bytes;
+        ++requests_;
+        return nextFree_ + latency_;
+    }
+
+    /** Time the pipe becomes idle. */
+    Cycles nextFree() const { return nextFree_; }
+
+    /** Total cycles the pipe spent transferring (for utilization). */
+    Cycles busyCycles() const { return busy_; }
+
+    /** Total cycles requests waited behind earlier transfers. */
+    Cycles queuedCycles() const { return queued_; }
+
+    u64 bytesServed() const { return bytes_; }
+    u64 requests() const { return requests_; }
+
+  private:
+    Cycles latency_;
+    u64 bytesPerCycle_;
+    Cycles nextFree_ = 0;
+    Cycles busy_ = 0;
+    Cycles queued_ = 0;
+    u64 bytes_ = 0;
+    u64 requests_ = 0;
+};
+
+/**
+ * A full-duplex link: one latency/bandwidth server per direction plus
+ * the simulated clock of the component that owns it. charge() issues a
+ * request at the current clock, advances the clock to its completion,
+ * and returns the cycles charged — the synchronous (blocking-driver)
+ * discipline every BackingStore uses, under which the charge equals the
+ * unloaded cost() exactly.
+ */
+class LinkModel
+{
+  public:
+    explicit LinkModel(const LinkTiming &timing)
+        : timing_(timing),
+          read_(timing.latency, timing.readBytesPerCycle),
+          write_(timing.latency, timing.writeBytesPerCycle)
+    {}
+
+    /** Charge a @p bytes transfer in direction @p dir at the current
+     *  clock; advances the clock. @return cycles charged. */
+    Cycles
+    charge(LinkDir dir, u64 bytes)
+    {
+        if (bytes == 0)
+            return 0;
+        const Cycles done = server(dir).request(now_, bytes);
+        const Cycles charged = done - now_;
+        now_ = done;
+        return charged;
+    }
+
+    /** Unloaded cost of a @p bytes transfer (closed form). */
+    Cycles
+    cost(LinkDir dir, u64 bytes) const
+    {
+        return dir == LinkDir::Read ? read_.cost(bytes)
+                                    : write_.cost(bytes);
+    }
+
+    /** Current simulated time: completion of the last charged request. */
+    Cycles now() const { return now_; }
+
+    const LinkTiming &timing() const { return timing_; }
+
+    const LatencyBandwidthServer &
+    reader() const
+    {
+        return read_;
+    }
+
+    const LatencyBandwidthServer &
+    writer() const
+    {
+        return write_;
+    }
+
+  private:
+    LatencyBandwidthServer &
+    server(LinkDir dir)
+    {
+        return dir == LinkDir::Read ? read_ : write_;
+    }
+
+    LinkTiming timing_;
+    LatencyBandwidthServer read_;
+    LatencyBandwidthServer write_;
+    Cycles now_ = 0;
+};
+
+} // namespace timing
+} // namespace buddy

@@ -48,7 +48,9 @@ sameInfo(const AccessInfo &a, const AccessInfo &b)
 {
     return a.deviceSectors == b.deviceSectors &&
            a.buddySectors == b.buddySectors &&
-           a.metadataHit == b.metadataHit;
+           a.metadataHit == b.metadataHit &&
+           a.deviceCycles == b.deviceCycles &&
+           a.buddyCycles == b.buddyCycles;
 }
 
 bool
@@ -58,7 +60,9 @@ sameStats(const BuddyStats &a, const BuddyStats &b)
            a.deviceSectorTraffic == b.deviceSectorTraffic &&
            a.buddySectorTraffic == b.buddySectorTraffic &&
            a.buddyAccesses == b.buddyAccesses &&
-           a.overflowEntries == b.overflowEntries;
+           a.overflowEntries == b.overflowEntries &&
+           a.deviceCycles == b.deviceCycles &&
+           a.buddyCycles == b.buddyCycles;
 }
 
 TEST(AccessBatch, BatchedWritesReadsProbesMatchSingleEntryCalls)
@@ -149,6 +153,11 @@ TEST(AccessBatch, SummaryMatchesStatsDelta)
               gpu.stats().buddySectorTraffic - before.buddySectorTraffic);
     EXPECT_EQ(s.buddyAccesses,
               gpu.stats().buddyAccesses - before.buddyAccesses);
+    EXPECT_EQ(s.deviceCycles,
+              gpu.stats().deviceCycles - before.deviceCycles);
+    EXPECT_EQ(s.buddyCycles,
+              gpu.stats().buddyCycles - before.buddyCycles);
+    EXPECT_EQ(s.totalCycles(), s.deviceCycles + s.buddyCycles);
     EXPECT_EQ(s.metadataHits + s.metadataMisses, entries.size());
 
     // Re-execution of a cleared batch reuses its capacity.
@@ -261,7 +270,7 @@ TEST(TrafficSink, MemsysReplayChargesDeviceAndLinkTraffic)
 {
     BuddyController gpu(smallConfig());
     DramModel dram(8, 16.0, 100.0);
-    LinkModel link(2.0, 500.0);
+    SectorLink link(2.0, 500.0);
     MemsysReplaySink replay(dram, link);
     gpu.attachSink(&replay);
 
@@ -279,6 +288,41 @@ TEST(TrafficSink, MemsysReplayChargesDeviceAndLinkTraffic)
     EXPECT_EQ(dram.sectorsTransferred(), gpu.stats().deviceSectorTraffic);
     EXPECT_EQ(link.sectorsTransferred(), gpu.stats().buddySectorTraffic);
     EXPECT_GT(replay.end(), 0.0);
+}
+
+TEST(TrafficSink, MemsysReplayOptionallyHonoursStoreCycleCharges)
+{
+    // With honor_store_cycles, an access's completion is bounded by the
+    // slower of its LinkModel store charges: replaying one remote-timed
+    // access must end no earlier than the store-charged cycles.
+    BuddyConfig cfg = smallConfig();
+    cfg.buddyBackend = "remote";
+    BuddyController gpu(cfg);
+
+    DramModel dram(8, 16.0, 0.0);
+    SectorLink link(1e9, 0.0); // effectively free sink-side servers
+    MemsysReplaySink plain(dram, link);
+    MemsysReplaySink honoring(dram, link, 1.0,
+                              /*honor_store_cycles=*/true);
+    gpu.attachSink(&plain);
+    gpu.attachSink(&honoring);
+
+    const auto id = gpu.allocate("a", 64 * KiB, CompressionTarget::Ratio4);
+    ASSERT_TRUE(id);
+    const Addr va = gpu.allocations().at(*id).va;
+    u8 entry[kEntryBytes];
+    Rng rng(6);
+    for (auto &b : entry)
+        b = static_cast<u8>(rng.below(256)); // incompressible: spills
+    const AccessInfo info = gpu.writeEntry(va, entry);
+    gpu.detachSink(&plain);
+    gpu.detachSink(&honoring);
+
+    ASSERT_GT(info.buddyCycles, 0u);
+    const SimTime bound = static_cast<SimTime>(
+        std::max(info.deviceCycles, info.buddyCycles));
+    EXPECT_GE(honoring.end(), bound);
+    EXPECT_LT(plain.end(), bound); // default: sink servers only
 }
 
 TEST(CodecRegistry, ListsBuiltinsAndCreatesThem)

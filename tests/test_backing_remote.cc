@@ -46,6 +46,16 @@ TEST(RemoteBackingStore, DirectRoundTripAndAccounting)
     EXPECT_EQ(store->bytesRead(), kOps * kEntryBytes);
     EXPECT_EQ(store->roundTrips(), 2 * kOps);
 
+    // Every round trip was charged through the store's LinkModel at the
+    // kind's default timing: closed-form cycle total.
+    const timing::LinkTiming t = timing::defaultLinkTiming("remote");
+    const auto xfer = [&](u64 bpc) {
+        return (kEntryBytes + bpc - 1) / bpc;
+    };
+    EXPECT_EQ(store->cyclesElapsed(),
+              kOps * (t.latency + xfer(t.writeBytesPerCycle)) +
+                  kOps * (t.latency + xfer(t.readBytesPerCycle)));
+
     // fill() counts as one write operation of len bytes.
     store->fill(0, 0xAA, 512);
     EXPECT_EQ(store->writeOps(), kOps + 1);

@@ -83,7 +83,9 @@ sameInfo(const AccessInfo &a, const AccessInfo &b)
 {
     return a.deviceSectors == b.deviceSectors &&
            a.buddySectors == b.buddySectors &&
-           a.metadataHit == b.metadataHit;
+           a.metadataHit == b.metadataHit &&
+           a.deviceCycles == b.deviceCycles &&
+           a.buddyCycles == b.buddyCycles;
 }
 
 bool
@@ -94,7 +96,9 @@ sameSummary(const BatchSummary &a, const BatchSummary &b)
            a.buddySectors == b.buddySectors &&
            a.metadataHits == b.metadataHits &&
            a.metadataMisses == b.metadataMisses &&
-           a.buddyAccesses == b.buddyAccesses;
+           a.buddyAccesses == b.buddyAccesses &&
+           a.deviceCycles == b.deviceCycles &&
+           a.buddyCycles == b.buddyCycles;
 }
 
 bool
@@ -104,7 +108,9 @@ sameStats(const BuddyStats &a, const BuddyStats &b)
            a.deviceSectorTraffic == b.deviceSectorTraffic &&
            a.buddySectorTraffic == b.buddySectorTraffic &&
            a.buddyAccesses == b.buddyAccesses &&
-           a.overflowEntries == b.overflowEntries;
+           a.overflowEntries == b.overflowEntries &&
+           a.deviceCycles == b.deviceCycles &&
+           a.buddyCycles == b.buddyCycles;
 }
 
 TEST(ShardedEngine, MergedResultsMatchSingleControllerBitForBit)
@@ -381,6 +387,88 @@ TEST(Trace, ReplayReproducesRecordedTotals)
     const TraceTotals twice = replayer.replay(twice_target, 2);
     EXPECT_EQ(twice.summary.writes, 2 * kN);
     EXPECT_EQ(twice.batches, 2 * replayer.recordedTotals().batches);
+}
+
+TEST(ShardedEngine, CycleTotalsDeterministicAcrossShardingAndRuns)
+{
+    // Record one timed workload as a trace, then drive it into 4-shard
+    // engines twice and a 1-shard engine once: per-shard cycle totals
+    // must be bit-identical run-to-run, and the merged totals must
+    // equal the 1-shard run — the cycle charges are pure per-operation
+    // functions of the traffic, so sharding cannot change the sums.
+    const auto entries = mixedEntries(kN, 321);
+
+    EngineConfig remote4 = engineConfig(4, 2);
+    remote4.shard.buddyBackend = "remote";
+    EngineConfig remote1 = engineConfig(1, 1);
+    remote1.shard.buddyBackend = "remote";
+
+    // Record on a 4-shard engine.
+    ShardedEngine rec(remote4);
+    TraceRecorderSink recorder;
+    rec.attachSink(&recorder);
+    std::vector<Addr> vas;
+    for (std::size_t a = 0; a < kAllocs; ++a) {
+        const auto id = rec.allocate("a" + std::to_string(a),
+                                     kEntriesPerAlloc * kEntryBytes,
+                                     CompressionTarget::Ratio2);
+        ASSERT_TRUE(id.has_value());
+        const EngineAllocation &ea = rec.allocations().at(*id);
+        recorder.noteAllocation(ea.name, ea.va, ea.bytes, ea.target);
+        for (std::size_t i = 0; i < kEntriesPerAlloc; ++i)
+            vas.push_back(ea.va + i * kEntryBytes);
+    }
+    AccessBatch w, r;
+    std::vector<u8> out(kN * kEntryBytes);
+    for (std::size_t i = 0; i < kN; ++i)
+        w.write(vas[i], entries[i].data());
+    rec.execute(w);
+    for (std::size_t i = 0; i < kN; ++i) {
+        if (i % 7 == 0)
+            r.probe(vas[i]);
+        else
+            r.read(vas[i], out.data() + i * kEntryBytes);
+    }
+    rec.execute(r);
+    rec.detachSink(&recorder);
+    EXPECT_GT(recorder.totals().summary.deviceCycles, 0u);
+    EXPECT_GT(recorder.totals().summary.buddyCycles, 0u);
+
+    TraceReplayer replayer;
+    replayer.loadImage(recorder.serialize());
+
+    // Two fresh 4-shard runs of the same trace.
+    const auto runSharded = [&](std::vector<BuddyStats> &per_shard) {
+        ShardedEngine eng(remote4);
+        const TraceTotals t = replayer.replay(eng);
+        per_shard.clear();
+        for (unsigned s = 0; s < eng.shardCount(); ++s)
+            per_shard.push_back(eng.shard(s).stats());
+        return t;
+    };
+    std::vector<BuddyStats> shardsA, shardsB;
+    const TraceTotals runA = runSharded(shardsA);
+    const TraceTotals runB = runSharded(shardsB);
+
+    // Per-shard and merged cycle totals reproduce run-to-run.
+    ASSERT_EQ(shardsA.size(), shardsB.size());
+    for (std::size_t s = 0; s < shardsA.size(); ++s)
+        EXPECT_TRUE(sameStats(shardsA[s], shardsB[s])) << "shard " << s;
+    EXPECT_TRUE(sameSummary(runA.summary, runB.summary));
+
+    // Merged 4-shard cycle totals equal the 1-shard run of the trace.
+    ShardedEngine one(remote1);
+    const TraceTotals single = replayer.replay(one);
+    EXPECT_EQ(runA.summary.deviceCycles, single.summary.deviceCycles);
+    EXPECT_EQ(runA.summary.buddyCycles, single.summary.buddyCycles);
+    EXPECT_EQ(runA.summary.deviceSectors, single.summary.deviceSectors);
+    EXPECT_EQ(runA.summary.buddySectors, single.summary.buddySectors);
+
+    // And both match what was recorded.
+    EXPECT_EQ(runA.summary.deviceCycles,
+              recorder.totals().summary.deviceCycles);
+    EXPECT_EQ(runA.summary.buddyCycles,
+              recorder.totals().summary.buddyCycles);
 }
 
 TEST(Trace, SequentialRecordingIsByteStable)

@@ -19,30 +19,30 @@ namespace {
 // Bandwidth server.
 // ---------------------------------------------------------------------
 
-TEST(BandwidthServer, CompletionIncludesTransferAndLatency)
+TEST(SectorServer, CompletionIncludesTransferAndLatency)
 {
-    BandwidthServer s(2.0, 100.0); // 2 sectors/cycle, 100-cycle latency
+    SectorServer s(2.0, 100.0); // 2 sectors/cycle, 100-cycle latency
     EXPECT_DOUBLE_EQ(s.request(0.0, 4), 2.0 + 100.0);
 }
 
-TEST(BandwidthServer, BackToBackRequestsQueue)
+TEST(SectorServer, BackToBackRequestsQueue)
 {
-    BandwidthServer s(1.0, 0.0);
+    SectorServer s(1.0, 0.0);
     EXPECT_DOUBLE_EQ(s.request(0.0, 4), 4.0);
     EXPECT_DOUBLE_EQ(s.request(0.0, 4), 8.0); // queued behind the first
     EXPECT_DOUBLE_EQ(s.request(20.0, 4), 24.0); // idle gap resets
 }
 
-TEST(BandwidthServer, ZeroSectorRequestIsFree)
+TEST(SectorServer, ZeroSectorRequestIsFree)
 {
-    BandwidthServer s(1.0, 50.0);
+    SectorServer s(1.0, 50.0);
     EXPECT_DOUBLE_EQ(s.request(5.0, 0), 5.0);
     EXPECT_EQ(s.sectorsTransferred(), 0u);
 }
 
-TEST(BandwidthServer, TracksBusyTimeAndSectors)
+TEST(SectorServer, TracksBusyTimeAndSectors)
 {
-    BandwidthServer s(2.0, 10.0);
+    SectorServer s(2.0, 10.0);
     s.request(0.0, 8);
     EXPECT_DOUBLE_EQ(s.busyTime(), 4.0);
     EXPECT_EQ(s.sectorsTransferred(), 8u);

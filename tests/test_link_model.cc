@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Closed-form tests of the LinkModel timing subsystem: N sequential
+ * round trips at latency L / bandwidth B must cost exactly the
+ * analytically expected cycle count — on the raw servers, on dram /
+ * remote / peer backing stores driven directly, and through
+ * BuddyController::execute, where every per-operation cycle charge must
+ * be a pure function of the operation's traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "api/backing_store.h"
+#include "core/controller.h"
+#include "engine/engine.h"
+#include "timing/link_model.h"
+#include "workloads/patterns.h"
+
+namespace buddy {
+namespace {
+
+using timing::LatencyBandwidthServer;
+using timing::LinkDir;
+using timing::LinkTiming;
+
+/** ceil(bytes / bpc) with the store's 32 B sector rounding applied. */
+Cycles
+xferCycles(u64 bytes, u64 bpc)
+{
+    const u64 sect =
+        (bytes + kSectorBytes - 1) / kSectorBytes * kSectorBytes;
+    return bpc ? (sect + bpc - 1) / bpc : 0;
+}
+
+TEST(LatencyBandwidthServer, SequentialRoundTripsMatchClosedForm)
+{
+    // Blocking driver: each request issues at the completion of the
+    // previous one. N round trips of b bytes at latency L and bandwidth
+    // B must land exactly at N * (L + ceil(b / B)).
+    constexpr Cycles kLat = 100;
+    constexpr u64 kBpc = 16;
+    LatencyBandwidthServer s(kLat, kBpc);
+
+    Cycles now = 0;
+    constexpr unsigned kN = 50;
+    for (unsigned i = 0; i < kN; ++i)
+        now = s.request(now, kEntryBytes);
+    EXPECT_EQ(now, kN * (kLat + kEntryBytes / kBpc));
+    EXPECT_EQ(s.queuedCycles(), 0u); // never waited behind itself
+    EXPECT_EQ(s.busyCycles(), kN * (kEntryBytes / kBpc));
+    EXPECT_EQ(s.bytesServed(), kN * kEntryBytes);
+    EXPECT_EQ(s.requests(), kN);
+}
+
+TEST(LatencyBandwidthServer, OverlappedRequestsQueueFcfs)
+{
+    // Three 128 B requests all arriving at t=0 on a 32 B/cycle pipe
+    // with 10-cycle latency: transfers serialize (4 cycles each), the
+    // latency pipelines.
+    LatencyBandwidthServer s(10, 32);
+    EXPECT_EQ(s.request(0, 128), 14u);
+    EXPECT_EQ(s.request(0, 128), 18u);
+    EXPECT_EQ(s.request(0, 128), 22u);
+    EXPECT_EQ(s.queuedCycles(), 4u + 8u);
+
+    // An idle gap resets the queue.
+    EXPECT_EQ(s.request(100, 128), 114u);
+    EXPECT_EQ(s.queuedCycles(), 12u);
+}
+
+TEST(LatencyBandwidthServer, ZeroBytesAndInfiniteBandwidthAreFree)
+{
+    LatencyBandwidthServer s(50, 0); // 0 = infinite bandwidth
+    EXPECT_EQ(s.request(7, 0), 7u);  // zero-byte request: no charge
+    EXPECT_EQ(s.cost(0), 0u);
+    EXPECT_EQ(s.cost(4096), 50u);    // latency only
+    EXPECT_EQ(s.request(7, 4096), 57u);
+}
+
+TEST(LinkModel, ChargeAdvancesClockByUnloadedCost)
+{
+    LinkTiming t;
+    t.latency = 7;
+    t.readBytesPerCycle = 32;
+    t.writeBytesPerCycle = 16;
+    timing::LinkModel link(t);
+
+    EXPECT_EQ(link.charge(LinkDir::Write, 128), 7u + 8u);
+    EXPECT_EQ(link.charge(LinkDir::Read, 128), 7u + 4u);
+    EXPECT_EQ(link.now(), 26u);
+    EXPECT_EQ(link.charge(LinkDir::Read, 0), 0u);
+    EXPECT_EQ(link.now(), 26u);
+
+    // The blocking-driver discipline never queues.
+    EXPECT_EQ(link.reader().queuedCycles(), 0u);
+    EXPECT_EQ(link.writer().queuedCycles(), 0u);
+}
+
+TEST(LinkModel, DefaultTimingsRankKindsSensibly)
+{
+    const LinkTiming dram = timing::defaultLinkTiming("dram");
+    const LinkTiming host = timing::defaultLinkTiming("host-um");
+    const LinkTiming remote = timing::defaultLinkTiming("remote");
+    const LinkTiming peer = timing::defaultLinkTiming("peer");
+
+    // Device memory is the fast end; the fabric the slow one; NVLink
+    // peer sits between device memory and the host path.
+    EXPECT_LT(dram.latency, peer.latency);
+    EXPECT_LT(peer.latency, host.latency);
+    EXPECT_LT(host.latency, remote.latency);
+    EXPECT_GT(dram.readBytesPerCycle, peer.readBytesPerCycle);
+    EXPECT_GT(peer.readBytesPerCycle, host.readBytesPerCycle);
+    EXPECT_GT(host.readBytesPerCycle, remote.readBytesPerCycle);
+
+    // Unknown kinds are untimed until they opt in.
+    EXPECT_TRUE(timing::defaultLinkTiming("cxl-pool").free());
+}
+
+TEST(BackingStoreTiming, StoresChargeClosedFormCycles)
+{
+    // dram, remote, and peer stores with explicit timing: N writes then
+    // N reads of one entry each must cost exactly
+    // N * (L + ceil(128/Bw)) + N * (L + ceil(128/Br)).
+    constexpr Cycles kLat = 40;
+    constexpr u64 kRead = 32, kWrite = 8;
+    constexpr std::size_t kOps = 64;
+
+    LinkTiming t;
+    t.latency = kLat;
+    t.readBytesPerCycle = kRead;
+    t.writeBytesPerCycle = kWrite;
+
+    for (const char *kind : {"dram", "remote", "peer"}) {
+        const auto store = makeBackingStore(kind, 64 * KiB, t);
+        EXPECT_STREQ(store->kind(), kind);
+        EXPECT_EQ(store->cyclesElapsed(), 0u);
+
+        u8 buf[kEntryBytes] = {1, 2, 3};
+        Cycles charged = 0;
+        for (std::size_t i = 0; i < kOps; ++i)
+            charged += store->write(i * kEntryBytes, buf, kEntryBytes);
+        for (std::size_t i = 0; i < kOps; ++i)
+            charged += store->read(i * kEntryBytes, buf, kEntryBytes);
+
+        const Cycles expect =
+            kOps * (kLat + xferCycles(kEntryBytes, kWrite)) +
+            kOps * (kLat + xferCycles(kEntryBytes, kRead));
+        EXPECT_EQ(charged, expect) << kind;
+        EXPECT_EQ(store->cyclesElapsed(), expect) << kind;
+        EXPECT_EQ(store->roundTrips(), 2 * kOps) << kind;
+    }
+}
+
+TEST(BackingStoreTiming, OddLengthsChargeWholeSectors)
+{
+    LinkTiming t;
+    t.latency = 10;
+    t.readBytesPerCycle = 32;
+    t.writeBytesPerCycle = 32;
+    const auto store = makeBackingStore("remote", 4 * KiB, t);
+
+    // 65 bytes transfer as three 32 B sectors (96 bytes): 10 + 3.
+    u8 buf[kEntryBytes] = {};
+    EXPECT_EQ(store->write(0, buf, 65), 13u);
+    EXPECT_EQ(store->read(0, buf, 65), 13u);
+    // chargeRead (the probe path) is bit-identical to a real read.
+    EXPECT_EQ(store->chargeRead(65), 13u);
+    EXPECT_EQ(store->cyclesElapsed(), 39u);
+}
+
+TEST(BackingStoreTiming, PeerStoreRecordsItsOrdinal)
+{
+    const auto wired =
+        makeBackingStore("peer", 4 * KiB, LinkTiming{}, 3);
+    EXPECT_EQ(wired->peerOrdinal(), 3);
+    const auto unwired = makeBackingStore("peer", 4 * KiB);
+    EXPECT_EQ(unwired->peerOrdinal(), -1);
+    const auto dram = makeBackingStore("dram", 4 * KiB);
+    EXPECT_EQ(dram->peerOrdinal(), -1);
+}
+
+/**
+ * Controller-driven closed form: the cycle charge of every executed
+ * operation must be a pure function of its traffic —
+ *   deviceCycles = devL + ceil(deviceSectors * 32 / devB)  (if any)
+ *   buddyCycles  = budL + ceil(buddySectors * 32 / budB)   (if any)
+ * — for writes, reads, and probes alike, on any workload.
+ */
+TEST(BackingStoreTiming, ControllerChargesArePureFunctionOfTraffic)
+{
+    constexpr Cycles kDevLat = 2, kBudLat = 50;
+    constexpr u64 kDevBpc = 64, kBudBpc = 8;
+
+    BuddyConfig cfg;
+    cfg.deviceBytes = 8 * MiB;
+    cfg.buddyBackend = "remote";
+    cfg.deviceLink = LinkTiming{kDevLat, kDevBpc, kDevBpc};
+    cfg.buddyLink = LinkTiming{kBudLat, kBudBpc, kBudBpc};
+    BuddyController gpu(cfg);
+
+    const auto id = gpu.allocate("a", 256 * KiB, CompressionTarget::Ratio2);
+    ASSERT_TRUE(id.has_value());
+    const Addr va = gpu.allocations().at(*id).va;
+
+    const std::size_t n = 512;
+    Rng rng(17);
+    std::vector<u8> data(n * kEntryBytes);
+    for (std::size_t e = 0; e < n; ++e)
+        fillBucketEntry(rng, static_cast<unsigned>(e % kPatternBuckets),
+                        data.data() + e * kEntryBytes);
+
+    const auto expectCycles = [](const AccessInfo &info, Cycles lat,
+                                 u64 bpc, bool device) {
+        const unsigned sectors =
+            device ? info.deviceSectors : info.buddySectors;
+        if (sectors == 0)
+            return Cycles{0};
+        const u64 bytes = static_cast<u64>(sectors) * kSectorBytes;
+        return lat + (bytes + bpc - 1) / bpc;
+    };
+
+    AccessBatch w;
+    for (std::size_t e = 0; e < n; ++e)
+        w.write(va + e * kEntryBytes, data.data() + e * kEntryBytes);
+    gpu.execute(w);
+    u64 dev_sum = 0, bud_sum = 0;
+    for (std::size_t e = 0; e < n; ++e) {
+        const AccessInfo &i = w.result(e);
+        ASSERT_EQ(i.deviceCycles,
+                  expectCycles(i, kDevLat, kDevBpc, true))
+            << "write " << e;
+        ASSERT_EQ(i.buddyCycles, expectCycles(i, kBudLat, kBudBpc, false))
+            << "write " << e;
+        dev_sum += i.deviceCycles;
+        bud_sum += i.buddyCycles;
+    }
+    EXPECT_EQ(w.summary().deviceCycles, dev_sum);
+    EXPECT_EQ(w.summary().buddyCycles, bud_sum);
+    EXPECT_GT(bud_sum, 0u); // the mixed set includes spilling entries
+
+    // Probes and reads of the same entries charge identical cycles.
+    AccessBatch p, r;
+    std::vector<u8> out(n * kEntryBytes);
+    for (std::size_t e = 0; e < n; ++e)
+        p.probe(va + e * kEntryBytes);
+    gpu.execute(p);
+    for (std::size_t e = 0; e < n; ++e)
+        r.read(va + e * kEntryBytes, out.data() + e * kEntryBytes);
+    gpu.execute(r);
+    for (std::size_t e = 0; e < n; ++e) {
+        ASSERT_EQ(p.result(e).deviceCycles, r.result(e).deviceCycles)
+            << "op " << e;
+        ASSERT_EQ(p.result(e).buddyCycles, r.result(e).buddyCycles)
+            << "op " << e;
+        ASSERT_EQ(r.result(e).deviceCycles,
+                  expectCycles(r.result(e), kDevLat, kDevBpc, true));
+        ASSERT_EQ(r.result(e).buddyCycles,
+                  expectCycles(r.result(e), kBudLat, kBudBpc, false));
+    }
+    EXPECT_EQ(std::memcmp(out.data(), data.data(), data.size()), 0);
+
+    // The store clocks agree with the per-op sums.
+    EXPECT_EQ(gpu.stats().deviceCycles,
+              gpu.deviceStore().cyclesElapsed());
+    EXPECT_EQ(gpu.stats().buddyCycles,
+              gpu.carveOut().store().cyclesElapsed());
+}
+
+TEST(BackingStoreTiming, EngineWiresPeerRingAndChargesPeerLinks)
+{
+    EngineConfig cfg;
+    cfg.shards = 4;
+    cfg.shard.deviceBytes = 8 * MiB;
+    cfg.shard.buddyBackend = "peer";
+    ShardedEngine eng(cfg);
+
+    for (unsigned s = 0; s < eng.shardCount(); ++s) {
+        EXPECT_STREQ(eng.shard(s).carveOut().store().kind(), "peer");
+        EXPECT_EQ(eng.buddyPeerOf(s),
+                  static_cast<int>((s + 1) % eng.shardCount()));
+    }
+
+    // Incompressible data under a 4x target spills every entry into the
+    // peer carve-out, charging its NVLink-peer timing.
+    std::vector<Addr> vas;
+    for (std::size_t a = 0; a < 8; ++a) {
+        const auto id = eng.allocate("a" + std::to_string(a), 32 * KiB,
+                                     CompressionTarget::Ratio4);
+        ASSERT_TRUE(id.has_value());
+        const Addr base = eng.allocations().at(*id).va;
+        for (std::size_t i = 0; i < 32 * KiB / kEntryBytes; ++i)
+            vas.push_back(base + i * kEntryBytes);
+    }
+    Rng rng(23);
+    std::vector<u8> data(vas.size() * kEntryBytes);
+    std::vector<u8> out(data.size());
+    for (auto &b : data)
+        b = static_cast<u8>(rng.below(256));
+
+    AccessBatch plan;
+    for (std::size_t i = 0; i < vas.size(); ++i)
+        plan.write(vas[i], data.data() + i * kEntryBytes);
+    eng.execute(plan);
+    EXPECT_GT(plan.summary().buddyCycles, 0u);
+
+    plan.clear();
+    for (std::size_t i = 0; i < vas.size(); ++i)
+        plan.read(vas[i], out.data() + i * kEntryBytes);
+    eng.execute(plan);
+    EXPECT_EQ(std::memcmp(out.data(), data.data(), data.size()), 0);
+
+    // Merged stats equal the sum over the per-shard peer-store clocks.
+    u64 clock_sum = 0;
+    for (unsigned s = 0; s < eng.shardCount(); ++s)
+        clock_sum += eng.shard(s).carveOut().store().cyclesElapsed();
+    EXPECT_EQ(eng.stats().buddyCycles, clock_sum);
+}
+
+} // namespace
+} // namespace buddy

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Timing across the trace layer: record -> replay must preserve the
+ * simulated cycle totals exactly (cycle charges are pure functions of
+ * the traffic, so an identically-configured replay target reproduces
+ * them bit-for-bit), repeat-mode replay must scale the totals exactly
+ * linearly (the VA translation is hoisted out of the repeat loop), and
+ * a fuzz loop with randomized batch shapes must round-trip traces
+ * through the replayer against timed engines, logging the seed on any
+ * failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "engine/engine.h"
+#include "engine/trace.h"
+#include "workloads/patterns.h"
+
+namespace buddy {
+namespace {
+
+EngineConfig
+timedEngineConfig(unsigned shards, const std::string &buddy_backend)
+{
+    EngineConfig cfg;
+    cfg.shards = shards;
+    cfg.threads = 2;
+    cfg.shard.deviceBytes = 8 * MiB;
+    cfg.shard.buddyBackend = buddy_backend;
+    return cfg;
+}
+
+bool
+sameSummary(const BatchSummary &a, const BatchSummary &b)
+{
+    return a.reads == b.reads && a.writes == b.writes &&
+           a.probes == b.probes && a.deviceSectors == b.deviceSectors &&
+           a.buddySectors == b.buddySectors &&
+           a.metadataHits == b.metadataHits &&
+           a.metadataMisses == b.metadataMisses &&
+           a.buddyAccesses == b.buddyAccesses &&
+           a.deviceCycles == b.deviceCycles &&
+           a.buddyCycles == b.buddyCycles;
+}
+
+/** Record a mixed write+read+probe workload; return the trace image. */
+std::vector<u8>
+recordWorkload(ShardedEngine &eng, std::size_t entries, u64 seed,
+               TraceTotals *totals_out = nullptr)
+{
+    TraceRecorderSink recorder;
+    eng.attachSink(&recorder);
+
+    constexpr std::size_t kAllocs = 4;
+    std::vector<Addr> vas;
+    for (std::size_t a = 0; a < kAllocs; ++a) {
+        const auto id =
+            eng.allocate("a" + std::to_string(a),
+                         (entries / kAllocs) * kEntryBytes,
+                         CompressionTarget::Ratio2);
+        EXPECT_TRUE(id.has_value());
+        const EngineAllocation &ea = eng.allocations().at(*id);
+        recorder.noteAllocation(ea.name, ea.va, ea.bytes, ea.target);
+        for (std::size_t i = 0; i < entries / kAllocs; ++i)
+            vas.push_back(ea.va + i * kEntryBytes);
+    }
+
+    Rng rng(seed);
+    std::vector<u8> data(vas.size() * kEntryBytes);
+    for (std::size_t e = 0; e < vas.size(); ++e)
+        fillBucketEntry(rng, static_cast<unsigned>(e % kPatternBuckets),
+                        data.data() + e * kEntryBytes);
+    std::vector<u8> out(vas.size() * kEntryBytes);
+
+    AccessBatch w, r;
+    for (std::size_t e = 0; e < vas.size(); ++e)
+        w.write(vas[e], data.data() + e * kEntryBytes);
+    eng.execute(w);
+    for (std::size_t e = 0; e < vas.size(); ++e) {
+        if (e % 5 == 0)
+            r.probe(vas[e]);
+        else
+            r.read(vas[e], out.data() + e * kEntryBytes);
+    }
+    eng.execute(r);
+    eng.detachSink(&recorder);
+
+    if (totals_out != nullptr)
+        *totals_out = recorder.totals();
+    return recorder.serialize();
+}
+
+TEST(TraceTiming, ReplayPreservesCycleTotals)
+{
+    ShardedEngine rec(timedEngineConfig(4, "remote"));
+    TraceTotals recorded;
+    const auto image = recordWorkload(rec, 1024, 7, &recorded);
+    EXPECT_GT(recorded.summary.deviceCycles, 0u);
+    EXPECT_GT(recorded.summary.buddyCycles, 0u);
+
+    TraceReplayer replayer;
+    replayer.loadImage(image);
+    EXPECT_TRUE(sameSummary(replayer.recordedTotals().summary,
+                            recorded.summary));
+
+    // Identically-configured 4-shard engine: everything reproduces.
+    ShardedEngine same(timedEngineConfig(4, "remote"));
+    const TraceTotals replayed = replayer.replay(same);
+    EXPECT_TRUE(sameSummary(replayed.summary, recorded.summary));
+
+    // Cycle charges are pure functions of the traffic, so even a plain
+    // single controller reproduces the cycle totals exactly.
+    BuddyConfig single_cfg;
+    single_cfg.deviceBytes = 8 * MiB;
+    single_cfg.buddyBackend = "remote";
+    BuddyController single(single_cfg);
+    const TraceTotals direct = replayer.replay(single);
+    EXPECT_EQ(direct.summary.deviceCycles, recorded.summary.deviceCycles);
+    EXPECT_EQ(direct.summary.buddyCycles, recorded.summary.buddyCycles);
+}
+
+TEST(TraceTiming, RepeatScalesTotalsExactlyLinearly)
+{
+    ShardedEngine rec(timedEngineConfig(2, "host-um"));
+    const auto image = recordWorkload(rec, 512, 11);
+
+    TraceReplayer replayer;
+    replayer.loadImage(image);
+
+    constexpr unsigned kRepeat = 3;
+    ShardedEngine once_t(timedEngineConfig(2, "host-um"));
+    ShardedEngine many_t(timedEngineConfig(2, "host-um"));
+    const TraceTotals once = replayer.replay(once_t);
+    const TraceTotals many = replayer.replay(many_t, kRepeat);
+
+    // Every shard-independent total scales exactly linearly: repeated
+    // passes rewrite identical payloads, so traffic and cycle charges
+    // repeat bit-for-bit. (Metadata hits are excluded: later passes run
+    // against a warm cache.)
+    EXPECT_EQ(many.batches, kRepeat * once.batches);
+    EXPECT_EQ(many.summary.reads, kRepeat * once.summary.reads);
+    EXPECT_EQ(many.summary.writes, kRepeat * once.summary.writes);
+    EXPECT_EQ(many.summary.probes, kRepeat * once.summary.probes);
+    EXPECT_EQ(many.summary.deviceSectors,
+              kRepeat * once.summary.deviceSectors);
+    EXPECT_EQ(many.summary.buddySectors,
+              kRepeat * once.summary.buddySectors);
+    EXPECT_EQ(many.summary.buddyAccesses,
+              kRepeat * once.summary.buddyAccesses);
+    EXPECT_EQ(many.summary.deviceCycles,
+              kRepeat * once.summary.deviceCycles);
+    EXPECT_EQ(many.summary.buddyCycles,
+              kRepeat * once.summary.buddyCycles);
+}
+
+TEST(TraceTiming, FuzzedBatchShapesRoundTrip)
+{
+    // Randomized batch shapes, op mixes, shard counts, and backends:
+    // the recorded trace must replay to identical totals on a fresh,
+    // identically-configured engine. Seeds are logged so any failure
+    // reproduces with a one-line change.
+    constexpr u64 kBaseSeed = 0xBDD7'0001;
+    const char *backends[] = {"host-um", "remote", "peer"};
+
+    for (unsigned iter = 0; iter < 6; ++iter) {
+        const u64 seed = kBaseSeed + iter;
+        SCOPED_TRACE("fuzz seed " + std::to_string(seed));
+        Rng rng(seed);
+
+        const unsigned shards = 1 + static_cast<unsigned>(rng.below(4));
+        const std::string backend = backends[rng.below(3)];
+        EngineConfig cfg = timedEngineConfig(shards, backend);
+
+        ShardedEngine rec(cfg);
+        TraceRecorderSink recorder;
+        rec.attachSink(&recorder);
+
+        // 1-4 allocations of random entry counts.
+        std::vector<Addr> vas;
+        const unsigned nallocs = 1 + static_cast<unsigned>(rng.below(4));
+        for (unsigned a = 0; a < nallocs; ++a) {
+            const std::size_t count = 64 + rng.below(512);
+            const auto target = static_cast<CompressionTarget>(
+                1 + rng.below(4)); // Ratio4..None
+            const auto id = rec.allocate("f" + std::to_string(a),
+                                         count * kEntryBytes, target);
+            ASSERT_TRUE(id.has_value());
+            const EngineAllocation &ea = rec.allocations().at(*id);
+            recorder.noteAllocation(ea.name, ea.va, ea.bytes, ea.target);
+            for (std::size_t i = 0; i < count; ++i)
+                vas.push_back(ea.va + i * kEntryBytes);
+        }
+
+        // Random batches: writes first (so reads hit written state),
+        // then a shuffled read/probe/rewrite mix in random batch sizes.
+        std::vector<u8> data(vas.size() * kEntryBytes);
+        for (std::size_t e = 0; e < vas.size(); ++e)
+            fillBucketEntry(rng,
+                            static_cast<unsigned>(rng.below(kPatternBuckets)),
+                            data.data() + e * kEntryBytes);
+        std::vector<u8> out(vas.size() * kEntryBytes);
+
+        std::size_t e = 0;
+        while (e < vas.size()) {
+            const std::size_t batch_n =
+                std::min<std::size_t>(1 + rng.below(200), vas.size() - e);
+            AccessBatch w;
+            for (std::size_t i = 0; i < batch_n; ++i, ++e)
+                w.write(vas[e], data.data() + e * kEntryBytes);
+            rec.execute(w);
+        }
+        e = 0;
+        while (e < vas.size()) {
+            const std::size_t batch_n =
+                std::min<std::size_t>(1 + rng.below(300), vas.size() - e);
+            AccessBatch m;
+            for (std::size_t i = 0; i < batch_n; ++i, ++e) {
+                switch (rng.below(3)) {
+                  case 0:
+                    m.read(vas[e], out.data() + e * kEntryBytes);
+                    break;
+                  case 1:
+                    m.probe(vas[e]);
+                    break;
+                  default:
+                    m.write(vas[e], data.data() + e * kEntryBytes);
+                    break;
+                }
+            }
+            rec.execute(m);
+        }
+        rec.detachSink(&recorder);
+
+        TraceReplayer replayer;
+        replayer.loadImage(recorder.serialize());
+        ASSERT_EQ(replayer.opCount(), recorder.opCount());
+
+        ShardedEngine fresh(cfg);
+        const TraceTotals replayed = replayer.replay(fresh);
+        EXPECT_TRUE(
+            sameSummary(replayed.summary, recorder.totals().summary));
+        EXPECT_EQ(replayed.batches, recorder.totals().batches);
+    }
+}
+
+} // namespace
+} // namespace buddy
