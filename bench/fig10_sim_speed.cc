@@ -18,11 +18,15 @@
  *      image -> read back) spend their time in;
  *  (iv) simulated time of the timed backends: the same working set
  *      written and read through dram/host-um, dram/remote, and a
- *      4-shard engine with NVLink-peer carve-outs, reporting the
- *      LinkModel cycle totals (not just op counts) and checking that
- *      multi-shard cycle totals reproduce run-to-run.
+ *      4-shard engine with NVLink-peer carve-outs, reporting both the
+ *      serial LinkModel cycle totals and the windowed-replay makespans
+ *      (--window outstanding round trips, timing/window.h), and
+ *      checking that multi-shard cycle totals reproduce run-to-run;
+ *  (v) the windowed replay's W sweep on the dram/host-um pair: W=1
+ *      must reproduce the serial totals bit-for-bit and wider windows
+ *      must shrink monotonely toward the bandwidth bound.
  *
- * --smoke shrinks the set and runs section (iv) only, emitting
+ * --smoke shrinks the set and runs sections (iv)+(v) only, emitting
  * "SMOKE OK"/"SMOKE FAILED" — the CI ThreadSanitizer job drives the
  * engine's timed clock paths through this mode.
  */
@@ -51,15 +55,24 @@ struct TimedRun
 {
     u64 deviceCycles = 0;
     u64 buddyCycles = 0;
+    u64 deviceWindowCycles = 0;
+    u64 buddyWindowCycles = 0;
     u64 buddySectors = 0;
 
     u64 total() const { return deviceCycles + buddyCycles; }
+
+    u64 windowTotal() const
+    {
+        return deviceWindowCycles + buddyWindowCycles;
+    }
 
     bool
     operator==(const TimedRun &o) const
     {
         return deviceCycles == o.deviceCycles &&
                buddyCycles == o.buddyCycles &&
+               deviceWindowCycles == o.deviceWindowCycles &&
+               buddyWindowCycles == o.buddyWindowCycles &&
                buddySectors == o.buddySectors;
     }
 };
@@ -96,6 +109,8 @@ runTimed(Target &target, std::size_t entries, const std::vector<u8> &data)
     target.execute(plan);
     r.deviceCycles += plan.summary().deviceCycles;
     r.buddyCycles += plan.summary().buddyCycles;
+    r.deviceWindowCycles += plan.summary().deviceWindowCycles;
+    r.buddyWindowCycles += plan.summary().buddyWindowCycles;
     r.buddySectors += plan.summary().buddySectors;
 
     plan.clear();
@@ -104,31 +119,48 @@ runTimed(Target &target, std::size_t entries, const std::vector<u8> &data)
     target.execute(plan);
     r.deviceCycles += plan.summary().deviceCycles;
     r.buddyCycles += plan.summary().buddyCycles;
+    r.deviceWindowCycles += plan.summary().deviceWindowCycles;
+    r.buddyWindowCycles += plan.summary().buddyWindowCycles;
     r.buddySectors += plan.summary().buddySectors;
     return r;
 }
 
-/** Section (iv): simulated cycles per timed backend configuration. */
-bool
-timedBackendSection(std::size_t entries, const std::string &codec)
+/** The randomized working set sections (iv) and (v) share. */
+std::vector<u8>
+timedWorkingSet(std::size_t entries)
 {
     std::vector<u8> data(entries * kEntryBytes);
     Rng rng(29);
     for (std::size_t e = 0; e < entries; ++e)
         fillBucketEntry(rng, static_cast<unsigned>(e % kPatternBuckets),
                         data.data() + e * kEntryBytes);
+    return data;
+}
+
+/** Section (iv): simulated cycles per timed backend configuration. */
+bool
+timedBackendSection(std::size_t entries, const std::string &codec,
+                    u64 window)
+{
+    const std::vector<u8> data = timedWorkingSet(entries);
 
     Table t({"device/buddy backends", "dev-cycles", "buddy-cycles",
-             "total", "vs dram/host-um"});
+             "total",
+             strfmt("win-total (W=%llu)", (unsigned long long)window),
+             "vs dram/host-um"});
     double baseline = 0;
+    bool windows_bounded = true;
     const auto addRow = [&](const char *name, const TimedRun &r) {
         if (baseline == 0)
             baseline = static_cast<double>(r.total());
         t.addRow({name, strfmt("%llu", (unsigned long long)r.deviceCycles),
                   strfmt("%llu", (unsigned long long)r.buddyCycles),
                   strfmt("%llu", (unsigned long long)r.total()),
+                  strfmt("%llu", (unsigned long long)r.windowTotal()),
                   strfmt("%.2fx",
                          static_cast<double>(r.total()) / baseline)});
+        // The windowed makespan can never exceed the serial charge.
+        windows_bounded = windows_bounded && r.windowTotal() <= r.total();
     };
 
     for (const char *buddy_kind : {"host-um", "remote"}) {
@@ -136,6 +168,7 @@ timedBackendSection(std::size_t entries, const std::string &codec)
         cfg.codec = codec;
         cfg.deviceBytes = entries * kEntryBytes + 8 * MiB;
         cfg.buddyBackend = buddy_kind;
+        cfg.linkWindow = window;
         BuddyController gpu(cfg);
         const TimedRun r = runTimed(gpu, entries, data);
         addRow(buddy_kind == std::string("host-um") ? "dram / host-um"
@@ -144,13 +177,15 @@ timedBackendSection(std::size_t entries, const std::string &codec)
     }
 
     // 4-shard engine with NVLink-peer carve-outs; run twice to check
-    // the multi-shard cycle totals reproduce run-to-run.
+    // the multi-shard cycle totals (windowed included) reproduce
+    // run-to-run.
     const auto peerRun = [&]() {
         EngineConfig cfg;
         cfg.shards = 4;
         cfg.shard.codec = codec;
         cfg.shard.deviceBytes = entries * kEntryBytes + 8 * MiB;
         cfg.shard.buddyBackend = "peer";
+        cfg.shard.linkWindow = window;
         ShardedEngine eng(cfg);
         return runTimed(eng, entries, data);
     };
@@ -162,10 +197,58 @@ timedBackendSection(std::size_t entries, const std::string &codec)
     const bool reproducible = peerA == peerB;
     std::printf("\n4-shard peer cycle totals run-to-run: %s\n",
                 reproducible ? "bit-identical" : "MISMATCH");
+    std::printf("windowed makespans within the serial bound: %s\n",
+                windows_bounded ? "yes" : "VIOLATED");
     std::printf("link cycles are LinkModel charges "
-                "(timing/link_model.h); the remote fabric's latency "
-                "dominates its row, NVLink peer recovers most of it\n");
-    return reproducible;
+                "(timing/link_model.h); win-total overlaps them with W "
+                "outstanding round trips (timing/window.h); the remote "
+                "fabric's latency dominates its row, NVLink peer "
+                "recovers most of it\n");
+    return reproducible && windows_bounded;
+}
+
+/**
+ * Section (v): the W sweep — the same dram/host-um pass under growing
+ * windows, bracketed by the serial (W=1) and bandwidth bounds. Returns
+ * false if W=1 fails to reproduce the serial totals bit-for-bit or the
+ * sweep leaves the bracket.
+ */
+bool
+windowSweepSection(std::size_t entries, const std::string &codec)
+{
+    const std::vector<u8> data = timedWorkingSet(entries);
+
+    Table t({"W", "win-total", "vs serial"});
+    bool ok = true;
+    u64 serial_total = 0;
+    u64 prev = 0;
+    for (const u64 w : {1ull, 2ull, 4ull, 8ull, 16ull, 32ull, 64ull,
+                        256ull}) {
+        BuddyConfig cfg;
+        cfg.codec = codec;
+        cfg.deviceBytes = entries * kEntryBytes + 8 * MiB;
+        cfg.linkWindow = w;
+        BuddyController gpu(cfg);
+        const TimedRun r = runTimed(gpu, entries, data);
+        if (w == 1) {
+            serial_total = r.total();
+            // The W=1 replay must equal the serial charge bit-for-bit.
+            ok = ok && r.windowTotal() == serial_total;
+        } else {
+            ok = ok && r.windowTotal() <= prev &&
+                 r.windowTotal() <= serial_total;
+        }
+        prev = r.windowTotal();
+        t.addRow({strfmt("%llu", (unsigned long long)w),
+                  strfmt("%llu", (unsigned long long)r.windowTotal()),
+                  strfmt("%.2fx", static_cast<double>(r.windowTotal()) /
+                                      static_cast<double>(serial_total))});
+    }
+    t.print();
+    std::printf("\nW=1 reproduces the serial totals exactly; wider "
+                "windows overlap the host-um round-trip latency "
+                "(monotone, checked)\n");
+    return ok;
 }
 
 } // namespace
@@ -178,15 +261,19 @@ main(int argc, char **argv)
     cli.addUint("entries", 32768,
                 "entries in the functional-throughput plan (iii/iv)");
     cli.addString("codec", "bpc", "codec for the functional path");
+    addWindowFlag(cli); // --window, default 32
     cli.addBool("smoke", "small set, timed section only, pass/fail line");
     if (!cli.parse(argc, argv))
         return 0;
 
+    const u64 window = windowOf(cli);
     const bool smoke = cli.boolOf("smoke");
     if (smoke) {
         const std::size_t n = static_cast<std::size_t>(
             cli.wasSet("entries") ? cli.uintOf("entries") : 4096);
-        const bool ok = timedBackendSection(n, cli.stringOf("codec"));
+        const bool ok =
+            timedBackendSection(n, cli.stringOf("codec"), window) &&
+            windowSweepSection(n / 4, cli.stringOf("codec"));
         std::printf("%s\n", ok ? "SMOKE OK" : "SMOKE FAILED");
         return ok ? 0 : 1;
     }
@@ -302,8 +389,14 @@ main(int argc, char **argv)
     // (iv) Simulated time of the timed backends.
     std::printf("--- timed functional backends (simulated cycles) "
                 "---\n\n");
-    const bool ok = timedBackendSection(
+    const bool backends_ok = timedBackendSection(
         static_cast<std::size_t>(cli.uintOf("entries")),
+        cli.stringOf("codec"), window);
+
+    // (v) The windowed replay's W sweep on the dram/host-um pair.
+    std::printf("\n--- windowed replay W sweep (dram/host-um) ---\n\n");
+    const bool sweep_ok = windowSweepSection(
+        static_cast<std::size_t>(cli.uintOf("entries")) / 4,
         cli.stringOf("codec"));
-    return ok ? 0 : 1;
+    return backends_ok && sweep_ok ? 0 : 1;
 }

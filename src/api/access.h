@@ -78,6 +78,21 @@ struct AccessInfo
     Cycles buddyCycles = 0;
 
     /**
+     * Device-link share of the batch's windowed (MSHR-style) timing
+     * replay: the advance of the window's completion frontier this
+     * access caused (see timing/window.h). The charges of a batch
+     * telescope, so their sum is the windowed makespan of the batch's
+     * device-link stream. Scheduled over the submission-order traffic,
+     * which is a pure function of the plan — windowed totals are
+     * therefore identical under any sharding, like the serial fields.
+     * At BuddyConfig::linkWindow == 1 this equals deviceCycles exactly.
+     */
+    Cycles deviceWindowCycles = 0;
+
+    /** Buddy-link share of the windowed replay (see above). */
+    Cycles buddyWindowCycles = 0;
+
+    /**
      * Total link cycles charged for this access. The device and buddy
      * portions occupy different links, so this is link occupancy (the
      * quantity that sums across a batch), not a parallel makespan.
@@ -86,6 +101,13 @@ struct AccessInfo
     cycles() const
     {
         return deviceCycles + buddyCycles;
+    }
+
+    /** Total windowed-replay charge of this access (additive). */
+    Cycles
+    windowCycles() const
+    {
+        return deviceWindowCycles + buddyWindowCycles;
     }
 
     /** True if any part of the entry lives in buddy memory. */
@@ -114,10 +136,28 @@ struct BatchSummary
     /** Simulated cycles charged to the buddy/interconnect link. */
     u64 buddyCycles = 0;
 
+    /**
+     * Windowed-replay makespan of the batch's device-link stream: the
+     * simulated cycles the batch needs with BuddyConfig::linkWindow
+     * round trips in flight (timing/window.h). Equals deviceCycles at
+     * linkWindow == 1; approaches the pipe's transfer occupancy as the
+     * window grows.
+     */
+    u64 deviceWindowCycles = 0;
+
+    /** Windowed-replay makespan of the buddy-link stream. */
+    u64 buddyWindowCycles = 0;
+
     u64 operations() const { return reads + writes + probes; }
 
     /** Total link cycles the batch charged (occupancy, additive). */
     u64 totalCycles() const { return deviceCycles + buddyCycles; }
+
+    /** Total windowed link cycles (per-link makespans, additive). */
+    u64 windowTotalCycles() const
+    {
+        return deviceWindowCycles + buddyWindowCycles;
+    }
 
     /** Fraction of the batch's operations that needed buddy memory. */
     double

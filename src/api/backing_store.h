@@ -36,6 +36,7 @@
 
 #include "common/types.h"
 #include "timing/link_model.h"
+#include "timing/window.h"
 
 namespace buddy {
 namespace api {
@@ -131,6 +132,21 @@ class BackingStore
      * fabric, so only there does the count dominate the cycle total.
      */
     u64 roundTrips() const { return writeOps_ + readOps_; }
+
+    /**
+     * The store's windowed charging mode: an MSHR-style scheduler over
+     * this store's link timing that keeps up to @p window round trips
+     * in flight (timing/window.h). Windows are created per request
+     * stream (one per batch in the controller), own private servers,
+     * and never touch this store's serial clock — serial charges stay
+     * exact at any window. window == 1 reproduces the serial charges
+     * bit-for-bit; 0 or a zero-bandwidth non-free link fail fast.
+     */
+    timing::RequestWindow
+    makeWindow(u64 window) const
+    {
+        return timing::RequestWindow(link_.timing(), window);
+    }
 
     /** The link this store charges its transfers through. */
     const timing::LinkModel &link() const { return link_; }

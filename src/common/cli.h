@@ -237,4 +237,31 @@ class CliFlags
     std::vector<Flag> flags_;
 };
 
+/**
+ * Register the shared --window flag: the outstanding link round trips
+ * (W) of the windowed timing replay (timing/window.h), wired into
+ * BuddyConfig::linkWindow by the timed benches. @p def is the bench's
+ * default window.
+ */
+inline void
+addWindowFlag(CliFlags &cli, u64 def = 32)
+{
+    cli.addUint("window", def,
+                "outstanding link round trips W (1 = serial replay)");
+}
+
+/** Read a validated --window value; 0 is a fail-fast usage error. */
+inline u64
+windowOf(const CliFlags &cli)
+{
+    const u64 w = cli.uintOf("window");
+    if (w == 0) {
+        std::fprintf(stderr,
+                     "--window 0 would never issue a request; use "
+                     "--window 1 for the serial replay\n");
+        BUDDY_FATAL("bad --window value");
+    }
+    return w;
+}
+
 } // namespace buddy

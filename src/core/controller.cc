@@ -32,6 +32,16 @@ BuddyController::BuddyController(const BuddyConfig &cfg)
       deviceAlloc_(cfg.deviceBytes),
       buddyAlloc_(buddy_.capacity())
 {
+    // Windowed-replay configuration errors (a 0 window, or a windowed
+    // replay over a zero-bandwidth link) are caught here rather than at
+    // the first executed batch.
+    timing::validateWindowedTiming(device_->link().timing(),
+                                   cfg.linkWindow,
+                                   "BuddyConfig deviceLink/linkWindow");
+    timing::validateWindowedTiming(buddy_.store().link().timing(),
+                                   cfg.linkWindow,
+                                   "BuddyConfig buddyLink/linkWindow");
+
     // The architectural metadata region must cover the largest logical
     // footprint: device memory fully expanded at the maximum 4x ratio.
     const std::size_t covered =
@@ -158,10 +168,17 @@ BuddyController::trafficFor(const EntryLoc &loc, EntryMeta meta,
     return info;
 }
 
+BuddyController::LinkWindows
+BuddyController::makeWindows() const
+{
+    return {device_->makeWindow(cfg_.linkWindow),
+            buddy_.store().makeWindow(cfg_.linkWindow)};
+}
+
 AccessInfo
 BuddyController::executeOp(const AccessRequest &op,
                            CompressionScratch &scratch,
-                           BatchSummary &summary)
+                           LinkWindows *windows, BatchSummary &summary)
 {
     const EntryLoc loc = locate(op.va);
     const bool meta_hit = metaCache_->access(loc.globalEntryIdx);
@@ -309,10 +326,31 @@ BuddyController::executeOp(const AccessRequest &op,
     info.deviceCycles = dev_cycles;
     info.buddyCycles = bud_cycles;
 
+    // Windowed replay: schedule the same sector traffic (identical byte
+    // counts and directions to the serial charges above) through the
+    // batch's MSHR-style windows. At linkWindow == 1 the charges equal
+    // the serial ones bit-for-bit. Single-op streams (null windows)
+    // take the serial charges directly — a lone request in a fresh
+    // window costs exactly latency + transfer.
+    if (windows != nullptr) {
+        const timing::LinkDir dir = op.kind == AccessKind::Write
+                                        ? timing::LinkDir::Write
+                                        : timing::LinkDir::Read;
+        info.deviceWindowCycles = windows->device.issue(
+            dir, static_cast<u64>(info.deviceSectors) * kSectorBytes);
+        info.buddyWindowCycles = windows->buddy.issue(
+            dir, static_cast<u64>(info.buddySectors) * kSectorBytes);
+    } else {
+        info.deviceWindowCycles = dev_cycles;
+        info.buddyWindowCycles = bud_cycles;
+    }
+
     stats_.deviceSectorTraffic += info.deviceSectors;
     stats_.buddySectorTraffic += info.buddySectors;
     stats_.deviceCycles += info.deviceCycles;
     stats_.buddyCycles += info.buddyCycles;
+    stats_.deviceWindowCycles += info.deviceWindowCycles;
+    stats_.buddyWindowCycles += info.buddyWindowCycles;
     if (info.usedBuddy())
         ++stats_.buddyAccesses;
 
@@ -320,6 +358,8 @@ BuddyController::executeOp(const AccessRequest &op,
     summary.buddySectors += info.buddySectors;
     summary.deviceCycles += info.deviceCycles;
     summary.buddyCycles += info.buddyCycles;
+    summary.deviceWindowCycles += info.deviceWindowCycles;
+    summary.buddyWindowCycles += info.buddyWindowCycles;
     if (meta_hit)
         ++summary.metadataHits;
     else
@@ -349,10 +389,13 @@ BuddyController::execute(AccessBatch &batch)
     batch.summary_ = BatchSummary{};
 
     // One scratch for the whole batch: the per-entry hot loop below is
-    // allocation-free (results_ was reserved up front).
+    // allocation-free (results_ was reserved up front). The windows are
+    // likewise per-batch: the batch is the latency-overlap scope.
     CompressionScratch scratch;
+    LinkWindows windows = makeWindows();
     for (const AccessRequest &op : batch.ops_)
-        batch.results_.push_back(executeOp(op, scratch, batch.summary_));
+        batch.results_.push_back(
+            executeOp(op, scratch, &windows, batch.summary_));
 
     if (!hub_.empty())
         hub_.emitBatch(batch.summary_);
@@ -367,7 +410,7 @@ BuddyController::writeEntry(Addr va, const u8 *data)
     op.va = va;
     op.src = data;
     BatchSummary summary;
-    const AccessInfo info = executeOp(op, soloScratch_, summary);
+    const AccessInfo info = executeOp(op, soloScratch_, nullptr, summary);
     if (!hub_.empty())
         hub_.emitBatch(summary);
     return info;
@@ -381,7 +424,7 @@ BuddyController::readEntry(Addr va, u8 *out)
     op.va = va;
     op.dst = out;
     BatchSummary summary;
-    const AccessInfo info = executeOp(op, soloScratch_, summary);
+    const AccessInfo info = executeOp(op, soloScratch_, nullptr, summary);
     if (!hub_.empty())
         hub_.emitBatch(summary);
     return info;
@@ -394,7 +437,7 @@ BuddyController::probeEntry(Addr va)
     op.kind = AccessKind::Probe;
     op.va = va;
     BatchSummary summary;
-    const AccessInfo info = executeOp(op, soloScratch_, summary);
+    const AccessInfo info = executeOp(op, soloScratch_, nullptr, summary);
     if (!hub_.empty())
         hub_.emitBatch(summary);
     return info;

@@ -84,6 +84,20 @@ struct BuddyConfig
     std::optional<timing::LinkTiming> buddyLink;
 
     /**
+     * Outstanding link round trips (W) of the windowed timing replay —
+     * the MSHR pool the functional-timing path models (see
+     * timing/window.h). Every executed batch is additionally scheduled
+     * through one RequestWindow per link in submission order, filling
+     * the *WindowCycles fields of AccessInfo/BatchSummary/BuddyStats.
+     * The default of 1 reproduces the serial LinkModel totals
+     * bit-for-bit; larger windows overlap round-trip latency and
+     * approach the bandwidth bound. 0 — or a window > 1 over a
+     * non-free link with zero bandwidth in either direction — is a
+     * fail-fast configuration error (checked at construction).
+     */
+    u64 linkWindow = 1;
+
+    /**
      * Shard ordinal a "peer" buddy backend maps. The sharded engine
      * wires a ring ((s + 1) mod shards); -1 marks an unwired peer
      * (standalone controllers).
@@ -105,6 +119,13 @@ struct BuddyStats
     u64 overflowEntries = 0; ///< current entries spilling to buddy
     u64 deviceCycles = 0;   ///< simulated cycles charged to the device link
     u64 buddyCycles = 0;    ///< simulated cycles charged to the buddy link
+
+    /** Windowed-replay device-link makespans, summed over batches
+     *  (BuddyConfig::linkWindow; equals deviceCycles at window 1). */
+    u64 deviceWindowCycles = 0;
+
+    /** Windowed-replay buddy-link makespans, summed over batches. */
+    u64 buddyWindowCycles = 0;
 
     /** Fraction of accesses that needed buddy memory. */
     double
@@ -245,6 +266,20 @@ class BuddyController
         bool overflow = false;
     };
 
+    /**
+     * The per-batch windowed-replay state: one RequestWindow per link,
+     * created fresh for every executed stream so windowed totals stay
+     * additive across batches (a batch is the latency-overlap scope —
+     * the outstanding-miss stream of one kernel).
+     */
+    struct LinkWindows
+    {
+        timing::RequestWindow device;
+        timing::RequestWindow buddy;
+    };
+
+    LinkWindows makeWindows() const;
+
     EntryLoc locate(Addr va) const;
 
     /** Traffic implied by reading an entry with metadata @p meta. */
@@ -255,10 +290,16 @@ class BuddyController
      * Execute one planned operation: the shared core of execute() and
      * the per-entry wrappers. Updates stats_ and @p summary, and emits
      * an AccessEvent when sinks are attached.
+     *
+     * @p windows is the batch's windowed-replay state; null for
+     * single-op streams, where the windowed charge provably equals the
+     * serial charge (a lone request in a fresh window issues at 0 and
+     * pays latency + transfer), so the per-entry wrappers stay
+     * allocation-free.
      */
     AccessInfo executeOp(const AccessRequest &op,
                          CompressionScratch &scratch,
-                         BatchSummary &summary);
+                         LinkWindows *windows, BatchSummary &summary);
 
     BuddyConfig cfg_;
     std::unique_ptr<Compressor> codec_;

@@ -295,6 +295,9 @@ ShardedEngine::finish(BatchJob &job)
     // Scatter per-op results back into submission order and fold the
     // per-shard summaries (u64 sums, so the merge is order-independent
     // and bit-identical to a single-controller run of the same plan).
+    // The window fields are deliberately not summed here: each shard's
+    // controller windowed only its own sub-stream, and those makespans
+    // are rescheduled globally below.
     BatchSummary merged;
     for (const SubPlan &sp : job.subs) {
         const BatchSummary &s = sp.plan.summary_;
@@ -311,11 +314,42 @@ ShardedEngine::finish(BatchJob &job)
         for (std::size_t j = 0; j < sp.origIdx.size(); ++j)
             batch.results_[sp.origIdx[j]] = sp.plan.results_[j];
     }
+
+    // Windowed replay of the merged plan: reschedule the submission-
+    // order traffic through one window pair — the single-GPU equivalent
+    // of the batch. Per-op traffic is a pure function of the plan, so
+    // these totals are identical under any sharding and bit-identical
+    // to a single controller executing the same plan (every shard runs
+    // the same timing config; shard 0's stores supply it).
+    {
+        const BuddyController &c0 = *shards_[0];
+        const u64 w = cfg_.shard.linkWindow;
+        timing::RequestWindow dev = c0.deviceStore().makeWindow(w);
+        timing::RequestWindow bud = c0.carveOut().store().makeWindow(w);
+        for (std::size_t i = 0; i < batch.ops_.size(); ++i) {
+            AccessInfo &info = batch.results_[i];
+            const timing::LinkDir dir =
+                batch.ops_[i].kind == AccessKind::Write
+                    ? timing::LinkDir::Write
+                    : timing::LinkDir::Read;
+            info.deviceWindowCycles = dev.issue(
+                dir, static_cast<u64>(info.deviceSectors) * kSectorBytes);
+            info.buddyWindowCycles = bud.issue(
+                dir, static_cast<u64>(info.buddySectors) * kSectorBytes);
+            merged.deviceWindowCycles += info.deviceWindowCycles;
+            merged.buddyWindowCycles += info.buddyWindowCycles;
+        }
+        deviceWindowCycles_.fetch_add(merged.deviceWindowCycles,
+                                      std::memory_order_relaxed);
+        buddyWindowCycles_.fetch_add(merged.buddyWindowCycles,
+                                     std::memory_order_relaxed);
+    }
     batch.summary_ = merged;
 
     // Replay captured events to engine-level sinks in submission order:
     // sinks observe exactly the stream a single controller would emit
-    // (with engine-global addresses and allocation ids).
+    // (with engine-global addresses, allocation ids, and the merged
+    // windowed charges).
     if (!hub_.empty()) {
         std::lock_guard<std::mutex> lk(emitMutex_);
         std::vector<std::size_t> cursor(job.subs.size(), 0);
@@ -324,6 +358,7 @@ ShardedEngine::finish(BatchJob &job)
             AccessEvent ev = sp.events[cursor[job.opSub[i]]++];
             ev.va = batch.ops_[i].va;
             ev.allocId = job.opAlloc[i]; // resolved during the split
+            ev.info = batch.results_[i]; // merged windowed charges
             hub_.emit(ev);
         }
         hub_.emitBatch(merged);
@@ -347,6 +382,12 @@ ShardedEngine::stats() const
         total.deviceCycles += st.deviceCycles;
         total.buddyCycles += st.buddyCycles;
     }
+    // Windowed totals come from the engine's merged-stream replay, not
+    // from summing the shards' sub-stream windows (see stats() docs).
+    total.deviceWindowCycles =
+        deviceWindowCycles_.load(std::memory_order_relaxed);
+    total.buddyWindowCycles =
+        buddyWindowCycles_.load(std::memory_order_relaxed);
     return total;
 }
 
@@ -355,6 +396,8 @@ ShardedEngine::clearStats()
 {
     for (auto &s : shards_)
         s->clearStats();
+    deviceWindowCycles_.store(0, std::memory_order_relaxed);
+    buddyWindowCycles_.store(0, std::memory_order_relaxed);
 }
 
 u64

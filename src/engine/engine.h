@@ -155,6 +155,14 @@ class ShardedEngine
      * cross-shard totals (also the future's value). The batch and every
      * src/dst buffer it references must stay alive and untouched until
      * the future is ready.
+     *
+     * Windowed timing: after the serial merge, the batch's windowed
+     * replay (BuddyConfig::linkWindow) is rescheduled over the merged
+     * submission-order traffic through one RequestWindow pair — the
+     * single-GPU equivalent of the plan. The per-op and summary
+     * *WindowCycles fields therefore do not depend on the shard count
+     * or thread scheduling, exactly like the serial cycle totals
+     * (tests/test_engine.cc pins this).
      */
     std::future<BatchSummary> submit(AccessBatch &batch);
 
@@ -200,7 +208,14 @@ class ShardedEngine
     /** The allocation covering @p va (panics if none). */
     const EngineAllocation &allocationFor(Addr va) const;
 
-    /** Merged controller statistics across all shards. */
+    /**
+     * Merged controller statistics across all shards. The serial
+     * traffic/cycle fields are sums over the per-shard controllers; the
+     * *WindowCycles fields are the engine's own windowed-replay totals,
+     * computed over each batch's merged submission-order stream (the
+     * single-GPU equivalent — see submit()), NOT the sum of the shard
+     * controllers' sub-stream windows.
+     */
     BuddyStats stats() const;
 
     /** Clear every shard's statistics. */
@@ -254,6 +269,12 @@ class ShardedEngine
     std::vector<std::unique_ptr<Worker>> workers_;
     TrafficHub hub_;
     std::mutex emitMutex_; ///< serializes engine-level sink emission
+
+    /** Engine-level windowed-replay totals (submission-order streams,
+     *  accumulated per batch in finish(); atomic because batches may
+     *  finish concurrently — the sums are order-independent). */
+    std::atomic<u64> deviceWindowCycles_{0};
+    std::atomic<u64> buddyWindowCycles_{0};
 
     std::map<AllocId, EngineAllocation> allocs_;
     std::map<Addr, AllocId> byVa_; // engine base VA -> id

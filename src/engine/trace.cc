@@ -16,7 +16,11 @@ namespace {
 constexpr u8 kMagic[4] = {'B', 'D', 'Y', 'T'};
 // v2: the footer carries the deviceCycles/buddyCycles link-charge
 // totals after the traffic counters.
-constexpr u8 kVersion = 2;
+// v3: the footer additionally carries the windowed-replay totals
+// (deviceWindowCycles/buddyWindowCycles). v2 images remain readable:
+// their window totals load as 0.
+constexpr u8 kVersion = kTraceFormatVersion;
+constexpr u8 kOldestReadableVersion = 2;
 constexpr u8 kTagZeroWrite = 0x10;
 constexpr u8 kTagBatch = 0xFE;
 constexpr u8 kTagFooter = 0xFF;
@@ -76,7 +80,7 @@ struct Reader
 };
 
 void
-putTotals(std::vector<u8> &out, const TraceTotals &t)
+putTotals(std::vector<u8> &out, const TraceTotals &t, u8 version)
 {
     putVarint(out, t.summary.reads);
     putVarint(out, t.summary.writes);
@@ -88,11 +92,15 @@ putTotals(std::vector<u8> &out, const TraceTotals &t)
     putVarint(out, t.summary.buddyAccesses);
     putVarint(out, t.summary.deviceCycles);
     putVarint(out, t.summary.buddyCycles);
+    if (version >= 3) {
+        putVarint(out, t.summary.deviceWindowCycles);
+        putVarint(out, t.summary.buddyWindowCycles);
+    }
     putVarint(out, t.batches);
 }
 
 TraceTotals
-readTotals(Reader &r)
+readTotals(Reader &r, u8 version)
 {
     TraceTotals t;
     t.summary.reads = r.varint();
@@ -105,6 +113,10 @@ readTotals(Reader &r)
     t.summary.buddyAccesses = r.varint();
     t.summary.deviceCycles = r.varint();
     t.summary.buddyCycles = r.varint();
+    if (version >= 3) {
+        t.summary.deviceWindowCycles = r.varint();
+        t.summary.buddyWindowCycles = r.varint();
+    }
     t.batches = r.varint();
     return t;
 }
@@ -122,6 +134,8 @@ accumulate(TraceTotals &t, const BatchSummary &s)
     t.summary.buddyAccesses += s.buddyAccesses;
     t.summary.deviceCycles += s.deviceCycles;
     t.summary.buddyCycles += s.buddyCycles;
+    t.summary.deviceWindowCycles += s.deviceWindowCycles;
+    t.summary.buddyWindowCycles += s.buddyWindowCycles;
     ++t.batches;
 }
 
@@ -176,11 +190,13 @@ TraceRecorderSink::onBatch(const BatchSummary &summary)
 }
 
 std::vector<u8>
-TraceRecorderSink::serialize() const
+TraceRecorderSink::serialize(unsigned version) const
 {
+    BUDDY_CHECK(version >= kOldestReadableVersion && version <= kVersion,
+                "unsupported trace serialization version");
     std::vector<u8> out;
     out.insert(out.end(), kMagic, kMagic + 4);
-    out.push_back(kVersion);
+    out.push_back(static_cast<u8>(version));
     putVarint(out, allocs_.size());
     for (const TraceAllocation &a : allocs_) {
         putVarint(out, a.name.size());
@@ -191,7 +207,7 @@ TraceRecorderSink::serialize() const
     }
     out.insert(out.end(), stream_.begin(), stream_.end());
     out.push_back(kTagFooter);
-    putTotals(out, totals_);
+    putTotals(out, totals_, static_cast<u8>(version));
     return out;
 }
 
@@ -242,7 +258,9 @@ TraceReplayer::loadImage(std::vector<u8> image)
     Reader r{image_};
     BUDDY_CHECK(std::memcmp(r.raw(4), kMagic, 4) == 0,
                 "not a buddy trace (bad magic)");
-    BUDDY_CHECK(r.byte() == kVersion, "unsupported trace version");
+    const u8 version = r.byte();
+    BUDDY_CHECK(version >= kOldestReadableVersion && version <= kVersion,
+                "unsupported trace version");
 
     const u64 alloc_count = r.varint();
     allocs_.reserve(alloc_count);
@@ -261,7 +279,7 @@ TraceReplayer::loadImage(std::vector<u8> image)
     for (;;) {
         const u8 tag = r.byte();
         if (tag == kTagFooter) {
-            recorded_ = readTotals(r);
+            recorded_ = readTotals(r, version);
             BUDDY_CHECK(r.atEnd(), "trailing bytes after trace footer");
             BUDDY_CHECK(batch.empty(),
                         "trace ends inside an unterminated batch");

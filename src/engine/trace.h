@@ -22,7 +22,7 @@
  *
  * Format (all multi-byte integers are LEB128 varints unless noted):
  *
- *   magic "BDYT" (4 raw bytes), version u8 (2)
+ *   magic "BDYT" (4 raw bytes), version u8 (3; v2 remains readable)
  *   allocCount; per allocation:
  *     nameLen, name bytes, baseVa/128, bytes, target (u8)
  *   record stream, one tag byte each:
@@ -30,9 +30,17 @@
  *                 (va/128); tag|0x10 marks an all-zero write;
  *                 non-zero writes append 128 raw payload bytes
  *     0xFE        batch end: opCount (redundant, checked on load)
- *     0xFF        footer: the eleven accumulated totals (traffic
- *                 counters plus the v2 deviceCycles/buddyCycles link
- *                 charges), then EOF
+ *     0xFF        footer: the accumulated totals — eight traffic
+ *                 counters, the v2 deviceCycles/buddyCycles link
+ *                 charges, the v3 deviceWindowCycles/buddyWindowCycles
+ *                 windowed-replay totals (absent in v2 images, which
+ *                 load them as 0), and the batch count — then EOF
+ *
+ * Windowed timing and traces: the op stream is version-independent, so
+ * a capture recorded at any BuddyConfig::linkWindow replays under any
+ * other window — the replay target recomputes its own windowed totals
+ * from the re-executed traffic. The footer's window totals record what
+ * the *recording* configuration observed.
  */
 
 #pragma once
@@ -52,6 +60,9 @@ class BuddyController;
 namespace engine {
 
 class ShardedEngine;
+
+/** The trace format version serialize() emits by default. */
+constexpr unsigned kTraceFormatVersion = 3;
 
 /** One allocation-table entry of a trace. */
 struct TraceAllocation
@@ -99,8 +110,13 @@ class TraceRecorderSink : public api::TrafficSink
      */
     u64 skippedOps() const { return skipped_; }
 
-    /** Serialize header + allocation table + stream + footer. */
-    std::vector<u8> serialize() const;
+    /**
+     * Serialize header + allocation table + stream + footer.
+     * @param version trace format version to emit — the current format
+     *        by default; 2 writes a pre-window footer (the downgrade
+     *        escape hatch the backward-compat tests exercise).
+     */
+    std::vector<u8> serialize(unsigned version = kTraceFormatVersion) const;
 
     /** Serialize to @p path (fatal on I/O failure). */
     void save(const std::string &path) const;

@@ -1,0 +1,40 @@
+#include "timing/window.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace buddy {
+namespace timing {
+
+void
+validateWindowedTiming(const LinkTiming &timing, u64 window,
+                       const char *what)
+{
+    if (window == 0) {
+        std::fprintf(stderr,
+                     "%s: a link window of 0 slots can never issue a "
+                     "request (deadlock); use window 1 for serial "
+                     "timing\n",
+                     what);
+        BUDDY_FATAL("zero link window");
+    }
+    if (window > 1 && !timing.free() &&
+        (timing.readBytesPerCycle == 0 || timing.writeBytesPerCycle == 0)) {
+        std::fprintf(stderr,
+                     "%s: a windowed (W > 1) replay over a non-free link "
+                     "needs finite bandwidth in both directions, got "
+                     "read %llu / write %llu bytes per cycle "
+                     "(0 means an infinite pipe, whose bandwidth bound "
+                     "is degenerate)\n",
+                     what,
+                     static_cast<unsigned long long>(
+                         timing.readBytesPerCycle),
+                     static_cast<unsigned long long>(
+                         timing.writeBytesPerCycle));
+        BUDDY_FATAL("zero-bandwidth windowed link");
+    }
+}
+
+} // namespace timing
+} // namespace buddy

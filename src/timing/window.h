@@ -1,0 +1,160 @@
+/**
+ * @file
+ * RequestWindow: MSHR-style windowed scheduling of link round trips.
+ *
+ * The store-level LinkModel (link_model.h) is driven synchronously:
+ * every round trip pays the full link latency, which makes its totals a
+ * latency-bound upper bound. A real GPU keeps a finite pool of misses
+ * outstanding (the MSHRs modeled by gpusim's SimConfig::mshrsPerSm) and
+ * hides most of the round-trip latency behind them. RequestWindow
+ * reproduces that discipline over the same LatencyBandwidthServers:
+ *
+ *   - at most W round trips are in flight at once; request i may issue
+ *     no earlier than the completion of request i-W (and never before a
+ *     previously issued request — program order);
+ *   - the per-direction bandwidth pipes serialize transfers FCFS
+ *     exactly as in the serial model;
+ *   - completion is FCFS (in order): a request's completion time is
+ *     clamped to at least its predecessor's, so the completion frontier
+ *     is monotone and per-request charges telescope.
+ *
+ * issue() returns the advance of the completion frontier caused by the
+ * request; the charges over a request stream sum to elapsed(), the
+ * windowed makespan of the stream. All arithmetic is unsigned 64-bit
+ * integer, so totals are exact and reproducible bit-for-bit.
+ *
+ * Limit behavior (pinned by tests/test_window.cc):
+ *
+ *   W = 1   every request issues at its predecessor's completion; the
+ *           charge is exactly latency + transfer — bit-identical to the
+ *           serial LinkModel totals.
+ *   W -> oo the window never binds; the stream is limited only by the
+ *           bandwidth pipes and the makespan converges to the transfer
+ *           occupancy (one trailing latency remains exposed).
+ *
+ * A window is a *scheduling* layer: it owns private servers and never
+ * touches the store clocks, so serial per-operation charges — and every
+ * determinism contract resting on their purity — are unchanged. The
+ * windowed totals are themselves a pure function of the scheduled
+ * request stream; schedulers that feed a window the submission-order
+ * stream of a batch (BuddyController::execute, ShardedEngine merge) get
+ * totals that are independent of sharding and thread scheduling.
+ */
+
+#pragma once
+
+#include <deque>
+
+#include "common/types.h"
+#include "timing/link_model.h"
+
+namespace buddy {
+namespace timing {
+
+/**
+ * Fail fast on window/link configurations the windowed replay cannot
+ * honor, naming @p what (e.g. "BuddyConfig::buddyLink") in the error:
+ *
+ *   - a window of 0 slots could never issue a request (deadlock);
+ *   - a windowed (W > 1) replay over a non-free link requires finite
+ *     bandwidth in both directions — bytesPerCycle of 0 means an
+ *     infinite pipe, whose bandwidth bound is degenerate.
+ *
+ * Completely free timings (untimed stores) pass at any window.
+ */
+void validateWindowedTiming(const LinkTiming &timing, u64 window,
+                            const char *what);
+
+/**
+ * A windowed (MSHR-style) scheduler over one link (see file header).
+ * Constructed per request stream — e.g. one per link per access batch —
+ * so windowed totals stay additive across batches.
+ */
+class RequestWindow
+{
+  public:
+    /**
+     * @param timing link parameters (servers are private to the window).
+     * @param window outstanding round trips W (>= 1; fail-fast on 0).
+     */
+    RequestWindow(const LinkTiming &timing, u64 window)
+        : timing_(timing), window_(window),
+          read_(timing.latency, timing.readBytesPerCycle),
+          write_(timing.latency, timing.writeBytesPerCycle)
+    {
+        validateWindowedTiming(timing, window, "RequestWindow");
+    }
+
+    /**
+     * Issue a @p bytes round trip in direction @p dir as soon as a
+     * window slot is free. Zero-byte requests are free and do not
+     * occupy a slot (matching the serial model's no-op charge).
+     *
+     * @return the completion-frontier advance this request caused; the
+     *         charges of a stream telescope to elapsed().
+     */
+    Cycles
+    issue(LinkDir dir, u64 bytes)
+    {
+        if (bytes == 0)
+            return 0;
+        // Program order: never issue before an earlier request. The
+        // window constraint: request i waits for request i-W to
+        // complete (inflight_ holds the last W completion times; FCFS
+        // completion keeps its front the oldest).
+        Cycles at = lastIssue_;
+        if (inflight_.size() == window_) {
+            at = std::max(at, inflight_.front());
+            inflight_.pop_front();
+        }
+        lastIssue_ = at;
+        const Cycles done = server(dir).request(at, bytes);
+        const Cycles fin = std::max(done, frontier_); // FCFS completion
+        inflight_.push_back(fin);
+        const Cycles charged = fin - frontier_;
+        frontier_ = fin;
+        ++issued_;
+        return charged;
+    }
+
+    /** Windowed makespan of the stream issued so far. */
+    Cycles elapsed() const { return frontier_; }
+
+    /** Requests issued (zero-byte requests excluded). */
+    u64 issued() const { return issued_; }
+
+    /** Window size W. */
+    u64 window() const { return window_; }
+
+    const LinkTiming &timing() const { return timing_; }
+
+    /** The private read pipe (occupancy = the bandwidth bound). */
+    const LatencyBandwidthServer &reader() const { return read_; }
+
+    /** The private write pipe. */
+    const LatencyBandwidthServer &writer() const { return write_; }
+
+  private:
+    LatencyBandwidthServer &
+    server(LinkDir dir)
+    {
+        return dir == LinkDir::Read ? read_ : write_;
+    }
+
+    LinkTiming timing_;
+    u64 window_;
+    LatencyBandwidthServer read_;
+    LatencyBandwidthServer write_;
+
+    /** Completion times of the last min(issued, W) requests. Bounded by
+     *  W but grows only with traffic, so an effectively unbounded W
+     *  (e.g. 1 << 40) costs memory proportional to the stream, not W. */
+    std::deque<Cycles> inflight_;
+
+    Cycles lastIssue_ = 0;
+    Cycles frontier_ = 0;
+    u64 issued_ = 0;
+};
+
+} // namespace timing
+} // namespace buddy

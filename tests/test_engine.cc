@@ -85,7 +85,9 @@ sameInfo(const AccessInfo &a, const AccessInfo &b)
            a.buddySectors == b.buddySectors &&
            a.metadataHit == b.metadataHit &&
            a.deviceCycles == b.deviceCycles &&
-           a.buddyCycles == b.buddyCycles;
+           a.buddyCycles == b.buddyCycles &&
+           a.deviceWindowCycles == b.deviceWindowCycles &&
+           a.buddyWindowCycles == b.buddyWindowCycles;
 }
 
 bool
@@ -98,7 +100,9 @@ sameSummary(const BatchSummary &a, const BatchSummary &b)
            a.metadataMisses == b.metadataMisses &&
            a.buddyAccesses == b.buddyAccesses &&
            a.deviceCycles == b.deviceCycles &&
-           a.buddyCycles == b.buddyCycles;
+           a.buddyCycles == b.buddyCycles &&
+           a.deviceWindowCycles == b.deviceWindowCycles &&
+           a.buddyWindowCycles == b.buddyWindowCycles;
 }
 
 bool
@@ -110,7 +114,9 @@ sameStats(const BuddyStats &a, const BuddyStats &b)
            a.buddyAccesses == b.buddyAccesses &&
            a.overflowEntries == b.overflowEntries &&
            a.deviceCycles == b.deviceCycles &&
-           a.buddyCycles == b.buddyCycles;
+           a.buddyCycles == b.buddyCycles &&
+           a.deviceWindowCycles == b.deviceWindowCycles &&
+           a.buddyWindowCycles == b.buddyWindowCycles;
 }
 
 TEST(ShardedEngine, MergedResultsMatchSingleControllerBitForBit)
@@ -469,6 +475,80 @@ TEST(ShardedEngine, CycleTotalsDeterministicAcrossShardingAndRuns)
               recorder.totals().summary.deviceCycles);
     EXPECT_EQ(runA.summary.buddyCycles,
               recorder.totals().summary.buddyCycles);
+}
+
+TEST(ShardedEngine, WindowedTotalsShardInvariantAndReproducible)
+{
+    // The windowed replay is rescheduled over the merged submission-
+    // order stream at batch completion, so windowed totals — like the
+    // serial cycle totals — must be reproducible run-to-run and
+    // identical across 1/2/4-shard engines driving the same trace.
+    const auto entries = mixedEntries(kN, 47);
+    constexpr u64 kWindow = 4;
+
+    const auto windowed = [&](unsigned shards) {
+        EngineConfig cfg = engineConfig(shards, 2);
+        cfg.shard.buddyBackend = "remote";
+        cfg.shard.linkWindow = kWindow;
+        return cfg;
+    };
+
+    // Record on a 4-shard windowed engine.
+    ShardedEngine rec(windowed(4));
+    TraceRecorderSink recorder;
+    rec.attachSink(&recorder);
+    std::vector<Addr> vas;
+    for (std::size_t a = 0; a < kAllocs; ++a) {
+        const auto id = rec.allocate("a" + std::to_string(a),
+                                     kEntriesPerAlloc * kEntryBytes,
+                                     CompressionTarget::Ratio2);
+        ASSERT_TRUE(id.has_value());
+        const EngineAllocation &ea = rec.allocations().at(*id);
+        recorder.noteAllocation(ea.name, ea.va, ea.bytes, ea.target);
+        for (std::size_t i = 0; i < kEntriesPerAlloc; ++i)
+            vas.push_back(ea.va + i * kEntryBytes);
+    }
+    AccessBatch w, r;
+    std::vector<u8> out(kN * kEntryBytes);
+    for (std::size_t i = 0; i < kN; ++i)
+        w.write(vas[i], entries[i].data());
+    rec.execute(w);
+    for (std::size_t i = 0; i < kN; ++i) {
+        if (i % 7 == 0)
+            r.probe(vas[i]);
+        else
+            r.read(vas[i], out.data() + i * kEntryBytes);
+    }
+    rec.execute(r);
+    rec.detachSink(&recorder);
+
+    const BatchSummary &recorded = recorder.totals().summary;
+    EXPECT_GT(recorded.buddyWindowCycles, 0u);
+    // The window overlaps latency: strictly cheaper than serial here.
+    EXPECT_LT(recorded.windowTotalCycles(), recorded.totalCycles());
+
+    TraceReplayer replayer;
+    replayer.loadImage(recorder.serialize());
+
+    // 1-, 2-, and 4-shard replays (4-shard twice, for run-to-run).
+    const auto run = [&](unsigned shards) {
+        ShardedEngine eng(windowed(shards));
+        const TraceTotals t = replayer.replay(eng);
+        // Engine stats report the merged-stream windowed totals.
+        const BuddyStats st = eng.stats();
+        EXPECT_EQ(st.deviceWindowCycles, t.summary.deviceWindowCycles);
+        EXPECT_EQ(st.buddyWindowCycles, t.summary.buddyWindowCycles);
+        return t;
+    };
+    const TraceTotals four_a = run(4);
+    const TraceTotals four_b = run(4);
+    const TraceTotals two = run(2);
+    const TraceTotals one = run(1);
+
+    EXPECT_TRUE(sameSummary(four_a.summary, four_b.summary));
+    EXPECT_TRUE(sameSummary(four_a.summary, two.summary));
+    EXPECT_TRUE(sameSummary(four_a.summary, one.summary));
+    EXPECT_TRUE(sameSummary(four_a.summary, recorded));
 }
 
 TEST(Trace, SequentialRecordingIsByteStable)

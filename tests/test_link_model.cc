@@ -170,6 +170,28 @@ TEST(BackingStoreTiming, OddLengthsChargeWholeSectors)
     EXPECT_EQ(store->cyclesElapsed(), 39u);
 }
 
+TEST(BackingStoreTiming, StoreWindowsShareTimingButNotTheClock)
+{
+    // makeWindow() is the store's windowed charging mode: it schedules
+    // over the store's link timing but owns private servers, so issuing
+    // through a window never advances the store's serial clock.
+    LinkTiming t;
+    t.latency = 40;
+    t.readBytesPerCycle = 32;
+    t.writeBytesPerCycle = 32;
+    const auto store = makeBackingStore("remote", 4 * KiB, t);
+
+    auto serial = store->makeWindow(1);
+    EXPECT_EQ(serial.issue(LinkDir::Read, kEntryBytes),
+              store->chargeRead(kEntryBytes));
+    auto windowed = store->makeWindow(8);
+    for (unsigned i = 0; i < 8; ++i)
+        windowed.issue(LinkDir::Read, kEntryBytes);
+    EXPECT_LT(windowed.elapsed(), 8 * (40 + kEntryBytes / 32));
+    // Only the one serial chargeRead() above touched the store's clock.
+    EXPECT_EQ(store->cyclesElapsed(), 40 + kEntryBytes / 32);
+}
+
 TEST(BackingStoreTiming, PeerStoreRecordsItsOrdinal)
 {
     const auto wired =

@@ -44,7 +44,9 @@ sameSummary(const BatchSummary &a, const BatchSummary &b)
            a.metadataMisses == b.metadataMisses &&
            a.buddyAccesses == b.buddyAccesses &&
            a.deviceCycles == b.deviceCycles &&
-           a.buddyCycles == b.buddyCycles;
+           a.buddyCycles == b.buddyCycles &&
+           a.deviceWindowCycles == b.deviceWindowCycles &&
+           a.buddyWindowCycles == b.buddyWindowCycles;
 }
 
 /** Record a mixed write+read+probe workload; return the trace image. */
@@ -125,15 +127,19 @@ TEST(TraceTiming, ReplayPreservesCycleTotals)
 
 TEST(TraceTiming, RepeatScalesTotalsExactlyLinearly)
 {
-    ShardedEngine rec(timedEngineConfig(2, "host-um"));
+    // Windowed engines (W = 3): the windowed replay resets per batch,
+    // so its totals must scale exactly linearly with repeat too.
+    EngineConfig cfg = timedEngineConfig(2, "host-um");
+    cfg.shard.linkWindow = 3;
+    ShardedEngine rec(cfg);
     const auto image = recordWorkload(rec, 512, 11);
 
     TraceReplayer replayer;
     replayer.loadImage(image);
 
     constexpr unsigned kRepeat = 3;
-    ShardedEngine once_t(timedEngineConfig(2, "host-um"));
-    ShardedEngine many_t(timedEngineConfig(2, "host-um"));
+    ShardedEngine once_t(cfg);
+    ShardedEngine many_t(cfg);
     const TraceTotals once = replayer.replay(once_t);
     const TraceTotals many = replayer.replay(many_t, kRepeat);
 
@@ -155,6 +161,107 @@ TEST(TraceTiming, RepeatScalesTotalsExactlyLinearly)
               kRepeat * once.summary.deviceCycles);
     EXPECT_EQ(many.summary.buddyCycles,
               kRepeat * once.summary.buddyCycles);
+    EXPECT_EQ(many.summary.deviceWindowCycles,
+              kRepeat * once.summary.deviceWindowCycles);
+    EXPECT_EQ(many.summary.buddyWindowCycles,
+              kRepeat * once.summary.buddyWindowCycles);
+    EXPECT_GT(once.summary.buddyWindowCycles, 0u);
+}
+
+TEST(TraceTiming, WindowedReplayRoundTripsAtSeveralWindows)
+{
+    // Record under a windowed (W = 4) engine; the v3 footer carries the
+    // windowed totals, an identically-configured target reproduces them
+    // bit-for-bit, and the same capture replays under any other window:
+    // W = 1 degenerates to the serial totals, larger windows monotonely
+    // approach the bandwidth bound.
+    EngineConfig cfg = timedEngineConfig(2, "remote");
+    cfg.shard.linkWindow = 4;
+    ShardedEngine rec(cfg);
+    TraceTotals recorded;
+    const auto image = recordWorkload(rec, 1024, 19, &recorded);
+    EXPECT_GT(recorded.summary.buddyWindowCycles, 0u);
+    EXPECT_LT(recorded.summary.windowTotalCycles(),
+              recorded.summary.totalCycles());
+
+    TraceReplayer replayer;
+    replayer.loadImage(image);
+    EXPECT_TRUE(sameSummary(replayer.recordedTotals().summary,
+                            recorded.summary));
+
+    const auto replayAt = [&](u64 window) {
+        EngineConfig c = timedEngineConfig(2, "remote");
+        c.shard.linkWindow = window;
+        ShardedEngine eng(c);
+        return replayer.replay(eng);
+    };
+
+    // Same window: everything reproduces, including windowed totals.
+    EXPECT_TRUE(sameSummary(replayAt(4).summary, recorded.summary));
+
+    // W = 1: the windowed fields collapse onto the serial ones.
+    const TraceTotals serial = replayAt(1);
+    EXPECT_EQ(serial.summary.deviceWindowCycles,
+              serial.summary.deviceCycles);
+    EXPECT_EQ(serial.summary.buddyWindowCycles,
+              serial.summary.buddyCycles);
+    EXPECT_EQ(serial.summary.deviceCycles, recorded.summary.deviceCycles);
+    EXPECT_EQ(serial.summary.buddyCycles, recorded.summary.buddyCycles);
+
+    // Wider windows hide more latency, never less.
+    const TraceTotals wide = replayAt(64);
+    EXPECT_LE(wide.summary.windowTotalCycles(),
+              recorded.summary.windowTotalCycles());
+    EXPECT_LT(wide.summary.windowTotalCycles(),
+              serial.summary.windowTotalCycles());
+}
+
+TEST(TraceTiming, V2ImagesRemainReadable)
+{
+    // A pre-window (v2) footer must still load: the windowed totals
+    // read as zero and the capture replays normally.
+    EngineConfig cfg = timedEngineConfig(2, "host-um");
+    cfg.shard.linkWindow = 8;
+    ShardedEngine rec(cfg);
+    TraceRecorderSink recorder;
+    rec.attachSink(&recorder);
+
+    const auto id = rec.allocate("a", 256 * kEntryBytes,
+                                 CompressionTarget::Ratio2);
+    ASSERT_TRUE(id.has_value());
+    const EngineAllocation &ea = rec.allocations().at(*id);
+    recorder.noteAllocation(ea.name, ea.va, ea.bytes, ea.target);
+
+    Rng rng(5);
+    std::vector<u8> data(256 * kEntryBytes);
+    for (std::size_t e = 0; e < 256; ++e)
+        fillBucketEntry(rng, static_cast<unsigned>(e % kPatternBuckets),
+                        data.data() + e * kEntryBytes);
+    AccessBatch w;
+    for (std::size_t e = 0; e < 256; ++e)
+        w.write(ea.va + e * kEntryBytes, data.data() + e * kEntryBytes);
+    rec.execute(w);
+    rec.detachSink(&recorder);
+    EXPECT_GT(recorder.totals().summary.deviceWindowCycles, 0u);
+
+    TraceReplayer replayer;
+    replayer.loadImage(recorder.serialize(2));
+    EXPECT_EQ(replayer.opCount(), recorder.opCount());
+
+    // v2 footers predate the windowed totals: they load as zero while
+    // the serial fields survive.
+    const BatchSummary &loaded = replayer.recordedTotals().summary;
+    EXPECT_EQ(loaded.deviceWindowCycles, 0u);
+    EXPECT_EQ(loaded.buddyWindowCycles, 0u);
+    EXPECT_EQ(loaded.deviceCycles, recorder.totals().summary.deviceCycles);
+    EXPECT_EQ(loaded.buddyCycles, recorder.totals().summary.buddyCycles);
+
+    // The op stream is version-independent: the replay reproduces the
+    // full totals, windowed fields included.
+    ShardedEngine fresh(cfg);
+    const TraceTotals replayed = replayer.replay(fresh);
+    EXPECT_TRUE(
+        sameSummary(replayed.summary, recorder.totals().summary));
 }
 
 TEST(TraceTiming, FuzzedBatchShapesRoundTrip)
@@ -174,6 +281,7 @@ TEST(TraceTiming, FuzzedBatchShapesRoundTrip)
         const unsigned shards = 1 + static_cast<unsigned>(rng.below(4));
         const std::string backend = backends[rng.below(3)];
         EngineConfig cfg = timedEngineConfig(shards, backend);
+        cfg.shard.linkWindow = 1 + rng.below(8);
 
         ShardedEngine rec(cfg);
         TraceRecorderSink recorder;
