@@ -13,7 +13,11 @@
  * cycle charges of the LinkModel-timed backing stores) of every sharded
  * run are checked bit-identical to the 1-shard reference — the engine's
  * core invariant — so a scaling win can never come from doing different
- * work. The sim-Mcycles column reports that simulated time.
+ * work. The sim-Mcycles column reports that simulated time; the
+ * psh-win-Mcycles column reports the per-shard-window (N-GPU) windowed
+ * makespan (BuddyConfig::windowMode = PerShard, --window deep MSHR
+ * pools per shard, cross-shard barrier per batch), which shrinks with
+ * the shard count while the traffic stays identical.
  *
  *   bench_engine_scaling --shards=8 --threads=0 --entries=131072
  *   bench_engine_scaling --smoke       # tiny set + "SMOKE OK" for CI
@@ -43,7 +47,7 @@ struct RunResult
 RunResult
 runOnce(unsigned shards, unsigned threads, const std::string &codec,
         std::size_t entries, std::size_t allocs, const std::vector<u8> &data,
-        std::size_t batch_entries)
+        std::size_t batch_entries, u64 window)
 {
     EngineConfig cfg;
     cfg.shards = shards;
@@ -52,6 +56,11 @@ runOnce(unsigned shards, unsigned threads, const std::string &codec,
     // Worst case the ordinal hash lands every allocation on one shard:
     // give each shard room for the whole logical set at the 2x target.
     cfg.shard.deviceBytes = entries * kEntryBytes + 8 * MiB;
+    // Per-shard window mode: each shard keeps its own W-deep MSHR pool
+    // and batches complete at a cross-shard barrier, so the psh-win
+    // column reports the N-GPU simulated makespan of the sweep.
+    cfg.shard.linkWindow = window;
+    cfg.shard.windowMode = WindowMode::PerShard;
     ShardedEngine eng(cfg);
 
     const std::size_t per_alloc = (entries + allocs - 1) / allocs;
@@ -123,6 +132,7 @@ main(int argc, char **argv)
     cli.addString("codec", "bpc", "codec registry name");
     cli.addUint("allocs", 16, "allocations the set is spread over");
     cli.addUint("batch", 8192, "entries per submitted access plan");
+    addWindowFlag(cli); // --window, default 32
     cli.addBool("smoke", "tiny working set + pass/fail line for CI");
     if (!cli.parse(argc, argv))
         return 0;
@@ -136,6 +146,7 @@ main(int argc, char **argv)
     const unsigned threads = static_cast<unsigned>(cli.uintOf("threads"));
     const std::size_t allocs = std::max<u64>(1, cli.uintOf("allocs"));
     const std::size_t batch_entries = std::max<u64>(1, cli.uintOf("batch"));
+    const u64 window = windowOf(cli);
     const std::string &codec = cli.stringOf("codec");
     if (entries == 0 || max_shards == 0) {
         std::fprintf(stderr, "--entries and --shards must be nonzero\n");
@@ -157,12 +168,14 @@ main(int argc, char **argv)
     }
 
     Table t({"shards", "threads", "wall-ms", "entries/s", "speedup",
-             "sim-Mcycles"});
+             "sim-Mcycles",
+             strfmt("psh-win-Mcycles (W=%llu)",
+                    (unsigned long long)window)});
     RunResult ref;
     bool totals_ok = true;
     for (unsigned shards = 1; shards <= max_shards; shards *= 2) {
         const RunResult r = runOnce(shards, threads, codec, entries, allocs,
-                                    data, batch_entries);
+                                    data, batch_entries, window);
         if (shards == 1)
             ref = r;
         else if (!sameTraffic(r.stats, ref.stats))
@@ -176,13 +189,22 @@ main(int argc, char **argv)
                   strfmt("%.2fx", ref.seconds / r.seconds),
                   strfmt("%.2f", static_cast<double>(r.stats.deviceCycles +
                                                      r.stats.buddyCycles) /
-                                     1e6)});
+                                     1e6),
+                  strfmt("%.2f",
+                         static_cast<double>(
+                             r.stats.combinedWindowCycles) /
+                             1e6)});
     }
     t.print();
 
     std::printf("\ncross-shard traffic totals (incl. LinkModel cycle "
                 "charges) vs. 1-shard reference: %s\n",
                 totals_ok ? "bit-identical" : "MISMATCH");
+    std::printf("psh-win-Mcycles is the per-shard-window (N-GPU) "
+                "simulated makespan: each shard keeps its own W-deep "
+                "MSHR pool and batches complete at a cross-shard "
+                "barrier, so it shrinks as shards are added while the "
+                "traffic totals stay bit-identical\n");
     if (smoke)
         std::printf("%s\n", totals_ok ? "SMOKE OK" : "SMOKE FAILED");
     return totals_ok ? 0 : 1;

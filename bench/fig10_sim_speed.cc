@@ -18,19 +18,24 @@
  *      image -> read back) spend their time in;
  *  (iv) simulated time of the timed backends: the same working set
  *      written and read through dram/host-um, dram/remote, and a
- *      4-shard engine with NVLink-peer carve-outs, reporting both the
- *      serial LinkModel cycle totals and the windowed-replay makespans
- *      (--window outstanding round trips, timing/window.h), and
- *      checking that multi-shard cycle totals reproduce run-to-run;
+ *      4-shard engine with NVLink-peer carve-outs under both window
+ *      modes (merged single-GPU stream and per-shard N-GPU pools with
+ *      a cross-shard barrier), reporting the serial LinkModel cycle
+ *      totals, the windowed-replay makespans (--window outstanding
+ *      round trips, timing/window.h), and the combined (cross-link)
+ *      makespans, and checking that multi-shard cycle totals reproduce
+ *      run-to-run;
  *  (v) the windowed replay's W sweep on the dram/host-um pair: W=1
  *      must reproduce the serial totals bit-for-bit and wider windows
- *      must shrink monotonely toward the bandwidth bound.
+ *      must shrink monotonely toward the bandwidth bound, the combined
+ *      makespan shrinking monotonely inside them.
  *
  * --smoke shrinks the set and runs sections (iv)+(v) only, emitting
  * "SMOKE OK"/"SMOKE FAILED" — the CI ThreadSanitizer job drives the
  * engine's timed clock paths through this mode.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -57,6 +62,7 @@ struct TimedRun
     u64 buddyCycles = 0;
     u64 deviceWindowCycles = 0;
     u64 buddyWindowCycles = 0;
+    u64 combinedWindowCycles = 0;
     u64 buddySectors = 0;
 
     u64 total() const { return deviceCycles + buddyCycles; }
@@ -73,6 +79,7 @@ struct TimedRun
                buddyCycles == o.buddyCycles &&
                deviceWindowCycles == o.deviceWindowCycles &&
                buddyWindowCycles == o.buddyWindowCycles &&
+               combinedWindowCycles == o.combinedWindowCycles &&
                buddySectors == o.buddySectors;
     }
 };
@@ -111,6 +118,7 @@ runTimed(Target &target, std::size_t entries, const std::vector<u8> &data)
     r.buddyCycles += plan.summary().buddyCycles;
     r.deviceWindowCycles += plan.summary().deviceWindowCycles;
     r.buddyWindowCycles += plan.summary().buddyWindowCycles;
+    r.combinedWindowCycles += plan.summary().combinedWindowCycles;
     r.buddySectors += plan.summary().buddySectors;
 
     plan.clear();
@@ -121,6 +129,7 @@ runTimed(Target &target, std::size_t entries, const std::vector<u8> &data)
     r.buddyCycles += plan.summary().buddyCycles;
     r.deviceWindowCycles += plan.summary().deviceWindowCycles;
     r.buddyWindowCycles += plan.summary().buddyWindowCycles;
+    r.combinedWindowCycles += plan.summary().combinedWindowCycles;
     r.buddySectors += plan.summary().buddySectors;
     return r;
 }
@@ -147,20 +156,29 @@ timedBackendSection(std::size_t entries, const std::string &codec,
     Table t({"device/buddy backends", "dev-cycles", "buddy-cycles",
              "total",
              strfmt("win-total (W=%llu)", (unsigned long long)window),
-             "vs dram/host-um"});
+             "comb-total", "vs dram/host-um"});
     double baseline = 0;
     bool windows_bounded = true;
-    const auto addRow = [&](const char *name, const TimedRun &r) {
+    const auto addRow = [&](const std::string &name, const TimedRun &r) {
         if (baseline == 0)
             baseline = static_cast<double>(r.total());
         t.addRow({name, strfmt("%llu", (unsigned long long)r.deviceCycles),
                   strfmt("%llu", (unsigned long long)r.buddyCycles),
                   strfmt("%llu", (unsigned long long)r.total()),
                   strfmt("%llu", (unsigned long long)r.windowTotal()),
+                  strfmt("%llu",
+                         (unsigned long long)r.combinedWindowCycles),
                   strfmt("%.2fx",
                          static_cast<double>(r.total()) / baseline)});
-        // The windowed makespan can never exceed the serial charge.
+        // The windowed makespan can never exceed the serial charge,
+        // and the combined (cross-link) makespan is bracketed by the
+        // per-link max and the per-link sum.
         windows_bounded = windows_bounded && r.windowTotal() <= r.total();
+        windows_bounded =
+            windows_bounded &&
+            r.combinedWindowCycles <= r.windowTotal() &&
+            r.combinedWindowCycles >=
+                std::max(r.deviceWindowCycles, r.buddyWindowCycles);
     };
 
     for (const char *buddy_kind : {"host-um", "remote"}) {
@@ -176,35 +194,50 @@ timedBackendSection(std::size_t entries, const std::string &codec,
                r);
     }
 
-    // 4-shard engine with NVLink-peer carve-outs; run twice to check
-    // the multi-shard cycle totals (windowed included) reproduce
-    // run-to-run.
-    const auto peerRun = [&]() {
+    // 4-shard engine with NVLink-peer carve-outs, under both window
+    // modes (merged single-GPU stream vs. per-shard N-GPU pools); each
+    // run twice to check the multi-shard cycle totals (windowed
+    // included) reproduce run-to-run.
+    const auto peerRun = [&](WindowMode mode) {
         EngineConfig cfg;
         cfg.shards = 4;
         cfg.shard.codec = codec;
         cfg.shard.deviceBytes = entries * kEntryBytes + 8 * MiB;
         cfg.shard.buddyBackend = "peer";
         cfg.shard.linkWindow = window;
+        cfg.shard.windowMode = mode;
         ShardedEngine eng(cfg);
         return runTimed(eng, entries, data);
     };
-    const TimedRun peerA = peerRun();
-    const TimedRun peerB = peerRun();
-    addRow("dram / peer (4-shard engine)", peerA);
+    const TimedRun peerA = peerRun(WindowMode::Merged);
+    const TimedRun peerB = peerRun(WindowMode::Merged);
+    const TimedRun pshA = peerRun(WindowMode::PerShard);
+    const TimedRun pshB = peerRun(WindowMode::PerShard);
+    addRow("dram / peer (4-shard, merged W)", peerA);
+    addRow("dram / peer (4-shard, per-GPU W)", pshA);
     t.print();
 
-    const bool reproducible = peerA == peerB;
-    std::printf("\n4-shard peer cycle totals run-to-run: %s\n",
+    const bool reproducible = peerA == peerB && pshA == pshB;
+    // The per-shard barrier over quarter-length streams can never be
+    // slower than the merged single-GPU replay of the whole stream.
+    const bool barrier_bounded =
+        pshA.combinedWindowCycles <= peerA.combinedWindowCycles;
+    std::printf("\n4-shard peer cycle totals run-to-run (both window "
+                "modes): %s\n",
                 reproducible ? "bit-identical" : "MISMATCH");
-    std::printf("windowed makespans within the serial bound: %s\n",
+    std::printf("windowed makespans within the serial bound and "
+                "combined within [max, sum]: %s\n",
                 windows_bounded ? "yes" : "VIOLATED");
+    std::printf("per-shard (N-GPU) makespan within the merged bound: "
+                "%s\n",
+                barrier_bounded ? "yes" : "VIOLATED");
     std::printf("link cycles are LinkModel charges "
                 "(timing/link_model.h); win-total overlaps them with W "
-                "outstanding round trips (timing/window.h); the remote "
-                "fabric's latency dominates its row, NVLink peer "
-                "recovers most of it\n");
-    return reproducible && windows_bounded;
+                "outstanding round trips (timing/window.h), comb-total "
+                "additionally overlaps the two links against each other "
+                "(WindowGroup); the per-GPU row gives each shard its "
+                "own MSHR pool with a cross-shard barrier\n");
+    return reproducible && windows_bounded && barrier_bounded;
 }
 
 /**
@@ -218,10 +251,11 @@ windowSweepSection(std::size_t entries, const std::string &codec)
 {
     const std::vector<u8> data = timedWorkingSet(entries);
 
-    Table t({"W", "win-total", "vs serial"});
+    Table t({"W", "win-total", "comb-total", "vs serial"});
     bool ok = true;
     u64 serial_total = 0;
     u64 prev = 0;
+    u64 prev_comb = 0;
     for (const u64 w : {1ull, 2ull, 4ull, 8ull, 16ull, 32ull, 64ull,
                         256ull}) {
         BuddyConfig cfg;
@@ -237,17 +271,25 @@ windowSweepSection(std::size_t entries, const std::string &codec)
         } else {
             ok = ok && r.windowTotal() <= prev &&
                  r.windowTotal() <= serial_total;
+            // The combined makespan shrinks monotonely with W too.
+            ok = ok && r.combinedWindowCycles <= prev_comb;
         }
+        ok = ok && r.combinedWindowCycles <= r.windowTotal();
         prev = r.windowTotal();
+        prev_comb = r.combinedWindowCycles;
         t.addRow({strfmt("%llu", (unsigned long long)w),
                   strfmt("%llu", (unsigned long long)r.windowTotal()),
+                  strfmt("%llu",
+                         (unsigned long long)r.combinedWindowCycles),
                   strfmt("%.2fx", static_cast<double>(r.windowTotal()) /
                                       static_cast<double>(serial_total))});
     }
     t.print();
     std::printf("\nW=1 reproduces the serial totals exactly; wider "
                 "windows overlap the host-um round-trip latency "
-                "(monotone, checked)\n");
+                "(monotone, checked); the comb column overlaps the two "
+                "links against each other on top (monotone and within "
+                "the win-total, checked)\n");
     return ok;
 }
 

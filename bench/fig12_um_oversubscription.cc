@@ -20,8 +20,19 @@
  * brackets, which the windowed line always falls between. A W-sweep
  * table shows the convergence.
  *
- * --smoke skips the UM model and checks the bracketing invariants on a
- * small set, emitting "SMOKE OK"/"SMOKE FAILED" for CI.
+ * Two further lines refine the model: "buddy W=<n> comb" reports the
+ * combined (cross-link) makespan — the device and buddy links drain in
+ * parallel, so the pass finishes at the max of the per-link windowed
+ * makespans rather than their sum (timing/window.h WindowGroup) — and
+ * "buddy W=<n> x<G>GPU" runs the same pass on a --gpus-shard engine in
+ * per-shard window mode (BuddyConfig::windowMode): each GPU keeps its
+ * own MSHR pool and the pass completes at a cross-shard barrier, the
+ * honest N-GPU reading of the peer backend.
+ *
+ * --smoke skips the UM model and checks the bracketing invariants of
+ * all three windowed lines (including 1-GPU-per-shard == combined,
+ * bit-for-bit) on a small set, emitting "SMOKE OK"/"SMOKE FAILED" for
+ * CI.
  */
 
 #include <algorithm>
@@ -32,6 +43,7 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/controller.h"
+#include "engine/engine.h"
 #include "umsim/um.h"
 #include "workloads/benchmark.h"
 
@@ -44,42 +56,42 @@ struct TimedPass
 {
     u64 serial = 0;     ///< serialized LinkModel charge (latency bound)
     u64 bw = 0;         ///< bottleneck-pipe occupancy (bandwidth bound)
-    u64 windowed = 0;   ///< windowed-replay makespan (the honest line)
+    u64 windowed = 0;   ///< per-link windowed makespans, summed
+    u64 combined = 0;   ///< cross-link combined makespan (the honest line)
 };
 
 /**
- * Simulated cycles to read an @p entries-entry set of which a fraction
- * @p oversub lives behind the buddy link: the resident part is
- * allocated at target None (fully device resident), the oversubscribed
- * part at Ratio4 with incompressible payloads, so 96 of its 128 bytes
- * per entry cross the buddy link on every read.
+ * Allocate the resident/oversub split on @p target and run the write
+ * pass: the resident part at target None (fully device resident), the
+ * oversubscribed part at Ratio4 with incompressible payloads, so 96 of
+ * its 128 bytes per entry cross the buddy link on every read. Shared
+ * by the single-GPU and per-shard passes so both lines always time the
+ * identical workload (same seed, allocation order, and payloads —
+ * the smoke's 1-GPU == merged bit-equality rests on this).
+ * @return the per-entry VAs of the written set.
  */
-TimedPass
-timedReadCycles(std::size_t entries, double oversub, u64 window)
+template <typename Target>
+std::vector<Addr>
+buildOversubSet(Target &target, std::size_t entries, double oversub)
 {
     const std::size_t spill =
         static_cast<std::size_t>(static_cast<double>(entries) * oversub);
     const std::size_t resident = entries - spill;
 
-    BuddyConfig cfg;
-    cfg.deviceBytes = entries * kEntryBytes + 8 * MiB;
-    cfg.linkWindow = window;
-    BuddyController gpu(cfg);
-
     Rng rng(31);
     std::vector<Addr> vas;
     vas.reserve(entries);
     const auto place = [&](const char *name, std::size_t count,
-                           CompressionTarget target) {
+                           CompressionTarget ratio) {
         if (count == 0)
             return;
         const auto id =
-            gpu.allocate(name, count * kEntryBytes, target);
+            target.allocate(name, count * kEntryBytes, ratio);
         if (!id) {
             std::fprintf(stderr, "fig12 timed allocation failed\n");
             std::exit(1);
         }
-        const Addr base = gpu.allocations().at(*id).va;
+        const Addr base = target.allocations().at(*id).va;
         for (std::size_t i = 0; i < count; ++i)
             vas.push_back(base + i * kEntryBytes);
     };
@@ -95,28 +107,76 @@ timedReadCycles(std::size_t entries, double oversub, u64 window)
     AccessBatch plan(entries);
     for (std::size_t i = 0; i < vas.size(); ++i)
         plan.write(vas[i], data.data() + i * kEntryBytes);
-    gpu.execute(plan);
+    target.execute(plan);
+    return vas;
+}
+
+/** Read the whole set back; @return the read pass's batch summary. */
+template <typename Target>
+BatchSummary
+readOversubSet(Target &target, const std::vector<Addr> &vas)
+{
+    AccessBatch plan(vas.size());
+    std::vector<u8> readback(vas.size() * kEntryBytes);
+    for (std::size_t i = 0; i < vas.size(); ++i)
+        plan.read(vas[i], readback.data() + i * kEntryBytes);
+    return target.execute(plan);
+}
+
+/**
+ * Simulated cycles to read an @p entries-entry set of which a fraction
+ * @p oversub lives behind the buddy link (see buildOversubSet).
+ */
+TimedPass
+timedReadCycles(std::size_t entries, double oversub, u64 window)
+{
+    BuddyConfig cfg;
+    cfg.deviceBytes = entries * kEntryBytes + 8 * MiB;
+    cfg.linkWindow = window;
+    BuddyController gpu(cfg);
+
+    const std::vector<Addr> vas =
+        buildOversubSet(gpu, entries, oversub);
 
     const u64 dev_busy0 =
         gpu.deviceStore().link().reader().busyCycles();
     const u64 bud_busy0 =
         gpu.carveOut().store().link().reader().busyCycles();
 
-    plan.clear();
-    std::vector<u8> readback(entries * kEntryBytes);
-    for (std::size_t i = 0; i < vas.size(); ++i)
-        plan.read(vas[i], readback.data() + i * kEntryBytes);
-    gpu.execute(plan);
+    const BatchSummary read_pass = readOversubSet(gpu, vas);
 
     TimedPass t;
-    t.serial = plan.summary().totalCycles();
-    t.windowed = plan.summary().windowTotalCycles();
+    t.serial = read_pass.totalCycles();
+    t.windowed = read_pass.windowTotalCycles();
+    t.combined = read_pass.combinedWindowCycles;
     // Perfectly overlapped, the read pass takes as long as its busiest
     // pipe is occupied.
     t.bw = std::max(
         gpu.deviceStore().link().reader().busyCycles() - dev_busy0,
         gpu.carveOut().store().link().reader().busyCycles() - bud_busy0);
     return t;
+}
+
+/**
+ * The same oversubscribed read pass on an N-GPU sharded engine in
+ * per-shard window mode: each GPU keeps its own MSHR pool over its own
+ * links and the pass completes at a cross-shard barrier, so the
+ * returned makespan is the max over the GPUs' combined makespans.
+ */
+u64
+timedReadCyclesPerShard(std::size_t entries, double oversub, u64 window,
+                        unsigned gpus)
+{
+    EngineConfig cfg;
+    cfg.shards = gpus;
+    cfg.shard.deviceBytes = entries * kEntryBytes + 8 * MiB;
+    cfg.shard.linkWindow = window;
+    cfg.shard.windowMode = WindowMode::PerShard;
+    ShardedEngine eng(cfg);
+
+    const std::vector<Addr> vas =
+        buildOversubSet(eng, entries, oversub);
+    return readOversubSet(eng, vas).combinedWindowCycles;
 }
 
 std::string
@@ -126,9 +186,9 @@ ratioCell(u64 value, u64 base)
                   static_cast<double>(value) / static_cast<double>(base));
 }
 
-/** Check the bracketing invariants of the windowed line (smoke mode). */
+/** Check the bracketing invariants of the windowed lines (smoke mode). */
 bool
-smokeCheck(std::size_t entries, u64 window)
+smokeCheck(std::size_t entries, u64 window, unsigned gpus)
 {
     bool ok = true;
     for (const double o : {0.0, 0.2, 0.4}) {
@@ -152,10 +212,43 @@ smokeCheck(std::size_t entries, u64 window)
                         (unsigned long long)win.serial, o * 100);
             ok = false;
         }
-        // Determinism: the timed pass is a pure function of its config.
+        // The combined (cross-link) makespan tightens the windowed sum
+        // without dropping below the bandwidth bound.
+        if (win.combined > win.windowed || win.combined < win.bw) {
+            std::printf("FAIL: combined %llu outside [bw %llu, windowed "
+                        "%llu] at oversub %.0f%%\n",
+                        (unsigned long long)win.combined,
+                        (unsigned long long)win.bw,
+                        (unsigned long long)win.windowed, o * 100);
+            ok = false;
+        }
+        // One GPU in per-shard mode degenerates to the merged line
+        // bit-for-bit; N GPUs can only finish sooner (barrier of
+        // quarter-length streams).
+        const u64 one_gpu = timedReadCyclesPerShard(entries, o, window, 1);
+        const u64 n_gpu =
+            timedReadCyclesPerShard(entries, o, window, gpus);
+        if (one_gpu != win.combined) {
+            std::printf("FAIL: 1-GPU per-shard %llu != combined %llu at "
+                        "oversub %.0f%%\n",
+                        (unsigned long long)one_gpu,
+                        (unsigned long long)win.combined, o * 100);
+            ok = false;
+        }
+        if (n_gpu > one_gpu) {
+            std::printf("FAIL: %u-GPU per-shard %llu exceeds 1-GPU %llu "
+                        "at oversub %.0f%%\n",
+                        gpus, (unsigned long long)n_gpu,
+                        (unsigned long long)one_gpu, o * 100);
+            ok = false;
+        }
+        // Determinism: the timed passes are pure functions of their
+        // configs.
         const TimedPass again = timedReadCycles(entries, o, window);
         if (again.windowed != win.windowed ||
-            again.serial != win.serial || again.bw != win.bw) {
+            again.serial != win.serial || again.bw != win.bw ||
+            again.combined != win.combined ||
+            timedReadCyclesPerShard(entries, o, window, gpus) != n_gpu) {
             std::printf("FAIL: timed pass not reproducible at oversub "
                         "%.0f%%\n",
                         o * 100);
@@ -176,6 +269,8 @@ main(int argc, char **argv)
     cli.addUint("entries", 16 * 1024,
                 "entries in the timed working set");
     addWindowFlag(cli); // --window, default 32
+    cli.addUint("gpus", 4,
+                "GPUs of the per-shard (N-GPU) windowed line");
     cli.addBool("bounds",
                 "also print the buddy serial/bw bracket rows");
     cli.addBool("smoke",
@@ -184,10 +279,12 @@ main(int argc, char **argv)
         return 0;
 
     const u64 window = windowOf(cli);
+    const unsigned gpus =
+        static_cast<unsigned>(std::max<u64>(1, cli.uintOf("gpus")));
     if (cli.boolOf("smoke")) {
         const std::size_t n = static_cast<std::size_t>(
             cli.wasSet("entries") ? cli.uintOf("entries") : 2048);
-        const bool ok = smokeCheck(n, window);
+        const bool ok = smokeCheck(n, window, gpus);
         std::printf("%s\n", ok ? "SMOKE OK" : "SMOKE FAILED");
         return ok ? 0 : 1;
     }
@@ -212,8 +309,13 @@ main(int argc, char **argv)
         static_cast<std::size_t>(cli.uintOf("entries"));
     const TimedPass timed_base = timedReadCycles(entries, 0.0, window);
     std::vector<TimedPass> timed;
-    for (const double o : oversub)
+    std::vector<u64> pershard;
+    for (const double o : oversub) {
         timed.push_back(timedReadCycles(entries, o, window));
+        pershard.push_back(
+            timedReadCyclesPerShard(entries, o, window, gpus));
+    }
+    const u64 pershard_base = pershard[0]; // 0% oversubscription
 
     for (const char *name : {"360.ilbdc", "356.sp", "351.palm"}) {
         const auto &spec = findBenchmark(name);
@@ -224,6 +326,11 @@ main(int argc, char **argv)
         std::vector<std::string> pin = {name, "pinned"};
         std::vector<std::string> win = {
             name, strfmt("buddy W=%llu", (unsigned long long)window)};
+        std::vector<std::string> comb = {
+            name, strfmt("buddy W=%llu comb", (unsigned long long)window)};
+        std::vector<std::string> ngpu = {
+            name, strfmt("buddy W=%llu x%uGPU",
+                         (unsigned long long)window, gpus)};
         std::vector<std::string> ser = {name, "buddy serial"};
         std::vector<std::string> bwb = {name, "buddy bw"};
         for (std::size_t i = 0; i < oversub.size(); ++i) {
@@ -236,12 +343,17 @@ main(int argc, char **argv)
                 runUm(spec, cfg, UmMode::Pinned, o).cycles / base));
             win.push_back(
                 ratioCell(timed[i].windowed, timed_base.windowed));
+            comb.push_back(
+                ratioCell(timed[i].combined, timed_base.combined));
+            ngpu.push_back(ratioCell(pershard[i], pershard_base));
             ser.push_back(ratioCell(timed[i].serial, timed_base.serial));
             bwb.push_back(ratioCell(timed[i].bw, timed_base.bw));
         }
         t.addRow(mig);
         t.addRow(pin);
         t.addRow(win);
+        t.addRow(comb);
+        t.addRow(ngpu);
         if (bounds) {
             t.addRow(ser);
             t.addRow(bwb);
@@ -283,11 +395,16 @@ main(int argc, char **argv)
 
     std::printf("\npaper: migration runtime explodes with "
                 "oversubscription and often exceeds the pinned line. "
-                "The buddy row charges the spilled fraction through "
+                "The buddy rows charge the spilled fraction through "
                 "the LinkModel (host-um NVLink timing) with W "
                 "outstanding round trips (timing/window.h): W=1 is the "
                 "serialized upper bound, W->oo the pipe-occupancy lower "
                 "bound, and the windowed line lands between them — the "
-                "paper measures ~1.67x at a 50 GB/s link (Fig. 11)\n");
+                "paper measures ~1.67x at a 50 GB/s link (Fig. 11). "
+                "The comb row overlaps the device and buddy links "
+                "(makespan = max, not sum); the x%uGPU row gives each "
+                "GPU its own MSHR pool with a cross-shard barrier "
+                "(per-shard window mode)\n",
+                gpus);
     return 0;
 }

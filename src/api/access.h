@@ -82,15 +82,34 @@ struct AccessInfo
      * replay: the advance of the window's completion frontier this
      * access caused (see timing/window.h). The charges of a batch
      * telescope, so their sum is the windowed makespan of the batch's
-     * device-link stream. Scheduled over the submission-order traffic,
-     * which is a pure function of the plan — windowed totals are
-     * therefore identical under any sharding, like the serial fields.
-     * At BuddyConfig::linkWindow == 1 this equals deviceCycles exactly.
+     * device-link stream. Under the engine's default
+     * WindowMode::Merged the replay is scheduled over the merged
+     * submission-order traffic — a pure function of the plan — so the
+     * charges are identical under any sharding, like the serial
+     * fields; under WindowMode::PerShard each shard windows its own
+     * sub-stream, so they depend on the sharding by design. At
+     * BuddyConfig::linkWindow == 1 this equals deviceCycles exactly.
      */
     Cycles deviceWindowCycles = 0;
 
     /** Buddy-link share of the windowed replay (see above). */
     Cycles buddyWindowCycles = 0;
+
+    /**
+     * Combined (cross-link) share of the windowed replay: the advance
+     * of the batch's *combined* completion frontier — the max over the
+     * device and buddy link frontiers (timing/window.h WindowGroup).
+     * The two links run in parallel, so these charges telescope to
+     * max(device makespan, buddy makespan) per batch, a tighter
+     * makespan than the per-link sum, bracketed per batch by
+     * max(deviceWindowCycles, buddyWindowCycles) totals and their sum.
+     * Like the other window fields, the per-op charges are
+     * shard-invariant only under WindowMode::Merged (the engine
+     * reschedules the merged stream); under WindowMode::PerShard they
+     * are each shard's own sub-stream charges, which depend on the
+     * sharding by design (still reproducible run-to-run).
+     */
+    Cycles combinedWindowCycles = 0;
 
     /**
      * Total link cycles charged for this access. The device and buddy
@@ -147,6 +166,17 @@ struct BatchSummary
 
     /** Windowed-replay makespan of the buddy-link stream. */
     u64 buddyWindowCycles = 0;
+
+    /**
+     * Combined (cross-link) windowed makespan of the batch: the device
+     * and buddy links drain in parallel, so the batch's windowed replay
+     * finishes at max(deviceWindowCycles, buddyWindowCycles) — tighter
+     * than windowTotalCycles(), which sums the per-link makespans. In
+     * the engine's per-shard window mode (BuddyConfig::windowMode) this
+     * carries the N-GPU makespan instead: the max over the shards'
+     * combined makespans (the cross-shard barrier at batch completion).
+     */
+    u64 combinedWindowCycles = 0;
 
     u64 operations() const { return reads + writes + probes; }
 

@@ -7,7 +7,10 @@
  * argv as `--name=value`, `--name value`, or bare `--name` for bools.
  * `--help` prints the registered flags and parse() returns false so the
  * caller can exit. Unknown flags are a fatal usage error naming the
- * known ones.
+ * known ones, and numeric flags hard-reject everything strtoull would
+ * quietly mangle — trailing junk, signed values, out-of-range values,
+ * and a valued flag dangling at the end of argv
+ * (tests/test_cli.cc pins each rejection).
  *
  *   CliFlags cli("bench_engine_scaling",
  *                "throughput vs. shard count on a mixed working set");
@@ -21,6 +24,7 @@
 
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -117,18 +121,35 @@ class CliFlags
             }
             if (f->kind == Kind::Uint) {
                 // Reject what strtoull would quietly accept: empty
-                // strings (-> 0) and signed values (-> 2^64 wraps).
+                // strings (-> 0), signed values (-> 2^64 wraps),
+                // trailing junk ("12abc" -> 12), and out-of-range
+                // values (-> saturate to 2^64-1 with errno ERANGE).
+                // Parse into a local and validate everything before
+                // touching the flag, so a rejected value can never leak
+                // into the stored default (badUsage prints it).
                 char *end = nullptr;
                 if (value.empty() || value[0] < '0' || value[0] > '9')
                     badUsage(("--" + name +
                               " needs a non-negative integer, got \"" +
                               value + "\"")
                                  .c_str());
-                f->u = std::strtoull(value.c_str(), &end, 0);
+                // Base 10 unless explicitly 0x-prefixed hex: base-0
+                // strtoull would silently read zero-padded decimal
+                // ("0100") as octal.
+                const bool hex = value.size() > 2 && value[0] == '0' &&
+                                 (value[1] == 'x' || value[1] == 'X');
+                errno = 0;
+                const u64 parsed =
+                    std::strtoull(value.c_str(), &end, hex ? 16 : 10);
                 if (end == nullptr || *end != '\0')
                     badUsage(("--" + name + " needs an integer, got \"" +
                               value + "\"")
                                  .c_str());
+                if (errno == ERANGE)
+                    badUsage(("--" + name + " value \"" + value +
+                              "\" does not fit in 64 bits")
+                                 .c_str());
+                f->u = parsed;
             } else {
                 f->s = value;
             }

@@ -168,17 +168,18 @@ BuddyController::trafficFor(const EntryLoc &loc, EntryMeta meta,
     return info;
 }
 
-BuddyController::LinkWindows
+timing::WindowGroup
 BuddyController::makeWindows() const
 {
-    return {device_->makeWindow(cfg_.linkWindow),
-            buddy_.store().makeWindow(cfg_.linkWindow)};
+    return timing::WindowGroup(device_->makeWindow(cfg_.linkWindow),
+                               buddy_.store().makeWindow(cfg_.linkWindow));
 }
 
 AccessInfo
 BuddyController::executeOp(const AccessRequest &op,
                            CompressionScratch &scratch,
-                           LinkWindows *windows, BatchSummary &summary)
+                           timing::WindowGroup *windows,
+                           BatchSummary &summary)
 {
     const EntryLoc loc = locate(op.va);
     const bool meta_hit = metaCache_->access(loc.globalEntryIdx);
@@ -336,13 +337,18 @@ BuddyController::executeOp(const AccessRequest &op,
         const timing::LinkDir dir = op.kind == AccessKind::Write
                                         ? timing::LinkDir::Write
                                         : timing::LinkDir::Read;
-        info.deviceWindowCycles = windows->device.issue(
-            dir, static_cast<u64>(info.deviceSectors) * kSectorBytes);
-        info.buddyWindowCycles = windows->buddy.issue(
-            dir, static_cast<u64>(info.buddySectors) * kSectorBytes);
+        const timing::GroupCharge charge = windows->issue(
+            dir, static_cast<u64>(info.deviceSectors) * kSectorBytes,
+            static_cast<u64>(info.buddySectors) * kSectorBytes);
+        info.deviceWindowCycles = charge.device;
+        info.buddyWindowCycles = charge.buddy;
+        info.combinedWindowCycles = charge.combined;
     } else {
         info.deviceWindowCycles = dev_cycles;
         info.buddyWindowCycles = bud_cycles;
+        // A lone request in a fresh group: each link's frontier is its
+        // serial charge, so the combined frontier is their max.
+        info.combinedWindowCycles = std::max(dev_cycles, bud_cycles);
     }
 
     stats_.deviceSectorTraffic += info.deviceSectors;
@@ -351,6 +357,7 @@ BuddyController::executeOp(const AccessRequest &op,
     stats_.buddyCycles += info.buddyCycles;
     stats_.deviceWindowCycles += info.deviceWindowCycles;
     stats_.buddyWindowCycles += info.buddyWindowCycles;
+    stats_.combinedWindowCycles += info.combinedWindowCycles;
     if (info.usedBuddy())
         ++stats_.buddyAccesses;
 
@@ -360,6 +367,7 @@ BuddyController::executeOp(const AccessRequest &op,
     summary.buddyCycles += info.buddyCycles;
     summary.deviceWindowCycles += info.deviceWindowCycles;
     summary.buddyWindowCycles += info.buddyWindowCycles;
+    summary.combinedWindowCycles += info.combinedWindowCycles;
     if (meta_hit)
         ++summary.metadataHits;
     else
@@ -392,7 +400,7 @@ BuddyController::execute(AccessBatch &batch)
     // allocation-free (results_ was reserved up front). The windows are
     // likewise per-batch: the batch is the latency-overlap scope.
     CompressionScratch scratch;
-    LinkWindows windows = makeWindows();
+    timing::WindowGroup windows = makeWindows();
     for (const AccessRequest &op : batch.ops_)
         batch.results_.push_back(
             executeOp(op, scratch, &windows, batch.summary_));

@@ -53,6 +53,29 @@
 
 namespace buddy {
 
+/**
+ * How the windowed (MSHR-style) timing replay models a sharded run
+ * (read by ShardedEngine from its shard template; a standalone
+ * controller is a single GPU either way, so it ignores the mode).
+ *
+ *   Merged    one merged GPU stream: the engine reschedules every
+ *             batch's submission-order traffic through a single window
+ *             pair — the single-GPU equivalent of the plan. The
+ *             default, and the pre-existing semantics bit-for-bit.
+ *   PerShard  N GPUs: each shard owns its own MSHR pool over its own
+ *             links (the windows its controller schedules during
+ *             sub-plan execution), with a cross-shard barrier at batch
+ *             completion — the batch's windowed totals are the max
+ *             over the participating shards' makespans.
+ *
+ * At one shard the two modes are bit-identical (tests pin this); both
+ * are reproducible run-to-run.
+ */
+enum class WindowMode : u8 {
+    Merged,
+    PerShard,
+};
+
 /** Controller configuration. */
 struct BuddyConfig
 {
@@ -98,6 +121,13 @@ struct BuddyConfig
     u64 linkWindow = 1;
 
     /**
+     * Multi-GPU semantics of the windowed replay (see WindowMode).
+     * Only the sharded engine reads it; a standalone controller is a
+     * single GPU under either value.
+     */
+    WindowMode windowMode = WindowMode::Merged;
+
+    /**
      * Shard ordinal a "peer" buddy backend maps. The sharded engine
      * wires a ring ((s + 1) mod shards); -1 marks an unwired peer
      * (standalone controllers).
@@ -126,6 +156,15 @@ struct BuddyStats
 
     /** Windowed-replay buddy-link makespans, summed over batches. */
     u64 buddyWindowCycles = 0;
+
+    /**
+     * Combined (cross-link) windowed makespans summed over batches:
+     * per batch, max(device, buddy) link makespan — the two links
+     * drain in parallel (timing/window.h WindowGroup). Under the
+     * engine's per-shard window mode the per-batch value is the N-GPU
+     * makespan (max over shards) instead.
+     */
+    u64 combinedWindowCycles = 0;
 
     /** Fraction of accesses that needed buddy memory. */
     double
@@ -267,18 +306,14 @@ class BuddyController
     };
 
     /**
-     * The per-batch windowed-replay state: one RequestWindow per link,
-     * created fresh for every executed stream so windowed totals stay
-     * additive across batches (a batch is the latency-overlap scope —
-     * the outstanding-miss stream of one kernel).
+     * Build the per-batch windowed-replay state: one RequestWindow per
+     * link, grouped so the combined (cross-link) frontier is tracked
+     * alongside the per-link ones. Created fresh for every executed
+     * stream so windowed totals stay additive across batches (a batch
+     * is the latency-overlap scope — the outstanding-miss stream of
+     * one kernel).
      */
-    struct LinkWindows
-    {
-        timing::RequestWindow device;
-        timing::RequestWindow buddy;
-    };
-
-    LinkWindows makeWindows() const;
+    timing::WindowGroup makeWindows() const;
 
     EntryLoc locate(Addr va) const;
 
@@ -299,7 +334,8 @@ class BuddyController
      */
     AccessInfo executeOp(const AccessRequest &op,
                          CompressionScratch &scratch,
-                         LinkWindows *windows, BatchSummary &summary);
+                         timing::WindowGroup *windows,
+                         BatchSummary &summary);
 
     BuddyConfig cfg_;
     std::unique_ptr<Compressor> codec_;

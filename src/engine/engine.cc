@@ -295,9 +295,8 @@ ShardedEngine::finish(BatchJob &job)
     // Scatter per-op results back into submission order and fold the
     // per-shard summaries (u64 sums, so the merge is order-independent
     // and bit-identical to a single-controller run of the same plan).
-    // The window fields are deliberately not summed here: each shard's
-    // controller windowed only its own sub-stream, and those makespans
-    // are rescheduled globally below.
+    // The window fields are deliberately not summed here: their merge
+    // depends on BuddyConfig::windowMode and happens below.
     BatchSummary merged;
     for (const SubPlan &sp : job.subs) {
         const BatchSummary &s = sp.plan.summary_;
@@ -315,35 +314,62 @@ ShardedEngine::finish(BatchJob &job)
             batch.results_[sp.origIdx[j]] = sp.plan.results_[j];
     }
 
-    // Windowed replay of the merged plan: reschedule the submission-
-    // order traffic through one window pair — the single-GPU equivalent
-    // of the batch. Per-op traffic is a pure function of the plan, so
-    // these totals are identical under any sharding and bit-identical
-    // to a single controller executing the same plan (every shard runs
-    // the same timing config; shard 0's stores supply it).
-    {
+    if (cfg_.shard.windowMode == WindowMode::Merged) {
+        // Windowed replay of the merged plan: reschedule the
+        // submission-order traffic through one window group — the
+        // single-GPU equivalent of the batch. Per-op traffic is a pure
+        // function of the plan, so these totals are identical under any
+        // sharding and bit-identical to a single controller executing
+        // the same plan (every shard runs the same timing config;
+        // shard 0's stores supply it).
         const BuddyController &c0 = *shards_[0];
         const u64 w = cfg_.shard.linkWindow;
-        timing::RequestWindow dev = c0.deviceStore().makeWindow(w);
-        timing::RequestWindow bud = c0.carveOut().store().makeWindow(w);
+        timing::WindowGroup group(
+            c0.deviceStore().makeWindow(w),
+            c0.carveOut().store().makeWindow(w));
         for (std::size_t i = 0; i < batch.ops_.size(); ++i) {
             AccessInfo &info = batch.results_[i];
             const timing::LinkDir dir =
                 batch.ops_[i].kind == AccessKind::Write
                     ? timing::LinkDir::Write
                     : timing::LinkDir::Read;
-            info.deviceWindowCycles = dev.issue(
-                dir, static_cast<u64>(info.deviceSectors) * kSectorBytes);
-            info.buddyWindowCycles = bud.issue(
-                dir, static_cast<u64>(info.buddySectors) * kSectorBytes);
-            merged.deviceWindowCycles += info.deviceWindowCycles;
-            merged.buddyWindowCycles += info.buddyWindowCycles;
+            const timing::GroupCharge charge = group.issue(
+                dir, static_cast<u64>(info.deviceSectors) * kSectorBytes,
+                static_cast<u64>(info.buddySectors) * kSectorBytes);
+            info.deviceWindowCycles = charge.device;
+            info.buddyWindowCycles = charge.buddy;
+            info.combinedWindowCycles = charge.combined;
+            merged.deviceWindowCycles += charge.device;
+            merged.buddyWindowCycles += charge.buddy;
+            merged.combinedWindowCycles += charge.combined;
         }
-        deviceWindowCycles_.fetch_add(merged.deviceWindowCycles,
-                                      std::memory_order_relaxed);
-        buddyWindowCycles_.fetch_add(merged.buddyWindowCycles,
-                                     std::memory_order_relaxed);
+    } else {
+        // Per-shard window mode: each shard kept its own MSHR pool over
+        // its own links — the per-op window charges the shards computed
+        // (already scattered above) stand. The batch completes at a
+        // cross-shard barrier, so its windowed totals are the max over
+        // the participating shards' makespans: the N-GPU makespan.
+        // Per-shard sub-streams are executed in submission order by one
+        // worker each and max() is order-independent, so these totals
+        // are reproducible run-to-run; at one shard they are
+        // bit-identical to the merged replay (same stream, same
+        // timing), which tests pin.
+        for (const SubPlan &sp : job.subs) {
+            const BatchSummary &s = sp.plan.summary_;
+            merged.deviceWindowCycles =
+                std::max(merged.deviceWindowCycles, s.deviceWindowCycles);
+            merged.buddyWindowCycles =
+                std::max(merged.buddyWindowCycles, s.buddyWindowCycles);
+            merged.combinedWindowCycles = std::max(
+                merged.combinedWindowCycles, s.combinedWindowCycles);
+        }
     }
+    deviceWindowCycles_.fetch_add(merged.deviceWindowCycles,
+                                  std::memory_order_relaxed);
+    buddyWindowCycles_.fetch_add(merged.buddyWindowCycles,
+                                 std::memory_order_relaxed);
+    combinedWindowCycles_.fetch_add(merged.combinedWindowCycles,
+                                    std::memory_order_relaxed);
     batch.summary_ = merged;
 
     // Replay captured events to engine-level sinks in submission order:
@@ -382,22 +408,29 @@ ShardedEngine::stats() const
         total.deviceCycles += st.deviceCycles;
         total.buddyCycles += st.buddyCycles;
     }
-    // Windowed totals come from the engine's merged-stream replay, not
-    // from summing the shards' sub-stream windows (see stats() docs).
+    // Windowed totals come from the engine's per-batch accumulation
+    // (merged-stream replay, or per-shard maxima under
+    // WindowMode::PerShard), not from summing the shards' sub-stream
+    // windows (see stats() docs).
     total.deviceWindowCycles =
         deviceWindowCycles_.load(std::memory_order_relaxed);
     total.buddyWindowCycles =
         buddyWindowCycles_.load(std::memory_order_relaxed);
+    total.combinedWindowCycles =
+        combinedWindowCycles_.load(std::memory_order_relaxed);
     return total;
 }
 
 void
 ShardedEngine::clearStats()
 {
+    // Symmetric with stats(): every field merged there must reset here
+    // (tests/test_engine.cc pins reset -> resubmit equality).
     for (auto &s : shards_)
         s->clearStats();
     deviceWindowCycles_.store(0, std::memory_order_relaxed);
     buddyWindowCycles_.store(0, std::memory_order_relaxed);
+    combinedWindowCycles_.store(0, std::memory_order_relaxed);
 }
 
 u64

@@ -156,13 +156,18 @@ class ShardedEngine
      * src/dst buffer it references must stay alive and untouched until
      * the future is ready.
      *
-     * Windowed timing: after the serial merge, the batch's windowed
-     * replay (BuddyConfig::linkWindow) is rescheduled over the merged
-     * submission-order traffic through one RequestWindow pair — the
-     * single-GPU equivalent of the plan. The per-op and summary
-     * *WindowCycles fields therefore do not depend on the shard count
-     * or thread scheduling, exactly like the serial cycle totals
-     * (tests/test_engine.cc pins this).
+     * Windowed timing (BuddyConfig::windowMode): under the default
+     * Merged mode, after the serial merge the batch's windowed replay
+     * (BuddyConfig::linkWindow) is rescheduled over the merged
+     * submission-order traffic through one WindowGroup — the single-GPU
+     * equivalent of the plan — so the per-op and summary *WindowCycles
+     * fields do not depend on the shard count or thread scheduling,
+     * exactly like the serial cycle totals (tests/test_engine.cc pins
+     * this). Under PerShard mode each shard's own windows stand (N GPUs,
+     * one MSHR pool each) and the summary window fields carry the max
+     * over the participating shards — the N-GPU makespan behind a
+     * cross-shard barrier; still reproducible run-to-run, and
+     * bit-identical to Merged at one shard.
      */
     std::future<BatchSummary> submit(AccessBatch &batch);
 
@@ -211,10 +216,11 @@ class ShardedEngine
     /**
      * Merged controller statistics across all shards. The serial
      * traffic/cycle fields are sums over the per-shard controllers; the
-     * *WindowCycles fields are the engine's own windowed-replay totals,
-     * computed over each batch's merged submission-order stream (the
-     * single-GPU equivalent — see submit()), NOT the sum of the shard
-     * controllers' sub-stream windows.
+     * *WindowCycles fields are the engine's own per-batch windowed
+     * totals — the merged submission-order stream's makespans under
+     * WindowMode::Merged, the max-over-shards (N-GPU) makespans under
+     * WindowMode::PerShard — NOT the sum of the shard controllers'
+     * sub-stream windows.
      */
     BuddyStats stats() const;
 
@@ -270,11 +276,15 @@ class ShardedEngine
     TrafficHub hub_;
     std::mutex emitMutex_; ///< serializes engine-level sink emission
 
-    /** Engine-level windowed-replay totals (submission-order streams,
-     *  accumulated per batch in finish(); atomic because batches may
-     *  finish concurrently — the sums are order-independent). */
+    /** Engine-level windowed-replay totals, accumulated per batch in
+     *  finish(): merged-stream makespans under WindowMode::Merged,
+     *  max-over-shards (N-GPU) makespans under WindowMode::PerShard.
+     *  Atomic because batches may finish concurrently — the sums are
+     *  order-independent. Reset by clearStats() symmetrically with the
+     *  stats() merge. */
     std::atomic<u64> deviceWindowCycles_{0};
     std::atomic<u64> buddyWindowCycles_{0};
+    std::atomic<u64> combinedWindowCycles_{0};
 
     std::map<AllocId, EngineAllocation> allocs_;
     std::map<Addr, AllocId> byVa_; // engine base VA -> id

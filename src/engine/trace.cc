@@ -17,8 +17,10 @@ constexpr u8 kMagic[4] = {'B', 'D', 'Y', 'T'};
 // v2: the footer carries the deviceCycles/buddyCycles link-charge
 // totals after the traffic counters.
 // v3: the footer additionally carries the windowed-replay totals
-// (deviceWindowCycles/buddyWindowCycles). v2 images remain readable:
-// their window totals load as 0.
+// (deviceWindowCycles/buddyWindowCycles).
+// v4: the footer additionally carries the combined (cross-link)
+// windowed makespan total (combinedWindowCycles). Older images remain
+// readable: the fields their footers predate load as 0.
 constexpr u8 kVersion = kTraceFormatVersion;
 constexpr u8 kOldestReadableVersion = 2;
 constexpr u8 kTagZeroWrite = 0x10;
@@ -96,6 +98,8 @@ putTotals(std::vector<u8> &out, const TraceTotals &t, u8 version)
         putVarint(out, t.summary.deviceWindowCycles);
         putVarint(out, t.summary.buddyWindowCycles);
     }
+    if (version >= 4)
+        putVarint(out, t.summary.combinedWindowCycles);
     putVarint(out, t.batches);
 }
 
@@ -117,6 +121,8 @@ readTotals(Reader &r, u8 version)
         t.summary.deviceWindowCycles = r.varint();
         t.summary.buddyWindowCycles = r.varint();
     }
+    if (version >= 4)
+        t.summary.combinedWindowCycles = r.varint();
     t.batches = r.varint();
     return t;
 }
@@ -136,6 +142,7 @@ accumulate(TraceTotals &t, const BatchSummary &s)
     t.summary.buddyCycles += s.buddyCycles;
     t.summary.deviceWindowCycles += s.deviceWindowCycles;
     t.summary.buddyWindowCycles += s.buddyWindowCycles;
+    t.summary.combinedWindowCycles += s.combinedWindowCycles;
     ++t.batches;
 }
 

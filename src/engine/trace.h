@@ -22,7 +22,7 @@
  *
  * Format (all multi-byte integers are LEB128 varints unless noted):
  *
- *   magic "BDYT" (4 raw bytes), version u8 (3; v2 remains readable)
+ *   magic "BDYT" (4 raw bytes), version u8 (4; v2/v3 remain readable)
  *   allocCount; per allocation:
  *     nameLen, name bytes, baseVa/128, bytes, target (u8)
  *   record stream, one tag byte each:
@@ -33,14 +33,17 @@
  *     0xFF        footer: the accumulated totals — eight traffic
  *                 counters, the v2 deviceCycles/buddyCycles link
  *                 charges, the v3 deviceWindowCycles/buddyWindowCycles
- *                 windowed-replay totals (absent in v2 images, which
- *                 load them as 0), and the batch count — then EOF
+ *                 windowed-replay totals, the v4 combinedWindowCycles
+ *                 cross-link makespan total (fields absent in older
+ *                 images load as 0), and the batch count — then EOF
  *
  * Windowed timing and traces: the op stream is version-independent, so
- * a capture recorded at any BuddyConfig::linkWindow replays under any
- * other window — the replay target recomputes its own windowed totals
- * from the re-executed traffic. The footer's window totals record what
- * the *recording* configuration observed.
+ * a capture recorded at any BuddyConfig::linkWindow and either
+ * BuddyConfig::windowMode replays under any other window or mode — the
+ * replay target recomputes its own windowed totals from the
+ * re-executed traffic. The footer's window totals record what the
+ * *recording* configuration observed (under per-shard window mode the
+ * window fields are accumulated N-GPU makespans).
  */
 
 #pragma once
@@ -62,7 +65,7 @@ namespace engine {
 class ShardedEngine;
 
 /** The trace format version serialize() emits by default. */
-constexpr unsigned kTraceFormatVersion = 3;
+constexpr unsigned kTraceFormatVersion = 4;
 
 /** One allocation-table entry of a trace. */
 struct TraceAllocation
@@ -113,8 +116,9 @@ class TraceRecorderSink : public api::TrafficSink
     /**
      * Serialize header + allocation table + stream + footer.
      * @param version trace format version to emit — the current format
-     *        by default; 2 writes a pre-window footer (the downgrade
-     *        escape hatch the backward-compat tests exercise).
+     *        by default; 3 writes a pre-combined footer and 2 a
+     *        pre-window footer (the downgrade escape hatches the
+     *        backward-compat tests exercise).
      */
     std::vector<u8> serialize(unsigned version = kTraceFormatVersion) const;
 

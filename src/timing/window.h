@@ -39,11 +39,19 @@
  * request stream; schedulers that feed a window the submission-order
  * stream of a batch (BuddyController::execute, ShardedEngine merge) get
  * totals that are independent of sharding and thread scheduling.
+ *
+ * WindowGroup (below) schedules one access stream over a *pair* of
+ * windows — the device link and the buddy link run in parallel — and
+ * additionally reports the combined (cross-link) completion frontier,
+ * whose telescoped per-batch total is max(device makespan, buddy
+ * makespan) rather than their sum.
  */
 
 #pragma once
 
+#include <algorithm>
 #include <deque>
+#include <utility>
 
 #include "common/types.h"
 #include "timing/link_model.h"
@@ -100,8 +108,9 @@ class RequestWindow
             return 0;
         // Program order: never issue before an earlier request. The
         // window constraint: request i waits for request i-W to
-        // complete (inflight_ holds the last W completion times; FCFS
-        // completion keeps its front the oldest).
+        // complete (inflight_ holds the completion times of the still-
+        // outstanding requests; FCFS completion keeps its front the
+        // oldest).
         Cycles at = lastIssue_;
         if (inflight_.size() == window_) {
             at = std::max(at, inflight_.front());
@@ -111,6 +120,19 @@ class RequestWindow
         const Cycles done = server(dir).request(at, bytes);
         const Cycles fin = std::max(done, frontier_); // FCFS completion
         inflight_.push_back(fin);
+        // Retire entries that can no longer bind an issue time: issue
+        // times are monotone, so any completion at or before lastIssue_
+        // would be a vacuous max when it reached the front. Completions
+        // are FCFS (fin monotone), so such entries always form a prefix
+        // and dropping them keeps the front aligned with request i-W
+        // (the consultation at size()==W is simply skipped for exactly
+        // the requests whose constraint was provably vacuous). Bounds
+        // the deque by the outstanding depth instead of by min(W,
+        // stream): a huge W over a stream the completion frontier keeps
+        // overtaking (FCFS-absorbed requests) no longer retains every
+        // charge-0 completion until its slot turn.
+        while (!inflight_.empty() && inflight_.front() <= lastIssue_)
+            inflight_.pop_front();
         const Cycles charged = fin - frontier_;
         frontier_ = fin;
         ++issued_;
@@ -122,6 +144,15 @@ class RequestWindow
 
     /** Requests issued (zero-byte requests excluded). */
     u64 issued() const { return issued_; }
+
+    /**
+     * Requests currently tracked as outstanding: issued, not yet
+     * retired by the window constraint or by completing at or before
+     * the issue frontier. Bounded by min(window(), issued()); the
+     * memory-bound regression tests pin that it stays proportional to
+     * the stream's achieved concurrency, not to min(W, stream length).
+     */
+    u64 outstanding() const { return inflight_.size(); }
 
     /** Window size W. */
     u64 window() const { return window_; }
@@ -146,14 +177,97 @@ class RequestWindow
     LatencyBandwidthServer read_;
     LatencyBandwidthServer write_;
 
-    /** Completion times of the last min(issued, W) requests. Bounded by
-     *  W but grows only with traffic, so an effectively unbounded W
-     *  (e.g. 1 << 40) costs memory proportional to the stream, not W. */
+    /** Completion times of the still-outstanding requests, oldest
+     *  first (fin is monotone, so the deque is sorted). Entries leave
+     *  either through the window constraint (front pop at size W) or
+     *  eagerly once their completion can no longer bind an issue time
+     *  (see issue()), so the depth is O(min(W, outstanding)), never
+     *  O(stream). */
     std::deque<Cycles> inflight_;
 
     Cycles lastIssue_ = 0;
     Cycles frontier_ = 0;
     u64 issued_ = 0;
+};
+
+/** Per-link and combined charges of one WindowGroup::issue(). */
+struct GroupCharge
+{
+    /** Device-link completion-frontier advance (RequestWindow::issue). */
+    Cycles device = 0;
+
+    /** Buddy-link completion-frontier advance. */
+    Cycles buddy = 0;
+
+    /**
+     * Advance of the *combined* completion frontier — the max over the
+     * two links' frontiers. The combined charges of a stream telescope
+     * to WindowGroup::combinedElapsed(), so per-batch they sum to
+     * max(device makespan, buddy makespan): the makespan of the batch
+     * when the two links run in parallel.
+     */
+    Cycles combined = 0;
+};
+
+/**
+ * A pair of RequestWindows scheduling one access stream over two
+ * parallel links (device memory and the buddy interconnect).
+ *
+ * An access's device and buddy halves occupy *different* links and
+ * proceed concurrently, so the makespan of a batch is not the sum of
+ * the per-link windowed makespans but their max: the batch is done when
+ * the slower link drains. WindowGroup issues both halves of each access
+ * and tracks that combined frontier; the per-access combined charges
+ * telescope exactly like the per-link ones, so summing them over a
+ * batch yields the combined makespan, bracketed by
+ *
+ *   max(device, buddy)  <=  combined  <=  device + buddy
+ *
+ * per batch (equality with max holds for the frontier of a group; the
+ * bracket is what the fuzz tests pin through the whole stack). Like
+ * RequestWindow, a group is built per request stream (one per batch)
+ * and all arithmetic is exact unsigned 64-bit.
+ */
+class WindowGroup
+{
+  public:
+    WindowGroup(RequestWindow device, RequestWindow buddy)
+        : device_(std::move(device)), buddy_(std::move(buddy))
+    {}
+
+    /**
+     * Issue one access: @p device_bytes over the device link and
+     * @p buddy_bytes over the buddy link, both in direction @p dir.
+     * Either byte count may be zero (free, occupies no slot).
+     */
+    GroupCharge
+    issue(LinkDir dir, u64 device_bytes, u64 buddy_bytes)
+    {
+        GroupCharge c;
+        c.device = device_.issue(dir, device_bytes);
+        c.buddy = buddy_.issue(dir, buddy_bytes);
+        const Cycles fin =
+            std::max(device_.elapsed(), buddy_.elapsed());
+        c.combined = fin - combined_;
+        combined_ = fin;
+        return c;
+    }
+
+    /** Combined (cross-link) makespan of the stream issued so far. */
+    Cycles combinedElapsed() const { return combined_; }
+
+    /** The device-link window. */
+    const RequestWindow &device() const { return device_; }
+
+    /** The buddy-link window. */
+    const RequestWindow &buddy() const { return buddy_; }
+
+  private:
+    RequestWindow device_;
+    RequestWindow buddy_;
+
+    /** Combined completion frontier: max over the link frontiers. */
+    Cycles combined_ = 0;
 };
 
 } // namespace timing

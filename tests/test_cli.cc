@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Usage-error hardening of the shared CliFlags parser (common/cli.h).
+ *
+ * Every numeric form strtoull would quietly mangle must be a hard
+ * usage error, not a silently-wrong value driving a bench:
+ *
+ *   - trailing junk   ("--window 12abc" must not parse as 12);
+ *   - signed values   ("--shards -1" must not wrap to 2^64 - 18...);
+ *   - out-of-range    (2^64 and beyond must not saturate to 2^64 - 1);
+ *   - a valued flag dangling at the end of argv must not read past it;
+ *
+ * while every documented accepted form (--name=value, --name value,
+ * hex, the full u64 range, bare bools) still parses. The shared
+ * --window helper's rejection of 0 is pinned here too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+
+namespace buddy {
+namespace {
+
+/** The flag set the timed benches register, as a representative mix. */
+CliFlags
+benchFlags()
+{
+    CliFlags cli("test_cli", "CliFlags rejection tests");
+    cli.addUint("window", 32, "outstanding round trips");
+    cli.addUint("shards", 4, "shard count");
+    cli.addString("codec", "bpc", "codec registry name");
+    cli.addBool("smoke", "smoke mode");
+    return cli;
+}
+
+/** Parse @p args (argv[0] prepended); returns the parsed flag set. */
+CliFlags
+parseArgs(std::vector<std::string> args)
+{
+    args.insert(args.begin(), "test_cli");
+    std::vector<char *> argv;
+    argv.reserve(args.size());
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    CliFlags cli = benchFlags();
+    cli.parse(static_cast<int>(argv.size()), argv.data());
+    return cli;
+}
+
+TEST(CliFlagsDeath, TrailingJunkIsAHardUsageError)
+{
+    EXPECT_DEATH({ parseArgs({"--window", "12abc"}); },
+                 "needs an integer");
+    EXPECT_DEATH({ parseArgs({"--window=12abc"}); }, "needs an integer");
+    EXPECT_DEATH({ parseArgs({"--shards", "4."}); }, "needs an integer");
+}
+
+TEST(CliFlagsDeath, SignedValuesAreAHardUsageError)
+{
+    // strtoull would accept these and wrap them around 2^64.
+    EXPECT_DEATH({ parseArgs({"--shards", "-1"}); },
+                 "non-negative integer");
+    EXPECT_DEATH({ parseArgs({"--shards=-1"}); }, "non-negative integer");
+    EXPECT_DEATH({ parseArgs({"--window", "+5"}); },
+                 "non-negative integer");
+    EXPECT_DEATH({ parseArgs({"--window="}); }, "non-negative integer");
+}
+
+TEST(CliFlagsDeath, OutOfRangeValuesAreAHardUsageError)
+{
+    // strtoull saturates these to 2^64 - 1 with errno == ERANGE.
+    EXPECT_DEATH({ parseArgs({"--window", "18446744073709551616"}); },
+                 "does not fit in 64 bits");
+    EXPECT_DEATH({ parseArgs({"--window=99999999999999999999999999"}); },
+                 "does not fit in 64 bits");
+}
+
+TEST(CliFlagsDeath, DanglingValuedFlagIsAHardUsageError)
+{
+    // A valued flag at the end of argv must not read past it.
+    EXPECT_DEATH({ parseArgs({"--window"}); }, "needs a value");
+    EXPECT_DEATH({ parseArgs({"--codec"}); }, "needs a value");
+    EXPECT_DEATH({ parseArgs({"--smoke", "--shards"}); }, "needs a value");
+}
+
+TEST(CliFlagsDeath, UnknownAndMalformedFlagsAreHardUsageErrors)
+{
+    EXPECT_DEATH({ parseArgs({"--entries", "64"}); }, "unknown flag");
+    EXPECT_DEATH({ parseArgs({"window=3"}); }, "unexpected argument");
+    EXPECT_DEATH({ parseArgs({"--smoke=yes"}); }, "takes no value");
+}
+
+TEST(CliFlags, AcceptedFormsStillParse)
+{
+    const CliFlags cli = parseArgs({"--window=7", "--shards", "0x10",
+                                    "--codec", "fpc", "--smoke"});
+    EXPECT_EQ(cli.uintOf("window"), 7u);
+    EXPECT_EQ(cli.uintOf("shards"), 16u); // explicit 0x hex form
+
+    // Zero-padded decimal is decimal, not octal.
+    EXPECT_EQ(parseArgs({"--window", "0100"}).uintOf("window"), 100u);
+    EXPECT_EQ(cli.stringOf("codec"), "fpc");
+    EXPECT_TRUE(cli.boolOf("smoke"));
+    EXPECT_TRUE(cli.wasSet("window"));
+
+    // The full u64 range is representable; only 2^64 and up are not.
+    const CliFlags max =
+        parseArgs({"--window", "18446744073709551615"});
+    EXPECT_EQ(max.uintOf("window"), ~0ull);
+
+    // Defaults survive an empty command line.
+    const CliFlags defaults = parseArgs({});
+    EXPECT_EQ(defaults.uintOf("window"), 32u);
+    EXPECT_FALSE(defaults.wasSet("window"));
+    EXPECT_FALSE(defaults.boolOf("smoke"));
+}
+
+void
+parseZeroWindow()
+{
+    CliFlags cli("test_cli", "windowOf check");
+    addWindowFlag(cli);
+    std::vector<std::string> args = {"test_cli", "--window", "0"};
+    std::vector<char *> argv;
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    cli.parse(static_cast<int>(argv.size()), argv.data());
+    windowOf(cli);
+}
+
+TEST(CliFlagsDeath, SharedWindowHelperRejectsZero)
+{
+    EXPECT_DEATH(parseZeroWindow(), "bad --window value");
+}
+
+} // namespace
+} // namespace buddy

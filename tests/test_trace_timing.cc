@@ -5,9 +5,12 @@
  * the traffic, so an identically-configured replay target reproduces
  * them bit-for-bit), repeat-mode replay must scale the totals exactly
  * linearly (the VA translation is hoisted out of the repeat loop), and
- * a fuzz loop with randomized batch shapes must round-trip traces
- * through the replayer against timed engines, logging the seed on any
- * failure.
+ * a fuzz loop with randomized batch shapes, link windows, and window
+ * modes must round-trip traces through the replayer against timed
+ * engines, logging the seed on any failure. Format compatibility is
+ * pinned across versions: v2 images load with zero windowed totals,
+ * serialize(3) drops only the v4 combined (cross-link) total, and a
+ * capture replays under either window mode and any W.
  */
 
 #include <gtest/gtest.h>
@@ -46,13 +49,15 @@ sameSummary(const BatchSummary &a, const BatchSummary &b)
            a.deviceCycles == b.deviceCycles &&
            a.buddyCycles == b.buddyCycles &&
            a.deviceWindowCycles == b.deviceWindowCycles &&
-           a.buddyWindowCycles == b.buddyWindowCycles;
+           a.buddyWindowCycles == b.buddyWindowCycles &&
+           a.combinedWindowCycles == b.combinedWindowCycles;
 }
 
 /** Record a mixed write+read+probe workload; return the trace image. */
 std::vector<u8>
 recordWorkload(ShardedEngine &eng, std::size_t entries, u64 seed,
-               TraceTotals *totals_out = nullptr)
+               TraceTotals *totals_out = nullptr,
+               TraceRecorderSink *recorder_out = nullptr)
 {
     TraceRecorderSink recorder;
     eng.attachSink(&recorder);
@@ -93,6 +98,8 @@ recordWorkload(ShardedEngine &eng, std::size_t entries, u64 seed,
 
     if (totals_out != nullptr)
         *totals_out = recorder.totals();
+    if (recorder_out != nullptr)
+        *recorder_out = recorder;
     return recorder.serialize();
 }
 
@@ -165,7 +172,10 @@ TEST(TraceTiming, RepeatScalesTotalsExactlyLinearly)
               kRepeat * once.summary.deviceWindowCycles);
     EXPECT_EQ(many.summary.buddyWindowCycles,
               kRepeat * once.summary.buddyWindowCycles);
+    EXPECT_EQ(many.summary.combinedWindowCycles,
+              kRepeat * once.summary.combinedWindowCycles);
     EXPECT_GT(once.summary.buddyWindowCycles, 0u);
+    EXPECT_GT(once.summary.combinedWindowCycles, 0u);
 }
 
 TEST(TraceTiming, WindowedReplayRoundTripsAtSeveralWindows)
@@ -253,6 +263,7 @@ TEST(TraceTiming, V2ImagesRemainReadable)
     const BatchSummary &loaded = replayer.recordedTotals().summary;
     EXPECT_EQ(loaded.deviceWindowCycles, 0u);
     EXPECT_EQ(loaded.buddyWindowCycles, 0u);
+    EXPECT_EQ(loaded.combinedWindowCycles, 0u);
     EXPECT_EQ(loaded.deviceCycles, recorder.totals().summary.deviceCycles);
     EXPECT_EQ(loaded.buddyCycles, recorder.totals().summary.buddyCycles);
 
@@ -262,6 +273,101 @@ TEST(TraceTiming, V2ImagesRemainReadable)
     const TraceTotals replayed = replayer.replay(fresh);
     EXPECT_TRUE(
         sameSummary(replayed.summary, recorder.totals().summary));
+}
+
+TEST(TraceTiming, V3DowngradeDropsOnlyTheCombinedTotal)
+{
+    // serialize(3) is the downgrade hook for pre-v4 consumers: the
+    // per-link windowed totals survive, the combined (cross-link)
+    // makespan loads as zero, and the op stream still replays to the
+    // full totals on a fresh target.
+    EngineConfig cfg = timedEngineConfig(2, "remote");
+    cfg.shard.linkWindow = 4;
+    ShardedEngine rec(cfg);
+    TraceTotals recorded;
+    TraceRecorderSink recorder;
+    recordWorkload(rec, 512, 29, &recorded, &recorder);
+    EXPECT_GT(recorded.summary.combinedWindowCycles, 0u);
+
+    TraceReplayer v3;
+    v3.loadImage(recorder.serialize(3));
+    EXPECT_EQ(v3.opCount(), recorder.opCount());
+    const BatchSummary &loaded = v3.recordedTotals().summary;
+    EXPECT_EQ(loaded.combinedWindowCycles, 0u);
+    EXPECT_EQ(loaded.deviceWindowCycles,
+              recorded.summary.deviceWindowCycles);
+    EXPECT_EQ(loaded.buddyWindowCycles,
+              recorded.summary.buddyWindowCycles);
+    EXPECT_EQ(loaded.deviceCycles, recorded.summary.deviceCycles);
+
+    ShardedEngine fresh(cfg);
+    const TraceTotals replayed = v3.replay(fresh);
+    EXPECT_TRUE(sameSummary(replayed.summary, recorded.summary));
+}
+
+TEST(TraceTiming, ReplayUnderEitherWindowModeAndAnyWindow)
+{
+    // One capture replays under both window modes and any W: the
+    // traffic and serial cycles always reproduce; the windowed fields
+    // follow the replay target's mode — merged totals match the
+    // recording (also merged), per-shard totals are the N-GPU
+    // makespans, bounded by the merged ones and by the serial charges'
+    // structure (the bracket), and reproducible run-to-run.
+    EngineConfig cfg = timedEngineConfig(4, "remote");
+    cfg.shard.linkWindow = 4;
+    ShardedEngine rec(cfg);
+    TraceTotals recorded;
+    const auto image = recordWorkload(rec, 1024, 37, &recorded);
+
+    TraceReplayer replayer;
+    replayer.loadImage(image);
+
+    const auto replayWith = [&](WindowMode mode, u64 window,
+                                unsigned shards) {
+        EngineConfig c = timedEngineConfig(shards, "remote");
+        c.shard.linkWindow = window;
+        c.shard.windowMode = mode;
+        ShardedEngine eng(c);
+        const TraceTotals t = replayer.replay(eng);
+        // Engine stats mirror the replayed totals in either mode.
+        const BuddyStats st = eng.stats();
+        EXPECT_EQ(st.deviceWindowCycles, t.summary.deviceWindowCycles);
+        EXPECT_EQ(st.buddyWindowCycles, t.summary.buddyWindowCycles);
+        EXPECT_EQ(st.combinedWindowCycles,
+                  t.summary.combinedWindowCycles);
+        return t;
+    };
+
+    // Merged mode reproduces the recording exactly.
+    EXPECT_TRUE(sameSummary(replayWith(WindowMode::Merged, 4, 4).summary,
+                            recorded.summary));
+
+    // Per-shard mode: same traffic and serial cycles, N-GPU windows.
+    const TraceTotals psA = replayWith(WindowMode::PerShard, 4, 4);
+    const TraceTotals psB = replayWith(WindowMode::PerShard, 4, 4);
+    EXPECT_TRUE(sameSummary(psA.summary, psB.summary));
+    EXPECT_EQ(psA.summary.deviceCycles, recorded.summary.deviceCycles);
+    EXPECT_EQ(psA.summary.buddyCycles, recorded.summary.buddyCycles);
+    EXPECT_LE(psA.summary.combinedWindowCycles,
+              recorded.summary.combinedWindowCycles);
+    EXPECT_GT(psA.summary.combinedWindowCycles, 0u);
+    EXPECT_GE(psA.summary.combinedWindowCycles,
+              std::max(psA.summary.deviceWindowCycles,
+                       psA.summary.buddyWindowCycles));
+    EXPECT_LE(psA.summary.combinedWindowCycles,
+              psA.summary.deviceWindowCycles +
+                  psA.summary.buddyWindowCycles);
+
+    // Another window and shard count entirely: W = 1 per-shard
+    // collapses each GPU's windows onto its serial sub-stream charges,
+    // so the per-batch barrier max is bounded by the serial sums.
+    const TraceTotals serial = replayWith(WindowMode::PerShard, 1, 2);
+    EXPECT_EQ(serial.summary.deviceCycles, recorded.summary.deviceCycles);
+    EXPECT_GT(serial.summary.combinedWindowCycles, 0u);
+    EXPECT_LE(serial.summary.deviceWindowCycles,
+              serial.summary.deviceCycles);
+    EXPECT_LE(serial.summary.buddyWindowCycles,
+              serial.summary.buddyCycles);
 }
 
 TEST(TraceTiming, FuzzedBatchShapesRoundTrip)
@@ -282,6 +388,8 @@ TEST(TraceTiming, FuzzedBatchShapesRoundTrip)
         const std::string backend = backends[rng.below(3)];
         EngineConfig cfg = timedEngineConfig(shards, backend);
         cfg.shard.linkWindow = 1 + rng.below(8);
+        cfg.shard.windowMode = rng.below(2) ? WindowMode::PerShard
+                                            : WindowMode::Merged;
 
         ShardedEngine rec(cfg);
         TraceRecorderSink recorder;

@@ -13,11 +13,20 @@
  *     and serial bounds, through the raw scheduler and through
  *     BuddyController::execute (per operation and in aggregate);
  *   - zero-window and zero-bandwidth windowed configurations fail fast
- *     with a clear error instead of deadlocking (regression tests).
+ *     with a clear error instead of deadlocking (regression tests);
+ *   - the eager inflight_ retirement is bit-exact against a naive
+ *     full-deque reference scheduler on fuzzed mixed streams, and the
+ *     tracked depth stays proportional to the outstanding concurrency
+ *     instead of min(W, stream length) (memory regression);
+ *   - WindowGroup's combined (cross-link) charges telescope to the max
+ *     of the per-link makespans and stay bracketed by that max and the
+ *     per-link sum, through the raw group and through
+ *     BuddyController::execute.
  */
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <vector>
 
 #include "common/rng.h"
@@ -29,10 +38,13 @@
 namespace buddy {
 namespace {
 
+using timing::GroupCharge;
+using timing::LatencyBandwidthServer;
 using timing::LinkDir;
 using timing::LinkTiming;
 using timing::LinkModel;
 using timing::RequestWindow;
+using timing::WindowGroup;
 
 /** A randomized request stream: direction + raw byte count per op. */
 std::vector<std::pair<LinkDir, u64>>
@@ -157,6 +169,163 @@ TEST(RequestWindow, SweepIsMonotoneAndBracketed)
     EXPECT_LT(prev, serial_total);
 }
 
+// ------------------------------------------ inflight-memory regression --
+
+/**
+ * The naive scheduler the eager retirement replaced: keeps the last
+ * min(issued, W) completion times and pops only once size() == W. Any
+ * divergence from RequestWindow — in charges, issue-dependent server
+ * state, or the makespan — is a semantics regression.
+ */
+struct NaiveWindow
+{
+    NaiveWindow(const LinkTiming &t, u64 w)
+        : read(t.latency, t.readBytesPerCycle),
+          write(t.latency, t.writeBytesPerCycle), window(w)
+    {}
+
+    Cycles
+    issue(LinkDir dir, u64 bytes)
+    {
+        if (bytes == 0)
+            return 0;
+        Cycles at = lastIssue;
+        if (inflight.size() == window) {
+            at = std::max(at, inflight.front());
+            inflight.pop_front();
+        }
+        lastIssue = at;
+        LatencyBandwidthServer &s =
+            dir == LinkDir::Read ? read : write;
+        const Cycles done = s.request(at, bytes);
+        const Cycles fin = std::max(done, frontier);
+        inflight.push_back(fin);
+        const Cycles charged = fin - frontier;
+        frontier = fin;
+        return charged;
+    }
+
+    LatencyBandwidthServer read;
+    LatencyBandwidthServer write;
+    u64 window;
+    std::deque<Cycles> inflight;
+    Cycles lastIssue = 0;
+    Cycles frontier = 0;
+};
+
+TEST(RequestWindow, EagerRetirementMatchesNaiveReferenceBitForBit)
+{
+    LinkTiming t;
+    t.latency = 120;
+    t.readBytesPerCycle = 32;
+    t.writeBytesPerCycle = 8;
+
+    for (const u64 seed : {11ull, 12ull, 13ull}) {
+        for (const u64 w : {1ull, 2ull, 3ull, 5ull, 16ull, 64ull,
+                            1ull << 20}) {
+            RequestWindow win(t, w);
+            NaiveWindow ref(t, w);
+            for (const auto &[dir, bytes] : randomStream(seed, 800)) {
+                const Cycles charged = win.issue(dir, bytes);
+                ASSERT_EQ(charged, ref.issue(dir, bytes))
+                    << "seed " << seed << " W " << w;
+            }
+            EXPECT_EQ(win.elapsed(), ref.frontier);
+            // Identical issue times leave identical server state.
+            EXPECT_EQ(win.reader().queuedCycles(),
+                      ref.read.queuedCycles());
+            EXPECT_EQ(win.writer().queuedCycles(),
+                      ref.write.queuedCycles());
+            EXPECT_EQ(win.reader().busyCycles(), ref.read.busyCycles());
+            // Never deeper than the reference, by construction.
+            EXPECT_LE(win.outstanding(), ref.inflight.size());
+        }
+    }
+}
+
+TEST(RequestWindow, TrackedDepthRetiresFrontierPlateausEagerly)
+{
+    // One huge write pushes the completion frontier far ahead; the
+    // small reads that follow complete "inside" it (FCFS-clamped to
+    // the frontier, zero charge). The moment the window first binds,
+    // the issue clock jumps onto that frontier plateau, so every
+    // plateau completion is at or before it and must retire eagerly:
+    // the tracked depth collapses to the genuinely outstanding handful.
+    // The naive scheduler holds exactly W = 1024 entries here forever.
+    LinkTiming t;
+    t.latency = 100;
+    t.readBytesPerCycle = 32;
+    t.writeBytesPerCycle = 1;
+    constexpr u64 kW = 1024;
+
+    RequestWindow win(t, kW);
+    win.issue(LinkDir::Write, 200 * 1024); // frontier jumps far ahead
+    while (win.outstanding() < kW)
+        win.issue(LinkDir::Read, 128); // all clamped to the frontier
+    win.issue(LinkDir::Read, 128); // first binding consults the plateau
+    EXPECT_LE(win.outstanding(), 4u);
+    EXPECT_EQ(win.issued(), kW + 1);
+}
+
+// ------------------------------------------------ cross-link overlap  --
+
+TEST(WindowGroup, CombinedChargesTelescopeToMaxOfLinkMakespans)
+{
+    // A fast device link and a slow buddy link, scheduled as parallel
+    // links: the combined makespan is the max of the two, reached by
+    // telescoping per-access combined charges.
+    LinkTiming dev{2, 64, 64};
+    LinkTiming bud{50, 8, 8};
+
+    for (const u64 w : {1ull, 2ull, 8ull, 64ull}) {
+        WindowGroup group(RequestWindow(dev, w), RequestWindow(bud, w));
+        Rng rng(500 + w);
+        Cycles dev_sum = 0, bud_sum = 0, comb_sum = 0;
+        for (std::size_t i = 0; i < 600; ++i) {
+            const LinkDir dir =
+                rng.below(2) ? LinkDir::Read : LinkDir::Write;
+            // Random split, including device-only / buddy-only ops.
+            const u64 dev_bytes = rng.below(3) ? 32 * rng.below(5) : 0;
+            const u64 bud_bytes = rng.below(3) ? 32 * rng.below(4) : 0;
+            const GroupCharge c = group.issue(dir, dev_bytes, bud_bytes);
+            dev_sum += c.device;
+            bud_sum += c.buddy;
+            comb_sum += c.combined;
+            // Per access the combined advance never exceeds the sum of
+            // the per-link advances (max is 1-Lipschitz in each arg).
+            ASSERT_LE(c.combined, c.device + c.buddy);
+        }
+        EXPECT_EQ(dev_sum, group.device().elapsed());
+        EXPECT_EQ(bud_sum, group.buddy().elapsed());
+        EXPECT_EQ(comb_sum, group.combinedElapsed());
+        EXPECT_EQ(comb_sum, std::max(dev_sum, bud_sum));
+        EXPECT_LE(comb_sum, dev_sum + bud_sum);
+    }
+}
+
+TEST(WindowGroup, HandComputedCombinedFrontier)
+{
+    // Both links: latency 10, 32 B/cycle, W = 1 (serial). Access 1
+    // moves 128 B on each link: each finishes at 14, combined 14.
+    // Access 2 moves 128 B only on the buddy link: buddy finishes at
+    // 28, device frontier stays 14, combined advances to 28.
+    LinkTiming t{10, 32, 32};
+    WindowGroup group(RequestWindow(t, 1), RequestWindow(t, 1));
+
+    GroupCharge c = group.issue(LinkDir::Read, 128, 128);
+    EXPECT_EQ(c.device, 14u);
+    EXPECT_EQ(c.buddy, 14u);
+    EXPECT_EQ(c.combined, 14u); // the links ran in parallel
+
+    c = group.issue(LinkDir::Read, 0, 128);
+    EXPECT_EQ(c.device, 0u);
+    EXPECT_EQ(c.buddy, 14u);
+    EXPECT_EQ(c.combined, 14u);
+    EXPECT_EQ(group.combinedElapsed(), 28u);
+    EXPECT_EQ(group.device().elapsed(), 14u);
+    EXPECT_EQ(group.buddy().elapsed(), 28u);
+}
+
 // --------------------------------------------------- controller-driven --
 
 BuddyConfig
@@ -205,13 +374,50 @@ TEST(WindowedController, WindowOneReproducesSerialTotalsBitForBit)
 {
     BuddyController gpu(windowedConfig(1));
     const auto summaries = runMixedWorkload(gpu, 512);
+    u64 combined_total = 0;
     for (const BatchSummary &s : summaries) {
         EXPECT_EQ(s.deviceWindowCycles, s.deviceCycles);
         EXPECT_EQ(s.buddyWindowCycles, s.buddyCycles);
+        // Per batch the combined charges telescope to the max of the
+        // per-link makespans — even at W = 1, where the links still
+        // drain in parallel.
+        EXPECT_EQ(s.combinedWindowCycles,
+                  std::max(s.deviceWindowCycles, s.buddyWindowCycles));
+        combined_total += s.combinedWindowCycles;
     }
     EXPECT_GT(gpu.stats().buddyCycles, 0u);
     EXPECT_EQ(gpu.stats().deviceWindowCycles, gpu.stats().deviceCycles);
     EXPECT_EQ(gpu.stats().buddyWindowCycles, gpu.stats().buddyCycles);
+    EXPECT_EQ(gpu.stats().combinedWindowCycles, combined_total);
+}
+
+TEST(WindowedController, SingleOpWrappersReportCombinedAsLinkMax)
+{
+    // The per-entry wrappers window nothing (a lone request in a fresh
+    // group), so the combined charge is exactly the max of the two
+    // serial link charges.
+    BuddyController gpu(windowedConfig(1));
+    const auto id =
+        gpu.allocate("a", 64 * kEntryBytes, CompressionTarget::Ratio4);
+    ASSERT_TRUE(id.has_value());
+    const Addr va = gpu.allocations().at(*id).va;
+
+    Rng rng(23);
+    std::vector<u8> data(kEntryBytes);
+    for (auto &b : data)
+        b = static_cast<u8>(rng.below(256)); // incompressible: spills
+    const AccessInfo w = gpu.writeEntry(va, data.data());
+    EXPECT_GT(w.buddyCycles, 0u);
+    EXPECT_EQ(w.combinedWindowCycles,
+              std::max(w.deviceCycles, w.buddyCycles));
+
+    std::vector<u8> out(kEntryBytes);
+    const AccessInfo r = gpu.readEntry(va, out.data());
+    EXPECT_EQ(r.combinedWindowCycles,
+              std::max(r.deviceCycles, r.buddyCycles));
+    const AccessInfo p = gpu.probeEntry(va);
+    EXPECT_EQ(p.combinedWindowCycles,
+              std::max(p.deviceCycles, p.buddyCycles));
 }
 
 TEST(WindowedController, WindowedTotalsFallBetweenBoundsAndShrink)
@@ -257,6 +463,10 @@ TEST(WindowedController, WindowedTotalsFallBetweenBoundsAndShrink)
             const AccessInfo &i = read_plan.result(e);
             EXPECT_LE(i.deviceWindowCycles, i.deviceCycles);
             EXPECT_LE(i.buddyWindowCycles, i.buddyCycles);
+            // Per access the combined advance is 1-Lipschitz-bounded
+            // by the per-link advances.
+            EXPECT_LE(i.combinedWindowCycles,
+                      i.deviceWindowCycles + i.buddyWindowCycles);
             bud_occupancy +=
                 (static_cast<u64>(i.buddySectors) * kSectorBytes +
                  kBudBpc - 1) /
@@ -264,6 +474,12 @@ TEST(WindowedController, WindowedTotalsFallBetweenBoundsAndShrink)
         }
         EXPECT_GE(s.buddyWindowCycles, bud_occupancy);
         EXPECT_LE(s.windowTotalCycles(), s.totalCycles());
+        // The tentpole bracket: the cross-link combined makespan is
+        // exactly the max of the per-link makespans for one batch,
+        // hence within [max, sum].
+        EXPECT_EQ(s.combinedWindowCycles,
+                  std::max(s.deviceWindowCycles, s.buddyWindowCycles));
+        EXPECT_LE(s.combinedWindowCycles, s.windowTotalCycles());
 
         if (!first) {
             EXPECT_LE(s.windowTotalCycles(), prev_total) << "W " << w;
