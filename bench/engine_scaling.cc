@@ -41,13 +41,14 @@ struct RunResult
 {
     double seconds = 0;
     BuddyStats stats;
+    WindowImbalanceStats imbalance;
 };
 
 /** Write + read the whole working set through one engine. */
 RunResult
 runOnce(unsigned shards, unsigned threads, const std::string &codec,
         std::size_t entries, std::size_t allocs, const std::vector<u8> &data,
-        std::size_t batch_entries, u64 window)
+        std::size_t batch_entries, u64 window, WindowMode mode)
 {
     EngineConfig cfg;
     cfg.shards = shards;
@@ -56,11 +57,13 @@ runOnce(unsigned shards, unsigned threads, const std::string &codec,
     // Worst case the ordinal hash lands every allocation on one shard:
     // give each shard room for the whole logical set at the 2x target.
     cfg.shard.deviceBytes = entries * kEntryBytes + 8 * MiB;
-    // Per-shard window mode: each shard keeps its own W-deep MSHR pool
-    // and batches complete at a cross-shard barrier, so the psh-win
-    // column reports the N-GPU simulated makespan of the sweep.
+    // Under per-shard window mode each shard keeps its own W-deep MSHR
+    // pool and batches complete at a cross-shard barrier, so the win
+    // column reports the N-GPU simulated makespan of the sweep; merged
+    // mode reschedules the submission-order stream through one window
+    // group (the single-GPU equivalent, shard-count-invariant).
     cfg.shard.linkWindow = window;
-    cfg.shard.windowMode = WindowMode::PerShard;
+    cfg.shard.windowMode = mode;
     ShardedEngine eng(cfg);
 
     const std::size_t per_alloc = (entries + allocs - 1) / allocs;
@@ -104,7 +107,21 @@ runOnce(unsigned shards, unsigned threads, const std::string &codec,
     RunResult r;
     r.seconds = std::chrono::duration<double>(t1 - t0).count();
     r.stats = eng.stats();
+    r.imbalance = eng.windowImbalance();
     return r;
+}
+
+/** Compact "n,n,n,..." rendering of the imbalance ratio histogram. */
+std::string
+histString(const WindowImbalanceStats &s)
+{
+    std::string out;
+    for (std::size_t b = 0; b < WindowImbalanceStats::kRatioBuckets; ++b) {
+        if (!out.empty())
+            out += ",";
+        out += strfmt("%llu", (unsigned long long)s.ratioHist[b]);
+    }
+    return out;
 }
 
 bool
@@ -133,6 +150,10 @@ main(int argc, char **argv)
     cli.addUint("allocs", 16, "allocations the set is spread over");
     cli.addUint("batch", 8192, "entries per submitted access plan");
     addWindowFlag(cli); // --window, default 32
+    cli.addEnum("window-mode", "per-shard",
+                {{"merged", static_cast<u64>(WindowMode::Merged)},
+                 {"per-shard", static_cast<u64>(WindowMode::PerShard)}},
+                "windowed-timing mode of the sweep");
     cli.addBool("smoke", "tiny working set + pass/fail line for CI");
     if (!cli.parse(argc, argv))
         return 0;
@@ -147,6 +168,8 @@ main(int argc, char **argv)
     const std::size_t allocs = std::max<u64>(1, cli.uintOf("allocs"));
     const std::size_t batch_entries = std::max<u64>(1, cli.uintOf("batch"));
     const u64 window = windowOf(cli);
+    const auto mode = static_cast<WindowMode>(cli.enumOf("window-mode"));
+    const std::string &mode_token = cli.enumTokenOf("window-mode");
     const std::string &codec = cli.stringOf("codec");
     if (entries == 0 || max_shards == 0) {
         std::fprintf(stderr, "--entries and --shards must be nonzero\n");
@@ -169,17 +192,19 @@ main(int argc, char **argv)
 
     Table t({"shards", "threads", "wall-ms", "entries/s", "speedup",
              "sim-Mcycles",
-             strfmt("psh-win-Mcycles (W=%llu)",
+             strfmt("%s-win-Mcycles (W=%llu)", mode_token.c_str(),
                     (unsigned long long)window)});
     RunResult ref;
     bool totals_ok = true;
+    std::vector<std::pair<unsigned, RunResult>> runs;
     for (unsigned shards = 1; shards <= max_shards; shards *= 2) {
         const RunResult r = runOnce(shards, threads, codec, entries, allocs,
-                                    data, batch_entries, window);
+                                    data, batch_entries, window, mode);
         if (shards == 1)
             ref = r;
         else if (!sameTraffic(r.stats, ref.stats))
             totals_ok = false;
+        runs.emplace_back(shards, r);
 
         const double eps = 2.0 * static_cast<double>(entries); // W + R
         t.addRow({strfmt("%u", shards),
@@ -197,14 +222,38 @@ main(int argc, char **argv)
     }
     t.print();
 
+    if (mode == WindowMode::PerShard) {
+        // Cross-shard window-imbalance: the spread between the fastest
+        // and slowest shard's per-batch makespans — time the barrier
+        // spends waiting on the most-loaded GPU.
+        std::printf("\nper-batch per-shard makespan spread (imbalance = "
+                    "mean barrier makespan / mean shard makespan):\n\n");
+        Table im({"shards", "min-kcyc", "mean-kcyc", "max-kcyc",
+                  "imbalance", "max/mean hist 1.0..2.0+ (0.1 steps)"});
+        for (const auto &[shards, r] : runs)
+            im.addRow({strfmt("%u", shards),
+                       strfmt("%.1f", r.imbalance.meanMin() / 1e3),
+                       strfmt("%.1f", r.imbalance.meanShard() / 1e3),
+                       strfmt("%.1f", r.imbalance.meanMax() / 1e3),
+                       strfmt("%.3f", r.imbalance.imbalance()),
+                       histString(r.imbalance)});
+        im.print();
+    }
+
     std::printf("\ncross-shard traffic totals (incl. LinkModel cycle "
                 "charges) vs. 1-shard reference: %s\n",
                 totals_ok ? "bit-identical" : "MISMATCH");
-    std::printf("psh-win-Mcycles is the per-shard-window (N-GPU) "
-                "simulated makespan: each shard keeps its own W-deep "
-                "MSHR pool and batches complete at a cross-shard "
-                "barrier, so it shrinks as shards are added while the "
-                "traffic totals stay bit-identical\n");
+    if (mode == WindowMode::PerShard)
+        std::printf("per-shard-win-Mcycles is the N-GPU simulated "
+                    "makespan: each shard keeps its own W-deep MSHR pool "
+                    "and batches complete at a cross-shard barrier, so it "
+                    "shrinks as shards are added while the traffic totals "
+                    "stay bit-identical\n");
+    else
+        std::printf("merged-win-Mcycles reschedules the merged "
+                    "submission-order stream through one W-deep window "
+                    "group, so it is shard-count-invariant like the "
+                    "traffic totals\n");
     if (smoke)
         std::printf("%s\n", totals_ok ? "SMOKE OK" : "SMOKE FAILED");
     return totals_ok ? 0 : 1;

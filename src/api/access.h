@@ -180,6 +180,30 @@ struct BatchSummary
 
     u64 operations() const { return reads + writes + probes; }
 
+    /**
+     * Fold another summary into this one (plain field sums; the shared
+     * accumulation the trace totals, the engine's per-tenant accounting,
+     * and the service scheduler all use). Note the window fields sum
+     * per-batch makespans — additive bookkeeping, not a joint makespan.
+     */
+    void
+    accumulate(const BatchSummary &o)
+    {
+        reads += o.reads;
+        writes += o.writes;
+        probes += o.probes;
+        deviceSectors += o.deviceSectors;
+        buddySectors += o.buddySectors;
+        metadataHits += o.metadataHits;
+        metadataMisses += o.metadataMisses;
+        buddyAccesses += o.buddyAccesses;
+        deviceCycles += o.deviceCycles;
+        buddyCycles += o.buddyCycles;
+        deviceWindowCycles += o.deviceWindowCycles;
+        buddyWindowCycles += o.buddyWindowCycles;
+        combinedWindowCycles += o.combinedWindowCycles;
+    }
+
     /** Total link cycles the batch charged (occupancy, additive). */
     u64 totalCycles() const { return deviceCycles + buddyCycles; }
 
@@ -286,6 +310,18 @@ class AccessBatch
     /** Batch-level traffic summary; valid after execute(). */
     const BatchSummary &summary() const { return summary_; }
 
+    /**
+     * Tag the batch with the submitting tenant (service front end;
+     * see src/service/). The sharded engine threads the tag into its
+     * per-tenant accounting and onto every AccessEvent it emits for
+     * this batch. 0 — the default — is the anonymous tenant. The tag
+     * survives clear(): it names the stream, not the plan.
+     */
+    void setTenant(u32 tenant) { tenant_ = tenant; }
+
+    /** The submitting tenant's id (0 = untagged). */
+    u32 tenant() const { return tenant_; }
+
   private:
     // Fill results_ / summary_ after execution.
     friend class ::buddy::BuddyController;
@@ -294,6 +330,7 @@ class AccessBatch
     std::vector<AccessRequest> ops_;
     std::vector<AccessInfo> results_;
     BatchSummary summary_;
+    u32 tenant_ = 0;
 };
 
 } // namespace api

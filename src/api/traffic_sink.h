@@ -38,6 +38,14 @@ struct AccessEvent
     /** Owning allocation id (core AllocId). */
     u32 allocId = 0;
 
+    /**
+     * Tenant the submitting batch was tagged with (AccessBatch::
+     * setTenant); stamped by the sharded engine when it replays events
+     * to its sinks. 0 — the anonymous tenant — for untagged batches and
+     * for events emitted by a standalone controller.
+     */
+    u32 tenant = 0;
+
     /** Traffic and metadata outcome of the access. */
     AccessInfo info;
 

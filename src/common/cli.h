@@ -28,6 +28,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/log.h"
@@ -78,6 +79,37 @@ class CliFlags
     }
 
     /**
+     * Enum flags accept exactly the tokens of @p table (token -> value)
+     * and reject everything else at parse time, naming the accepted
+     * tokens — so benches stop hand-rolling string matching that falls
+     * through to a silent default. @p def must be one of the tokens.
+     * Read the mapped value with enumOf() and the token with
+     * enumTokenOf().
+     */
+    void
+    addEnum(const std::string &name, const std::string &def,
+            std::vector<std::pair<std::string, u64>> table,
+            const std::string &help)
+    {
+        BUDDY_CHECK(!table.empty(), "enum flag needs at least one token");
+        Flag f;
+        f.name = name;
+        f.kind = Kind::Enum;
+        f.help = help;
+        f.table = std::move(table);
+        bool found = false;
+        for (const auto &[token, value] : f.table)
+            if (token == def) {
+                f.s = token;
+                f.u = value;
+                found = true;
+                break;
+            }
+        BUDDY_CHECK(found, "enum flag default is not an accepted token");
+        flags_.push_back(std::move(f));
+    }
+
+    /**
      * Parse argv. @return false if --help was requested (usage has been
      * printed and the caller should exit successfully).
      */
@@ -119,7 +151,22 @@ class CliFlags
                     badUsage(("--" + name + " needs a value").c_str());
                 value = argv[++i];
             }
-            if (f->kind == Kind::Uint) {
+            if (f->kind == Kind::Enum) {
+                // Fail fast on unknown tokens, naming the accepted ones,
+                // instead of falling through to a silent default.
+                bool matched = false;
+                for (const auto &[token, mapped] : f->table)
+                    if (token == value) {
+                        f->s = token;
+                        f->u = mapped;
+                        matched = true;
+                        break;
+                    }
+                if (!matched)
+                    badUsage(("--" + name + " does not accept \"" + value +
+                              "\" (accepted: " + tokenList(*f) + ")")
+                                 .c_str());
+            } else if (f->kind == Kind::Uint) {
                 // Reject what strtoull would quietly accept: empty
                 // strings (-> 0), signed values (-> 2^64 wraps),
                 // trailing junk ("12abc" -> 12), and out-of-range
@@ -176,6 +223,20 @@ class CliFlags
         return get(name, Kind::Bool)->b;
     }
 
+    /** The value mapped to an enum flag's current token. */
+    u64
+    enumOf(const std::string &name) const
+    {
+        return get(name, Kind::Enum)->u;
+    }
+
+    /** The current token of an enum flag. */
+    const std::string &
+    enumTokenOf(const std::string &name) const
+    {
+        return get(name, Kind::Enum)->s;
+    }
+
     /** True if the flag appeared on the command line. */
     bool
     wasSet(const std::string &name) const
@@ -187,7 +248,7 @@ class CliFlags
     }
 
   private:
-    enum class Kind { Uint, String, Bool };
+    enum class Kind { Uint, String, Bool, Enum };
 
     struct Flag
     {
@@ -198,7 +259,20 @@ class CliFlags
         bool b = false;
         bool set = false; ///< appeared on the command line
         std::string help;
+        std::vector<std::pair<std::string, u64>> table; ///< enum tokens
     };
+
+    static std::string
+    tokenList(const Flag &f)
+    {
+        std::string out;
+        for (const auto &[token, value] : f.table) {
+            if (!out.empty())
+                out += "|";
+            out += token;
+        }
+        return out;
+    }
 
     Flag *
     find(const std::string &name)
@@ -238,6 +312,9 @@ class CliFlags
                 break;
               case Kind::Bool:
                 def = "false";
+                break;
+              case Kind::Enum:
+                def = f.s + "; accepts " + tokenList(f);
                 break;
             }
             std::fprintf(out, "  --%-12s %s (default %s)\n",

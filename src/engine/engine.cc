@@ -354,6 +354,8 @@ ShardedEngine::finish(BatchJob &job)
         // are reproducible run-to-run; at one shard they are
         // bit-identical to the merged replay (same stream, same
         // timing), which tests pin.
+        u64 min_makespan = ~0ull;
+        u64 sum_makespan = 0;
         for (const SubPlan &sp : job.subs) {
             const BatchSummary &s = sp.plan.summary_;
             merged.deviceWindowCycles =
@@ -362,6 +364,31 @@ ShardedEngine::finish(BatchJob &job)
                 std::max(merged.buddyWindowCycles, s.buddyWindowCycles);
             merged.combinedWindowCycles = std::max(
                 merged.combinedWindowCycles, s.combinedWindowCycles);
+            min_makespan = std::min(min_makespan, s.combinedWindowCycles);
+            sum_makespan += s.combinedWindowCycles;
+        }
+
+        // The spread between the shards' makespans is the per-batch GPU
+        // load-imbalance signal (the barrier waits for the max). All
+        // sums are integers, so accumulation is completion-order-
+        // independent and the stats reproduce run-to-run.
+        const u64 max_makespan = merged.combinedWindowCycles;
+        std::lock_guard<std::mutex> lk(accountMutex_);
+        ++imbalance_.batches;
+        imbalance_.sumMin += min_makespan;
+        imbalance_.sumMax += max_makespan;
+        imbalance_.sumAll += sum_makespan;
+        imbalance_.sumShards += job.subs.size();
+        imbalance_.minMin = std::min(imbalance_.minMin, min_makespan);
+        imbalance_.maxMax = std::max(imbalance_.maxMax, max_makespan);
+        if (sum_makespan > 0) {
+            // Integer ratio bucket: max/mean in tenths, computed as
+            // max * 10 * shards / Σ so no floats enter the accumulator.
+            const u64 tenths =
+                max_makespan * 10 * job.subs.size() / sum_makespan;
+            const u64 bucket = std::min<u64>(
+                tenths - 10, WindowImbalanceStats::kRatioBuckets - 1);
+            ++imbalance_.ratioHist[bucket];
         }
     }
     deviceWindowCycles_.fetch_add(merged.deviceWindowCycles,
@@ -371,6 +398,17 @@ ShardedEngine::finish(BatchJob &job)
     combinedWindowCycles_.fetch_add(merged.combinedWindowCycles,
                                     std::memory_order_relaxed);
     batch.summary_ = merged;
+
+    // Per-tenant accounting: fold the batch's merged summary into the
+    // submitting tenant's totals (untagged batches land under tenant
+    // 0). A tenant's totals thus sum exactly its own batches — the
+    // bookkeeping behind the service layer's isolation contract.
+    {
+        std::lock_guard<std::mutex> lk(accountMutex_);
+        TenantTotals &t = tenantTotals_[batch.tenant()];
+        t.summary.accumulate(merged);
+        ++t.batches;
+    }
 
     // Replay captured events to engine-level sinks in submission order:
     // sinks observe exactly the stream a single controller would emit
@@ -384,6 +422,7 @@ ShardedEngine::finish(BatchJob &job)
             AccessEvent ev = sp.events[cursor[job.opSub[i]]++];
             ev.va = batch.ops_[i].va;
             ev.allocId = job.opAlloc[i]; // resolved during the split
+            ev.tenant = batch.tenant();  // submitting tenant's tag
             ev.info = batch.results_[i]; // merged windowed charges
             hub_.emit(ev);
         }
@@ -431,6 +470,23 @@ ShardedEngine::clearStats()
     deviceWindowCycles_.store(0, std::memory_order_relaxed);
     buddyWindowCycles_.store(0, std::memory_order_relaxed);
     combinedWindowCycles_.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(accountMutex_);
+    tenantTotals_.clear();
+    imbalance_ = WindowImbalanceStats{};
+}
+
+std::map<u32, TenantTotals>
+ShardedEngine::tenantTotals() const
+{
+    std::lock_guard<std::mutex> lk(accountMutex_);
+    return tenantTotals_;
+}
+
+WindowImbalanceStats
+ShardedEngine::windowImbalance() const
+{
+    std::lock_guard<std::mutex> lk(accountMutex_);
+    return imbalance_;
 }
 
 u64

@@ -107,6 +107,78 @@ struct EngineAllocation
     }
 };
 
+/** Per-tenant accumulated totals (see ShardedEngine::tenantTotals). */
+struct TenantTotals
+{
+    BatchSummary summary; ///< field sums over the tenant's batches
+    u64 batches = 0;      ///< batches the tenant submitted
+};
+
+/**
+ * Cross-shard window-imbalance statistics, accumulated per batch under
+ * WindowMode::PerShard: each batch's participating shards report their
+ * own combined windowed makespans, and the spread between them is the
+ * GPU load-imbalance signal (the barrier waits for the max). All
+ * accumulators are order-independent integer sums, so the stats ride
+ * the engine's run-to-run reproducibility contract even when batches
+ * finish concurrently; derived means/ratios are computed at read time.
+ */
+struct WindowImbalanceStats
+{
+    /** Ratio histogram buckets: max/mean in 0.1 steps from 1.0; the
+     *  last bucket collects every batch at or above 2.0. */
+    static constexpr std::size_t kRatioBuckets = 11;
+
+    u64 batches = 0;   ///< accumulated per-shard-mode batches
+    u64 sumMin = 0;    ///< Σ over batches of min-over-shards makespan
+    u64 sumMax = 0;    ///< Σ over batches of max-over-shards makespan
+    u64 sumAll = 0;    ///< Σ over batches of Σ-over-shards makespans
+    u64 sumShards = 0; ///< Σ over batches of participating shard count
+    u64 minMin = ~0ull; ///< smallest per-batch min observed
+    u64 maxMax = 0;     ///< largest per-batch max observed
+    u64 ratioHist[kRatioBuckets] = {}; ///< per-batch max/mean buckets
+
+    /** Mean over batches of the min-over-shards makespan. */
+    double
+    meanMin() const
+    {
+        return batches ? static_cast<double>(sumMin) /
+                             static_cast<double>(batches)
+                       : 0.0;
+    }
+
+    /** Mean over batches of the max-over-shards (barrier) makespan. */
+    double
+    meanMax() const
+    {
+        return batches ? static_cast<double>(sumMax) /
+                             static_cast<double>(batches)
+                       : 0.0;
+    }
+
+    /** Mean per-shard makespan across all batches and shards. */
+    double
+    meanShard() const
+    {
+        return sumShards ? static_cast<double>(sumAll) /
+                               static_cast<double>(sumShards)
+                         : 0.0;
+    }
+
+    /**
+     * Fleet imbalance ratio: mean barrier makespan over mean per-shard
+     * makespan. 1.0 = perfectly balanced shards; the excess is the
+     * fraction of N-GPU makespan lost to load imbalance (the signal a
+     * load-aware placement policy would drive down).
+     */
+    double
+    imbalance() const
+    {
+        const double mean = meanShard();
+        return mean > 0.0 ? meanMax() / mean : 1.0;
+    }
+};
+
 /** SplitMix64 — the engine's fixed shard-hash / seed-derivation mix. */
 inline u64
 splitmix64(u64 x)
@@ -227,6 +299,29 @@ class ShardedEngine
     /** Clear every shard's statistics. */
     void clearStats();
 
+    /**
+     * Per-tenant accumulated batch totals, keyed by the tenant id each
+     * submitted batch was tagged with (AccessBatch::setTenant; untagged
+     * batches land under tenant 0). A tenant's totals are field sums
+     * over exactly its own batches, so — per-batch results being pure
+     * functions of the plan under WindowMode::Merged — they are
+     * bit-identical to the same stream executed alone on a private
+     * engine, regardless of contention (the service isolation
+     * contract; metadata hit/miss totals are per-shard cache state and
+     * are accounted here but excluded from that contract). Cleared by
+     * clearStats(). Safe to call with batches in flight (snapshot
+     * under the accounting lock).
+     */
+    std::map<u32, TenantTotals> tenantTotals() const;
+
+    /**
+     * Cross-shard window-imbalance statistics (see
+     * WindowImbalanceStats). Accumulated only under
+     * WindowMode::PerShard — under Merged there is one window group,
+     * hence no per-shard spread. Cleared by clearStats().
+     */
+    WindowImbalanceStats windowImbalance() const;
+
     /** Device bytes reserved across all shards. */
     u64 deviceBytesReserved() const;
 
@@ -286,6 +381,14 @@ class ShardedEngine
     std::atomic<u64> buddyWindowCycles_{0};
     std::atomic<u64> combinedWindowCycles_{0};
 
+    /** Guards tenantTotals_ and imbalance_ — finish() runs on worker
+     *  threads, so concurrent batch completions race without it. The
+     *  accumulations are integer sums (and per-batch maxima folded with
+     *  max/min), so the result is completion-order-independent. */
+    mutable std::mutex accountMutex_;
+    std::map<u32, TenantTotals> tenantTotals_;
+    WindowImbalanceStats imbalance_;
+
     std::map<AllocId, EngineAllocation> allocs_;
     std::map<Addr, AllocId> byVa_; // engine base VA -> id
     AllocId nextId_ = 1;
@@ -299,5 +402,7 @@ class ShardedEngine
 using engine::EngineAllocation;
 using engine::EngineConfig;
 using engine::ShardedEngine;
+using engine::TenantTotals;
+using engine::WindowImbalanceStats;
 
 } // namespace buddy

@@ -130,19 +130,7 @@ readTotals(Reader &r, u8 version)
 void
 accumulate(TraceTotals &t, const BatchSummary &s)
 {
-    t.summary.reads += s.reads;
-    t.summary.writes += s.writes;
-    t.summary.probes += s.probes;
-    t.summary.deviceSectors += s.deviceSectors;
-    t.summary.buddySectors += s.buddySectors;
-    t.summary.metadataHits += s.metadataHits;
-    t.summary.metadataMisses += s.metadataMisses;
-    t.summary.buddyAccesses += s.buddyAccesses;
-    t.summary.deviceCycles += s.deviceCycles;
-    t.summary.buddyCycles += s.buddyCycles;
-    t.summary.deviceWindowCycles += s.deviceWindowCycles;
-    t.summary.buddyWindowCycles += s.buddyWindowCycles;
-    t.summary.combinedWindowCycles += s.combinedWindowCycles;
+    t.summary.accumulate(s);
     ++t.batches;
 }
 
@@ -315,25 +303,11 @@ TraceReplayer::loadImage(std::vector<u8> image)
     }
 }
 
-template <typename Target>
-TraceTotals
-TraceReplayer::replayInto(Target &target, unsigned repeat) const
+// --------------------------------------------------------------- cursor --
+
+void
+TraceCursor::bind(std::vector<Range> ranges)
 {
-    // Re-create the allocation table in recorded order, building the
-    // recorded-VA -> target-VA translation.
-    struct Range
-    {
-        Addr oldBase;
-        u64 bytes;
-        Addr newBase;
-    };
-    std::vector<Range> ranges;
-    ranges.reserve(allocs_.size());
-    for (const TraceAllocation &a : allocs_) {
-        const auto id = target.allocate(a.name, a.bytes, a.target);
-        BUDDY_CHECK(id.has_value(), "replay target out of memory");
-        ranges.push_back({a.va, a.bytes, target.allocations().at(*id).va});
-    }
     std::sort(ranges.begin(), ranges.end(),
               [](const Range &x, const Range &y) {
                   return x.oldBase < y.oldBase;
@@ -351,49 +325,66 @@ TraceReplayer::replayInto(Target &target, unsigned repeat) const
     };
 
     // Translate every recorded VA exactly once: repeat passes re-execute
-    // the same batches, so re-walking the allocation table per pass was
-    // pure overhead (and totals must scale exactly linearly with repeat
-    // — tests/test_trace_timing.cc pins both properties).
-    std::vector<std::vector<Op>> translated(batches_.size());
-    for (std::size_t b = 0; b < batches_.size(); ++b) {
-        translated[b].reserve(batches_[b].size());
-        for (const Op &op : batches_[b]) {
-            Op t = op;
+    // the same batches, so per-pass translation would be pure overhead
+    // (and totals must scale exactly linearly with repeat —
+    // tests/test_trace_timing.cc pins both properties).
+    const std::vector<std::vector<TraceReplayer::Op>> &batches =
+        trace_->batches_;
+    translated_.resize(batches.size());
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        translated_[b].reserve(batches[b].size());
+        for (const TraceReplayer::Op &op : batches[b]) {
+            TraceReplayer::Op t = op;
             t.va = translate(op.va);
-            translated[b].push_back(t);
+            translated_[b].push_back(t);
         }
     }
+}
 
+bool
+TraceCursor::next(AccessBatch &plan, std::vector<u8> &readBuf)
+{
+    plan.clear();
+    if (done())
+        return false;
+    const std::vector<TraceReplayer::Op> &ops =
+        translated_[built_ % translated_.size()];
+    ++built_;
+
+    std::size_t reads = 0;
+    for (const TraceReplayer::Op &op : ops)
+        if (op.kind == AccessKind::Read)
+            ++reads;
+    readBuf.resize(std::max<std::size_t>(1, reads * kEntryBytes));
+
+    std::size_t next_read = 0;
+    for (const TraceReplayer::Op &op : ops) {
+        switch (op.kind) {
+          case AccessKind::Read:
+            plan.read(op.va, readBuf.data() + next_read++ * kEntryBytes);
+            break;
+          case AccessKind::Write:
+            plan.write(op.va, op.payload);
+            break;
+          case AccessKind::Probe:
+            plan.probe(op.va);
+            break;
+        }
+    }
+    return true;
+}
+
+template <typename Target>
+TraceTotals
+TraceReplayer::replayInto(Target &target, unsigned repeat) const
+{
+    // Whole-capture replay is the cursor streamed to exhaustion.
+    TraceCursor cursor(*this, target, repeat);
     TraceTotals totals;
     AccessBatch plan;
     std::vector<u8> read_buf;
-    for (unsigned pass = 0; pass < repeat; ++pass) {
-        for (const std::vector<Op> &ops : translated) {
-            std::size_t reads = 0;
-            for (const Op &op : ops)
-                if (op.kind == AccessKind::Read)
-                    ++reads;
-            read_buf.resize(std::max<std::size_t>(1, reads * kEntryBytes));
-
-            plan.clear();
-            std::size_t next_read = 0;
-            for (const Op &op : ops) {
-                switch (op.kind) {
-                  case AccessKind::Read:
-                    plan.read(op.va,
-                              read_buf.data() + next_read++ * kEntryBytes);
-                    break;
-                  case AccessKind::Write:
-                    plan.write(op.va, op.payload);
-                    break;
-                  case AccessKind::Probe:
-                    plan.probe(op.va);
-                    break;
-                }
-            }
-            accumulate(totals, target.execute(plan));
-        }
-    }
+    while (cursor.next(plan, read_buf))
+        accumulate(totals, target.execute(plan));
     return totals;
 }
 

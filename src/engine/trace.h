@@ -142,6 +142,8 @@ class TraceRecorderSink : public api::TrafficSink
  * (@p repeat times), translating recorded VAs into the target's
  * allocation bases. Reads land in an internal scratch buffer.
  */
+class TraceCursor;
+
 class TraceReplayer
 {
   public:
@@ -171,6 +173,8 @@ class TraceReplayer
     TraceTotals replay(BuddyController &target, unsigned repeat = 1) const;
 
   private:
+    friend class TraceCursor;
+
     /** One parsed operation; payload points into image_ (or zeros). */
     struct Op
     {
@@ -189,8 +193,89 @@ class TraceReplayer
     TraceTotals recorded_;
 };
 
+/**
+ * Incremental replay cursor: the batch-at-a-time view of a loaded
+ * trace that the service layer's tenant sessions stream from (and the
+ * whole-capture replay() is itself built on).
+ *
+ * Construction re-creates the capture's allocation table on the target
+ * — giving this cursor its own VA namespace, so many cursors over the
+ * same capture coexist on one engine — and pre-translates every
+ * recorded address once (repeat passes re-execute the same batches, so
+ * per-pass translation would break the exact repeat linearity the
+ * trace tests pin). next() then fills one recorded batch per call, in
+ * stream order, wrapping @p repeat times. The TraceReplayer must
+ * outlive the cursor (write payloads point into its loaded image); the
+ * created allocations stay live on the target for the cursor's users
+ * to access.
+ */
+class TraceCursor
+{
+  public:
+    /**
+     * Bind a cursor to @p trace, creating its allocations on
+     * @p target (a ShardedEngine or BuddyController).
+     * @param repeat     stream the whole batch sequence this many times.
+     * @param namePrefix prepended to the recorded allocation names
+     *        (e.g. a tenant name, for per-session attribution).
+     */
+    template <typename Target>
+    TraceCursor(const TraceReplayer &trace, Target &target,
+                unsigned repeat = 1, const std::string &namePrefix = "")
+        : trace_(&trace), repeat_(repeat)
+    {
+        std::vector<Range> ranges;
+        ranges.reserve(trace.allocations().size());
+        for (const TraceAllocation &a : trace.allocations()) {
+            const auto id =
+                target.allocate(namePrefix + a.name, a.bytes, a.target);
+            BUDDY_CHECK(id.has_value(), "trace cursor target out of memory");
+            ranges.push_back(
+                {a.va, a.bytes, target.allocations().at(*id).va});
+        }
+        bind(std::move(ranges));
+    }
+
+    /** Batches the full stream yields (recorded batches x repeat). */
+    u64 totalBatches() const { return translated_.size() * repeat_; }
+
+    /** Batches handed out so far. */
+    u64 builtBatches() const { return built_; }
+
+    /** True once every pass of the stream has been handed out. */
+    bool done() const { return built_ >= totalBatches(); }
+
+    /**
+     * Fill @p plan with the next recorded batch (cleared first; ops in
+     * recorded order, addresses translated). Read destinations point
+     * into @p readBuf, which is resized to the batch's needs and must
+     * stay alive and untouched until the plan has executed — callers
+     * overlapping several in-flight plans need one buffer per plan.
+     * @return false — with @p plan left empty — once the stream is
+     *         exhausted.
+     */
+    bool next(AccessBatch &plan, std::vector<u8> &readBuf);
+
+  private:
+    struct Range
+    {
+        Addr oldBase;
+        u64 bytes;
+        Addr newBase;
+    };
+
+    /** Pre-translate every recorded batch through @p ranges. */
+    void bind(std::vector<Range> ranges);
+
+    const TraceReplayer *trace_;
+    std::vector<std::vector<TraceReplayer::Op>> translated_;
+    unsigned repeat_ = 1;
+    u64 built_ = 0;
+};
+
 } // namespace engine
 
+using engine::TraceCursor;
 using engine::TraceRecorderSink;
 using engine::TraceReplayer;
 using engine::TraceTotals;

@@ -1,0 +1,219 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.h"
+#include "engine/engine.h"
+
+namespace buddy {
+namespace service {
+
+/** One registered session plus its accumulated accounting. */
+struct ServiceScheduler::Tenant
+{
+    std::unique_ptr<TenantSession> session;
+    u32 id = 0;
+    u64 weight = 1;
+
+    u64 dispatched = 0;
+    u64 batches = 0;
+    u64 queueWaitRounds = 0;
+    u64 maxInflight = 0;
+    u64 serviceCycles = 0;
+    BatchSummary totals;
+};
+
+/**
+ * One in-flight batch. Heap-allocated and pinned for the whole round:
+ * the engine holds a pointer to the plan (and the plan's reads point
+ * into readBuf) until the future is ready, so neither may move.
+ */
+struct ServiceScheduler::Dispatch
+{
+    std::size_t tenant = 0; ///< index into tenants_
+    AccessBatch plan;
+    std::vector<u8> readBuf;
+    std::future<BatchSummary> fut;
+};
+
+ServiceScheduler::ServiceScheduler(engine::ShardedEngine &engine,
+                                   ServiceConfig cfg)
+    : engine_(engine), cfg_(cfg)
+{
+    BUDDY_CHECK(cfg_.maxInflightPerTenant >= 1,
+                "maxInflightPerTenant must be >= 1");
+    BUDDY_CHECK(cfg_.maxInflightTotal >= 1, "maxInflightTotal must be >= 1");
+}
+
+ServiceScheduler::~ServiceScheduler() = default;
+
+u32
+ServiceScheduler::addSession(std::unique_ptr<TenantSession> session,
+                             u64 weight)
+{
+    BUDDY_CHECK(!ran_, "sessions must be added before run()");
+    BUDDY_CHECK(session != nullptr, "null session");
+    BUDDY_CHECK(weight >= 1, "tenant weight must be >= 1");
+    auto t = std::make_unique<Tenant>();
+    t->session = std::move(session);
+    t->id = static_cast<u32>(tenants_.size() + 1);
+    t->weight = weight;
+    tenants_.push_back(std::move(t));
+    return tenants_.back()->id;
+}
+
+int
+ServiceScheduler::pickNext(const std::vector<unsigned> &inflight,
+                           std::size_t &rrCursor) const
+{
+    const std::size_t n = tenants_.size();
+    const auto eligible = [&](std::size_t i) {
+        return !tenants_[i]->session->done() &&
+               inflight[i] < cfg_.maxInflightPerTenant;
+    };
+
+    switch (cfg_.policy) {
+    case SchedPolicy::Fifo:
+        for (std::size_t i = 0; i < n; ++i)
+            if (eligible(i))
+                return static_cast<int>(i);
+        return -1;
+
+    case SchedPolicy::RoundRobin:
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t i = (rrCursor + k) % n;
+            if (eligible(i)) {
+                rrCursor = (i + 1) % n;
+                return static_cast<int>(i);
+            }
+        }
+        return -1;
+
+    case SchedPolicy::WeightedFair: {
+        // Stride scheduling: least dispatched/weight wins, compared by
+        // exact integer cross-multiplication; ties go to the lower
+        // tenant id (the earlier arrival).
+        int best = -1;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!eligible(i))
+                continue;
+            if (best < 0) {
+                best = static_cast<int>(i);
+                continue;
+            }
+            const Tenant &a = *tenants_[i];
+            const Tenant &b = *tenants_[static_cast<std::size_t>(best)];
+            if (a.dispatched * b.weight < b.dispatched * a.weight)
+                best = static_cast<int>(i);
+        }
+        return best;
+    }
+    }
+    return -1;
+}
+
+ServiceReport
+ServiceScheduler::run()
+{
+    BUDDY_CHECK(!ran_, "ServiceScheduler::run is single-shot");
+    ran_ = true;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t n = tenants_.size();
+    ServiceReport rep;
+
+    const auto allDone = [&] {
+        for (const auto &t : tenants_)
+            if (!t->session->done())
+                return false;
+        return true;
+    };
+
+    std::size_t rrCursor = n ? engine::splitmix64(cfg_.seed) % n : 0;
+
+    while (n && !allDone() &&
+           (cfg_.maxRounds == 0 || rep.rounds < cfg_.maxRounds)) {
+        // Admission: the policy fills the round up to the per-tenant and
+        // global caps. Each dispatch is submitted as soon as it is
+        // planned so the engine's workers overlap with plan generation.
+        std::vector<unsigned> inflight(n, 0);
+        std::vector<std::unique_ptr<Dispatch>> dispatches;
+        while (dispatches.size() < cfg_.maxInflightTotal) {
+            const int pick = pickNext(inflight, rrCursor);
+            if (pick < 0)
+                break;
+            Tenant &t = *tenants_[static_cast<std::size_t>(pick)];
+            auto d = std::make_unique<Dispatch>();
+            d->tenant = static_cast<std::size_t>(pick);
+            const bool ok = t.session->next(d->plan, d->readBuf);
+            BUDDY_CHECK(ok, "eligible session yielded no batch");
+            d->plan.setTenant(t.id);
+            ++inflight[static_cast<std::size_t>(pick)];
+            ++t.dispatched;
+            d->fut = engine_.submit(d->plan);
+            dispatches.push_back(std::move(d));
+        }
+
+        for (std::size_t i = 0; i < n; ++i) {
+            Tenant &t = *tenants_[i];
+            if (inflight[i] == 0 && !t.session->done())
+                ++t.queueWaitRounds; // ready, admitted nothing
+            t.maxInflight = std::max<u64>(t.maxInflight, inflight[i]);
+        }
+        rep.maxGlobalInflight =
+            std::max<u64>(rep.maxGlobalInflight, dispatches.size());
+        rep.dispatched += dispatches.size();
+
+        // Barrier: complete the round before the next admission pass.
+        for (auto &d : dispatches) {
+            const BatchSummary s = d->fut.get();
+            Tenant &t = *tenants_[d->tenant];
+            t.totals.accumulate(s);
+            ++t.batches;
+            t.serviceCycles += std::max<u64>(s.combinedWindowCycles, 1);
+        }
+        ++rep.rounds;
+    }
+
+    rep.allFinished = allDone();
+    rep.tenants.reserve(n);
+    double sum = 0.0, sumSq = 0.0, wsum = 0.0, wsumSq = 0.0;
+    rep.minServiceCycles = n ? ~0ull : 0;
+    for (const auto &t : tenants_) {
+        TenantReport tr;
+        tr.tenant = t->id;
+        tr.name = t->session->name();
+        tr.weight = t->weight;
+        tr.finished = t->session->done();
+        tr.batches = t->batches;
+        tr.dispatched = t->dispatched;
+        tr.queueWaitRounds = t->queueWaitRounds;
+        tr.maxInflight = t->maxInflight;
+        tr.serviceCycles = t->serviceCycles;
+        tr.totals = t->totals;
+        rep.tenants.push_back(std::move(tr));
+
+        rep.minServiceCycles =
+            std::min(rep.minServiceCycles, t->serviceCycles);
+        rep.maxServiceCycles =
+            std::max(rep.maxServiceCycles, t->serviceCycles);
+        const double x = static_cast<double>(t->serviceCycles);
+        const double wx = x / static_cast<double>(t->weight);
+        sum += x;
+        sumSq += x * x;
+        wsum += wx;
+        wsumSq += wx * wx;
+    }
+    const double dn = static_cast<double>(n);
+    rep.jainIndex = sumSq > 0.0 ? (sum * sum) / (dn * sumSq) : 1.0;
+    rep.weightedJainIndex =
+        wsumSq > 0.0 ? (wsum * wsum) / (dn * wsumSq) : 1.0;
+    rep.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    return rep;
+}
+
+} // namespace service
+} // namespace buddy

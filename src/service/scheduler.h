@@ -1,0 +1,226 @@
+/**
+ * @file
+ * ServiceScheduler: the multi-tenant service front end of the sharded
+ * engine — admission control, QoS scheduling, and per-tenant
+ * observability over many concurrent TenantSessions.
+ *
+ * The scheduler runs the engine as a long-lived multiplexer: sessions
+ * are added up front (each bringing its own VA namespace), then run()
+ * drives them to completion in deterministic dispatch *rounds*. Each
+ * round the QoS policy admits batches — at most
+ * ServiceConfig::maxInflightPerTenant per tenant and
+ * ServiceConfig::maxInflightTotal overall — submits them to the
+ * engine's worker pool for concurrent execution, and barriers on their
+ * completion before accounting. Sessions generate plans lazily
+ * (TenantSession::next), so a tenant denied admission is backpressured
+ * into its stream rather than queueing unbounded work; a session with
+ * work ready that dispatches nothing in a round accrues queue-wait.
+ *
+ * Determinism: policy decisions depend only on integer scheduler state
+ * (dispatch counts, weights, the seeded round-robin rotation) and
+ * engine results are deterministic per batch, so a fixed
+ * ServiceConfig::seed makes the whole run — dispatch order, queue-wait,
+ * per-tenant totals, fairness — reproducible run-to-run. And because
+ * each batch carries ops of exactly one tenant and per-batch results
+ * are pure functions of the plan (under WindowMode::Merged), a
+ * tenant's accumulated totals are bit-identical to replaying its
+ * stream alone on a private engine, no matter how many other tenants
+ * contend — the isolation contract, extended from the engine's
+ * single-workload bit-identical guarantee and pinned by
+ * tests/test_service.cc. (Metadata hit/miss counts are shared-cache
+ * state, and under WindowMode::PerShard the window fields depend on
+ * co-tenant allocation placement; both are observable interference
+ * metrics, deliberately outside the contract.)
+ *
+ * QoS policies (SchedPolicy):
+ *   Fifo          drain sessions in arrival (addSession) order — the
+ *                 unfair baseline the fairness metrics expose.
+ *   RoundRobin    rotate over eligible sessions from a seeded offset.
+ *   WeightedFair  stride scheduling: admit the eligible tenant with
+ *                 the least dispatched/weight (exact integer
+ *                 cross-multiplication compare, ties to the lower
+ *                 tenant id), converging each tenant's dispatch share
+ *                 to its weight under contention.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/access.h"
+#include "common/types.h"
+#include "service/session.h"
+
+namespace buddy {
+
+namespace engine {
+class ShardedEngine;
+}
+
+namespace service {
+
+/** Admission / QoS policy of the service scheduler. */
+enum class SchedPolicy : u8 {
+    Fifo,
+    RoundRobin,
+    WeightedFair,
+};
+
+/** Service front-end configuration. */
+struct ServiceConfig
+{
+    /** Scheduling seed: offsets the round-robin rotation. A fixed seed
+     *  makes the whole run reproducible bit-for-bit. */
+    u64 seed = 0x5eed5eed5eed5eedull;
+
+    /** Admission cap: batches one tenant may have in flight. */
+    unsigned maxInflightPerTenant = 2;
+
+    /** Admission cap: batches in flight across all tenants. */
+    unsigned maxInflightTotal = 16;
+
+    SchedPolicy policy = SchedPolicy::RoundRobin;
+
+    /**
+     * Stop after this many dispatch rounds even if sessions remain
+     * unfinished (0 = run to completion). Truncated runs are how
+     * policy convergence is measured: under contention the dispatch
+     * shares, not the eventual totals, carry the QoS signal.
+     */
+    u64 maxRounds = 0;
+};
+
+/** Per-tenant slice of a service run's report. */
+struct TenantReport
+{
+    u32 tenant = 0; ///< id assigned by addSession (1-based)
+    std::string name;
+    u64 weight = 1;
+    bool finished = false; ///< stream fully dispatched and completed
+
+    u64 batches = 0;         ///< batches completed
+    u64 dispatched = 0;      ///< batches admitted (== batches after run)
+    u64 queueWaitRounds = 0; ///< rounds ready but admitted nothing
+    u64 maxInflight = 0;     ///< peak batches in flight in any round
+
+    /** Σ per-batch max(combinedWindowCycles, 1): the simulated time
+     *  this tenant occupied the fleet — the fairness currency. */
+    u64 serviceCycles = 0;
+
+    /** Field sums over exactly this tenant's batches (the isolation-
+     *  contract totals; matches the engine's TenantTotals entry). */
+    BatchSummary totals;
+};
+
+/** Fleet-level report of one service run. */
+struct ServiceReport
+{
+    std::vector<TenantReport> tenants; ///< in addSession order
+    u64 rounds = 0;
+    u64 dispatched = 0;        ///< batches admitted across all tenants
+    u64 maxGlobalInflight = 0; ///< peak in-flight batches in any round
+    bool allFinished = false;
+    double wallSeconds = 0.0;
+
+    /** Fairness over per-tenant serviceCycles. */
+    u64 minServiceCycles = 0;
+    u64 maxServiceCycles = 0;
+
+    /**
+     * Jain's fairness index over per-tenant service cycles:
+     * (Σx)² / (n·Σx²) — 1.0 when every tenant received equal service,
+     * 1/n when one tenant received everything.
+     */
+    double jainIndex = 0.0;
+
+    /** Jain's index over serviceCycles/weight (weighted-fair target:
+     *  equal weighted shares → 1.0). */
+    double weightedJainIndex = 0.0;
+};
+
+/**
+ * Compare two accumulated summaries on the isolation-contract subset:
+ * the functional totals (traffic counters and serial LinkModel cycles)
+ * that are pure per-batch functions of the plan, plus — when
+ * @p windowed — the windowed-replay totals, which join the contract
+ * only under WindowMode::Merged (pass false under PerShard, where the
+ * sub-stream split depends on co-tenant placement). metadataHits and
+ * metadataMisses are deliberately never compared: they are shared
+ * per-shard cache state, the one observable form of cross-tenant
+ * interference the service mode permits.
+ */
+inline bool
+isolationEqual(const BatchSummary &a, const BatchSummary &b,
+               bool windowed = true)
+{
+    const bool functional =
+        a.reads == b.reads && a.writes == b.writes &&
+        a.probes == b.probes && a.deviceSectors == b.deviceSectors &&
+        a.buddySectors == b.buddySectors &&
+        a.buddyAccesses == b.buddyAccesses &&
+        a.deviceCycles == b.deviceCycles && a.buddyCycles == b.buddyCycles;
+    if (!functional || !windowed)
+        return functional;
+    return a.deviceWindowCycles == b.deviceWindowCycles &&
+           a.buddyWindowCycles == b.buddyWindowCycles &&
+           a.combinedWindowCycles == b.combinedWindowCycles;
+}
+
+/**
+ * The multi-tenant service front end (see file header).
+ *
+ * Usage: construct over an engine, addSession() every tenant, run()
+ * once. Sessions must all be added before run() — the engine requires
+ * allocation to happen with no batch in flight, and sessions allocate
+ * at construction.
+ */
+class ServiceScheduler
+{
+  public:
+    ServiceScheduler(engine::ShardedEngine &engine, ServiceConfig cfg);
+    ~ServiceScheduler();
+
+    ServiceScheduler(const ServiceScheduler &) = delete;
+    ServiceScheduler &operator=(const ServiceScheduler &) = delete;
+
+    /**
+     * Register @p session as a tenant; @p weight is its WeightedFair
+     * share (>= 1). @return the assigned tenant id (1-based; the
+     * engine's tenant-0 bucket stays the anonymous default, so tagged
+     * and untagged traffic never mix).
+     */
+    u32 addSession(std::unique_ptr<TenantSession> session, u64 weight = 1);
+
+    /** Drive every session to completion (or cfg.maxRounds) and return
+     *  the fleet report. Callable once. */
+    ServiceReport run();
+
+    const ServiceConfig &config() const { return cfg_; }
+    std::size_t sessionCount() const { return tenants_.size(); }
+
+  private:
+    struct Tenant;
+    struct Dispatch;
+
+    /** Policy pick among eligible tenants; -1 when none. */
+    int pickNext(const std::vector<unsigned> &inflight,
+                 std::size_t &rrCursor) const;
+
+    engine::ShardedEngine &engine_;
+    ServiceConfig cfg_;
+    std::vector<std::unique_ptr<Tenant>> tenants_;
+    bool ran_ = false;
+};
+
+} // namespace service
+
+using service::isolationEqual;
+using service::SchedPolicy;
+using service::ServiceConfig;
+using service::ServiceReport;
+using service::ServiceScheduler;
+using service::TenantReport;
+
+} // namespace buddy

@@ -1,0 +1,68 @@
+#include "service/session.h"
+
+#include "common/log.h"
+#include "engine/engine.h"
+#include "workloads/patterns.h"
+
+namespace buddy {
+namespace service {
+
+TenantSession::TenantSession(std::string name,
+                             const engine::TraceReplayer &trace,
+                             engine::ShardedEngine &engine, unsigned repeat)
+    : name_(std::move(name)),
+      cursor_(std::make_unique<engine::TraceCursor>(trace, engine, repeat,
+                                                    name_ + "/"))
+{}
+
+TenantSession::TenantSession(std::string name,
+                             engine::ShardedEngine &engine, u64 seed,
+                             std::size_t entries, u64 batchCount)
+    : name_(std::move(name)), batchCount_(batchCount)
+{
+    BUDDY_CHECK(entries > 0, "synthetic session needs entries");
+    const auto id = engine.allocate(name_ + "/set", entries * kEntryBytes,
+                                    CompressionTarget::Ratio2);
+    BUDDY_CHECK(id.has_value(), "synthetic session out of engine memory");
+    const Addr base = engine.allocations().at(*id).va;
+    vas_.reserve(entries);
+    for (std::size_t i = 0; i < entries; ++i)
+        vas_.push_back(base + i * kEntryBytes);
+
+    data_.resize(entries * kEntryBytes);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < entries; ++i)
+        fillBucketEntry(rng, static_cast<unsigned>(i % kPatternBuckets),
+                        data_.data() + i * kEntryBytes);
+}
+
+u64
+TenantSession::totalBatches() const
+{
+    return cursor_ ? cursor_->totalBatches() : batchCount_;
+}
+
+bool
+TenantSession::next(AccessBatch &plan, std::vector<u8> &readBuf)
+{
+    if (cursor_)
+        return cursor_->next(plan, readBuf);
+
+    plan.clear();
+    if (built_ >= batchCount_)
+        return false;
+    const bool write_pass = (built_ % 2) == 0;
+    ++built_;
+    if (write_pass) {
+        for (std::size_t i = 0; i < vas_.size(); ++i)
+            plan.write(vas_[i], data_.data() + i * kEntryBytes);
+    } else {
+        readBuf.resize(vas_.size() * kEntryBytes);
+        for (std::size_t i = 0; i < vas_.size(); ++i)
+            plan.read(vas_[i], readBuf.data() + i * kEntryBytes);
+    }
+    return true;
+}
+
+} // namespace service
+} // namespace buddy

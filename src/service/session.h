@@ -1,0 +1,103 @@
+/**
+ * @file
+ * TenantSession: one simulated client of the service front end.
+ *
+ * A session wraps one batch stream — a recorded capture streamed
+ * through a TraceCursor, or a synthetic write/read workload — with its
+ * own VA namespace on the shared engine (its allocations are created at
+ * construction, so many sessions coexist without address overlap) and a
+ * repeat count. The ServiceScheduler (scheduler.h) pulls plans from
+ * sessions batch-at-a-time via next(): sessions generate work lazily,
+ * so admission control backpressures into the stream instead of
+ * queueing unbounded plans.
+ *
+ * Sessions are driven by exactly one scheduler thread at a time and
+ * need no locking of their own. A session does not know its tenant id —
+ * the scheduler assigns ids at addSession() and tags each plan.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/access.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "engine/trace.h"
+
+namespace buddy {
+
+namespace engine {
+class ShardedEngine;
+}
+
+namespace service {
+
+/** One simulated client's batch stream (see file header). */
+class TenantSession
+{
+  public:
+    /**
+     * Trace-backed session: stream @p trace's recorded batches
+     * @p repeat times. Creates the capture's allocations on @p engine
+     * under this session's name prefix ("<name>/"); @p trace must
+     * outlive the session.
+     */
+    TenantSession(std::string name, const engine::TraceReplayer &trace,
+                  engine::ShardedEngine &engine, unsigned repeat = 1);
+
+    /**
+     * Synthetic session: @p batchCount batches over a private
+     * @p entries-entry allocation, alternating full-set writes (mixed
+     * compressibility buckets drawn from @p seed) and full-set reads.
+     * Deterministic: the same seed always yields the same stream.
+     */
+    TenantSession(std::string name, engine::ShardedEngine &engine,
+                  u64 seed, std::size_t entries, u64 batchCount);
+
+    TenantSession(const TenantSession &) = delete;
+    TenantSession &operator=(const TenantSession &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Batches the whole stream yields. */
+    u64 totalBatches() const;
+
+    /** Batches handed to the scheduler so far. */
+    u64
+    builtBatches() const
+    {
+        return cursor_ ? cursor_->builtBatches() : built_;
+    }
+
+    /** True once the stream is exhausted. */
+    bool done() const { return builtBatches() >= totalBatches(); }
+
+    /**
+     * Fill @p plan with the stream's next batch. Read destinations
+     * point into @p readBuf (resized as needed), which must stay alive
+     * and untouched until the plan has executed — the scheduler keeps
+     * one buffer per in-flight dispatch. @return false once exhausted.
+     */
+    bool next(AccessBatch &plan, std::vector<u8> &readBuf);
+
+  private:
+    std::string name_;
+
+    /** Trace mode; null for synthetic sessions. */
+    std::unique_ptr<engine::TraceCursor> cursor_;
+
+    /** Synthetic mode state. */
+    std::vector<u8> data_;    ///< the generated working set
+    std::vector<Addr> vas_;   ///< per-entry VAs of the private allocation
+    u64 batchCount_ = 0;
+    u64 built_ = 0;
+};
+
+} // namespace service
+
+using service::TenantSession;
+
+} // namespace buddy

@@ -9,10 +9,13 @@
  *   - signed values   ("--shards -1" must not wrap to 2^64 - 18...);
  *   - out-of-range    (2^64 and beyond must not saturate to 2^64 - 1);
  *   - a valued flag dangling at the end of argv must not read past it;
+ *   - an unknown enum token must name the accepted set and die, never
+ *     fall through to a silent default;
  *
  * while every documented accepted form (--name=value, --name value,
- * hex, the full u64 range, bare bools) still parses. The shared
- * --window helper's rejection of 0 is pinned here too.
+ * hex, the full u64 range, bare bools, exact enum tokens) still
+ * parses. The shared --window helper's rejection of 0 is pinned here
+ * too.
  */
 
 #include <gtest/gtest.h>
@@ -34,6 +37,9 @@ benchFlags()
     cli.addUint("shards", 4, "shard count");
     cli.addString("codec", "bpc", "codec registry name");
     cli.addBool("smoke", "smoke mode");
+    cli.addEnum("sched", "round-robin",
+                {{"fifo", 0}, {"round-robin", 1}, {"weighted-fair", 2}},
+                "QoS policy");
     return cli;
 }
 
@@ -117,6 +123,39 @@ TEST(CliFlags, AcceptedFormsStillParse)
     EXPECT_EQ(defaults.uintOf("window"), 32u);
     EXPECT_FALSE(defaults.wasSet("window"));
     EXPECT_FALSE(defaults.boolOf("smoke"));
+}
+
+TEST(CliFlagsDeath, EnumRejectsUnknownTokensNamingTheAcceptedOnes)
+{
+    // The whole point of addEnum: an unknown token is a fail-fast
+    // usage error naming the accepted set, never a silent default.
+    EXPECT_DEATH({ parseArgs({"--sched", "bogus"}); },
+                 "does not accept \"bogus\"");
+    EXPECT_DEATH({ parseArgs({"--sched=bogus"}); },
+                 "accepted: fifo\\|round-robin\\|weighted-fair");
+    // Near-misses (case, prefix) are rejected too — tokens are exact.
+    EXPECT_DEATH({ parseArgs({"--sched", "FIFO"}); }, "does not accept");
+    EXPECT_DEATH({ parseArgs({"--sched", "round"}); }, "does not accept");
+    EXPECT_DEATH({ parseArgs({"--sched", ""}); }, "does not accept");
+    // Valued-flag plumbing applies to enums like any other kind.
+    EXPECT_DEATH({ parseArgs({"--sched"}); }, "needs a value");
+}
+
+TEST(CliFlags, EnumAcceptedTokensMapToTheirValues)
+{
+    const CliFlags defaults = parseArgs({});
+    EXPECT_EQ(defaults.enumTokenOf("sched"), "round-robin");
+    EXPECT_EQ(defaults.enumOf("sched"), 1u);
+    EXPECT_FALSE(defaults.wasSet("sched"));
+
+    const CliFlags eq = parseArgs({"--sched=weighted-fair"});
+    EXPECT_EQ(eq.enumTokenOf("sched"), "weighted-fair");
+    EXPECT_EQ(eq.enumOf("sched"), 2u);
+    EXPECT_TRUE(eq.wasSet("sched"));
+
+    const CliFlags spaced = parseArgs({"--sched", "fifo"});
+    EXPECT_EQ(spaced.enumTokenOf("sched"), "fifo");
+    EXPECT_EQ(spaced.enumOf("sched"), 0u);
 }
 
 void

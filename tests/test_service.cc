@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Service-mode contracts (src/service/): the isolation guarantee, run
+ * reproducibility, admission control, QoS convergence, the incremental
+ * trace cursor, and the engine's window-imbalance accounting.
+ *
+ * The heart is the isolation contract: with a deterministic scheduler
+ * seed, every tenant's functional totals — traffic counters, serial
+ * LinkModel cycles, and (under the engine's default merged window
+ * mode) the windowed totals — must be bit-identical to replaying its
+ * stream alone on a private identically-configured engine, no matter
+ * how many other tenants contend for the same shards. Everything else
+ * (fair shares, caps, queue-wait) is scheduling policy layered on top
+ * of that guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/trace.h"
+#include "service/scheduler.h"
+#include "service/session.h"
+#include "workloads/patterns.h"
+
+namespace buddy {
+namespace {
+
+constexpr std::size_t kEntries = 96; ///< per-tenant working set
+constexpr u64 kBatches = 6;          ///< per-tenant stream length
+
+EngineConfig
+engineConfig(unsigned shards, WindowMode mode = WindowMode::Merged)
+{
+    EngineConfig cfg;
+    cfg.shards = shards;
+    cfg.shard.deviceBytes = 16 * MiB;
+    cfg.shard.linkWindow = 8;
+    cfg.shard.windowMode = mode;
+    return cfg;
+}
+
+u64
+tenantSeed(std::size_t i)
+{
+    return engine::splitmix64(0xabcdull + i);
+}
+
+/** Full 13-field equality (stricter than the isolation subset). */
+bool
+sameSummary(const BatchSummary &a, const BatchSummary &b)
+{
+    return isolationEqual(a, b, true) &&
+           a.metadataHits == b.metadataHits &&
+           a.metadataMisses == b.metadataMisses;
+}
+
+/** Run @p tenants synthetic sessions to completion on one engine. */
+ServiceReport
+runFleet(ShardedEngine &eng, std::size_t tenants, ServiceConfig scfg,
+         u64 batches = kBatches, const std::vector<u64> &weights = {})
+{
+    ServiceScheduler sched(eng, scfg);
+    for (std::size_t i = 0; i < tenants; ++i)
+        sched.addSession(std::make_unique<TenantSession>(
+                             "t" + std::to_string(i), eng, tenantSeed(i),
+                             kEntries, batches),
+                         weights.empty() ? 1 : weights[i]);
+    return sched.run();
+}
+
+/** Tenant @p i's stream replayed alone on a private engine. */
+BatchSummary
+soloTotals(const EngineConfig &cfg, std::size_t i, u64 batches = kBatches)
+{
+    ShardedEngine eng(cfg);
+    TenantSession solo("t" + std::to_string(i), eng, tenantSeed(i),
+                       kEntries, batches);
+    AccessBatch plan;
+    std::vector<u8> readbuf;
+    BatchSummary totals;
+    while (solo.next(plan, readbuf))
+        totals.accumulate(eng.execute(plan));
+    return totals;
+}
+
+// The isolation contract: per-tenant totals under 1, 4, and 16
+// contending tenants are bit-identical to each stream replayed alone —
+// including the windowed totals, since merged window mode reschedules
+// each batch's own submission-order stream.
+TEST(Service, TenantTotalsMatchSoloReplayUnderContention)
+{
+    const EngineConfig cfg = engineConfig(4);
+    for (const std::size_t tenants : {1u, 4u, 16u}) {
+        ShardedEngine eng(cfg);
+        ServiceConfig scfg;
+        const ServiceReport rep = runFleet(eng, tenants, scfg);
+        ASSERT_EQ(rep.tenants.size(), tenants);
+        EXPECT_TRUE(rep.allFinished);
+
+        const auto engineTotals = eng.tenantTotals();
+        ASSERT_EQ(engineTotals.size(), tenants); // no untagged traffic
+        for (std::size_t i = 0; i < tenants; ++i) {
+            const TenantReport &tr = rep.tenants[i];
+            EXPECT_EQ(tr.batches, kBatches);
+            EXPECT_TRUE(tr.finished);
+
+            const BatchSummary solo = soloTotals(cfg, i);
+            EXPECT_TRUE(isolationEqual(tr.totals, solo, true))
+                << "tenant " << tr.name << " of " << tenants;
+
+            // The engine's own per-tenant accounting agrees with the
+            // scheduler's — two independent tallies of the same batches.
+            const auto it = engineTotals.find(tr.tenant);
+            ASSERT_NE(it, engineTotals.end());
+            EXPECT_TRUE(sameSummary(it->second.summary, tr.totals));
+            EXPECT_EQ(it->second.batches, tr.batches);
+        }
+    }
+}
+
+// The isolation contract holds under every QoS policy — admission
+// order must never leak into a tenant's functional totals.
+TEST(Service, IsolationHoldsUnderEveryPolicy)
+{
+    const EngineConfig cfg = engineConfig(4);
+    for (const SchedPolicy policy :
+         {SchedPolicy::Fifo, SchedPolicy::RoundRobin,
+          SchedPolicy::WeightedFair}) {
+        ShardedEngine eng(cfg);
+        ServiceConfig scfg;
+        scfg.policy = policy;
+        const ServiceReport rep = runFleet(eng, 6, scfg);
+        for (std::size_t i = 0; i < rep.tenants.size(); ++i)
+            EXPECT_TRUE(isolationEqual(rep.tenants[i].totals,
+                                       soloTotals(cfg, i), true));
+    }
+}
+
+// A fixed scheduler seed reproduces the whole run: dispatch counts,
+// queue-wait, service cycles, and full per-tenant summaries (metadata
+// hit/miss included — the engine is deterministic run-to-run even
+// though it is not placement-invariant).
+TEST(Service, FixedSeedReproducesTheRunBitForBit)
+{
+    const EngineConfig cfg = engineConfig(4);
+    ServiceConfig scfg;
+    scfg.seed = 0x1234;
+    scfg.policy = SchedPolicy::RoundRobin;
+
+    ShardedEngine engA(cfg);
+    ShardedEngine engB(cfg);
+    const ServiceReport a = runFleet(engA, 8, scfg);
+    const ServiceReport b = runFleet(engB, 8, scfg);
+
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.dispatched, b.dispatched);
+    EXPECT_EQ(a.maxGlobalInflight, b.maxGlobalInflight);
+    EXPECT_EQ(a.minServiceCycles, b.minServiceCycles);
+    EXPECT_EQ(a.maxServiceCycles, b.maxServiceCycles);
+    EXPECT_DOUBLE_EQ(a.jainIndex, b.jainIndex);
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+        EXPECT_EQ(a.tenants[i].dispatched, b.tenants[i].dispatched);
+        EXPECT_EQ(a.tenants[i].queueWaitRounds,
+                  b.tenants[i].queueWaitRounds);
+        EXPECT_EQ(a.tenants[i].serviceCycles, b.tenants[i].serviceCycles);
+        EXPECT_TRUE(sameSummary(a.tenants[i].totals, b.tenants[i].totals));
+    }
+}
+
+// Admission caps are hard limits: per-tenant and global in-flight
+// never exceed them, and tightening them shows up as queue-wait.
+TEST(Service, AdmissionCapsAreEnforcedAndProduceQueueWait)
+{
+    const EngineConfig cfg = engineConfig(4);
+
+    ServiceConfig tight;
+    tight.maxInflightPerTenant = 1;
+    tight.maxInflightTotal = 2;
+    ShardedEngine engT(cfg);
+    const ServiceReport t = runFleet(engT, 8, tight);
+    EXPECT_LE(t.maxGlobalInflight, 2u);
+    u64 tightWait = 0;
+    for (const TenantReport &tr : t.tenants) {
+        EXPECT_LE(tr.maxInflight, 1u);
+        tightWait += tr.queueWaitRounds;
+    }
+    // 8 tenants into 2 slots per round: most tenants wait most rounds.
+    EXPECT_GT(tightWait, 0u);
+
+    ServiceConfig loose;
+    loose.maxInflightPerTenant = 2;
+    loose.maxInflightTotal = 16;
+    ShardedEngine engL(cfg);
+    const ServiceReport l = runFleet(engL, 8, loose);
+    EXPECT_LE(l.maxGlobalInflight, 16u);
+    u64 looseWait = 0;
+    for (const TenantReport &tr : l.tenants)
+        looseWait += tr.queueWaitRounds;
+    EXPECT_EQ(looseWait, 0u); // every tenant admitted every round
+    EXPECT_LT(l.rounds, t.rounds);
+    EXPECT_EQ(t.dispatched, l.dispatched); // same total work either way
+}
+
+// Weighted-fair converges each tenant's dispatch share to its weight:
+// after R full rounds of a saturated fleet, tenant i has dispatched
+// R * weight_i batches to within one round's slack.
+TEST(Service, WeightedFairConvergesToWeightRatios)
+{
+    const EngineConfig cfg = engineConfig(4);
+    const std::vector<u64> weights = {1, 2, 3, 4};
+    ServiceConfig scfg;
+    scfg.policy = SchedPolicy::WeightedFair;
+    scfg.maxInflightPerTenant = 8;           // never the binding cap
+    scfg.maxInflightTotal = 10;              // = Σ weights
+    scfg.maxRounds = 10;                     // truncate: streams outlast it
+    ShardedEngine eng(cfg);
+    const ServiceReport rep =
+        runFleet(eng, weights.size(), scfg, /*batches=*/200, weights);
+
+    EXPECT_FALSE(rep.allFinished); // truncated, so contention never eased
+    EXPECT_EQ(rep.rounds, 10u);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double expected =
+            static_cast<double>(rep.rounds * weights[i]);
+        EXPECT_NEAR(static_cast<double>(rep.tenants[i].dispatched),
+                    expected, static_cast<double>(weights[i]))
+            << "tenant " << i;
+    }
+    // Equal weighted shares: the weighted Jain index is near-perfect
+    // while the raw index reflects the deliberate 1:2:3:4 skew.
+    EXPECT_GT(rep.weightedJainIndex, 0.95);
+    EXPECT_LT(rep.jainIndex, rep.weightedJainIndex);
+}
+
+// Uniform weights under round-robin: everyone finishes and service is
+// near-equal (identical streams -> Jain's index of exactly 1).
+TEST(Service, RoundRobinIsFairForIdenticalTenants)
+{
+    ShardedEngine eng(engineConfig(4));
+    ServiceConfig scfg;
+    const ServiceReport rep = runFleet(eng, 8, scfg);
+    EXPECT_TRUE(rep.allFinished);
+    EXPECT_EQ(rep.minServiceCycles, rep.maxServiceCycles);
+    EXPECT_DOUBLE_EQ(rep.jainIndex, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// TraceCursor: the incremental stream view matches the whole-capture
+// replay exactly, batch counts and totals alike.
+
+TEST(Service, TraceCursorMatchesWholeCaptureReplay)
+{
+    // Record a small mixed workload.
+    ShardedEngine rec(engineConfig(2));
+    TraceRecorderSink sink;
+    rec.attachSink(&sink);
+    const auto id = rec.allocate("set", kEntries * kEntryBytes,
+                                 CompressionTarget::Ratio2);
+    ASSERT_TRUE(id.has_value());
+    const EngineAllocation &alloc = rec.allocations().at(*id);
+    sink.noteAllocation(alloc.name, alloc.va, alloc.bytes, alloc.target);
+
+    std::vector<u8> data(kEntries * kEntryBytes);
+    Rng rng(tenantSeed(0));
+    for (std::size_t e = 0; e < kEntries; ++e)
+        fillBucketEntry(rng, static_cast<unsigned>(e % kPatternBuckets),
+                        data.data() + e * kEntryBytes);
+    AccessBatch plan;
+    std::vector<u8> readback(kEntries * kEntryBytes);
+    for (unsigned pass = 0; pass < 2; ++pass) {
+        plan.clear();
+        for (std::size_t e = 0; e < kEntries; ++e) {
+            if (pass == 0)
+                plan.write(alloc.va + e * kEntryBytes,
+                           data.data() + e * kEntryBytes);
+            else
+                plan.read(alloc.va + e * kEntryBytes,
+                          readback.data() + e * kEntryBytes);
+        }
+        rec.execute(plan);
+    }
+    rec.detachSink(&sink);
+
+    TraceReplayer trace;
+    trace.loadImage(sink.serialize());
+    ASSERT_EQ(trace.batchCount(), 2u);
+
+    for (const unsigned repeat : {1u, 3u}) {
+        // Whole-capture replay...
+        ShardedEngine whole(engineConfig(2));
+        const TraceTotals wholeTotals = trace.replay(whole, repeat);
+
+        // ...vs. the cursor pulled batch-at-a-time.
+        ShardedEngine inc(engineConfig(2));
+        TraceCursor cursor(trace, inc, repeat);
+        EXPECT_EQ(cursor.totalBatches(), 2u * repeat);
+        BatchSummary totals;
+        std::vector<u8> readbuf;
+        u64 pulled = 0;
+        while (cursor.next(plan, readbuf)) {
+            totals.accumulate(inc.execute(plan));
+            ++pulled;
+            EXPECT_EQ(cursor.builtBatches(), pulled);
+        }
+        EXPECT_EQ(pulled, cursor.totalBatches());
+        EXPECT_TRUE(cursor.done());
+        EXPECT_FALSE(cursor.next(plan, readbuf)); // stays exhausted
+        EXPECT_TRUE(sameSummary(totals, wholeTotals.summary));
+        EXPECT_EQ(pulled, wholeTotals.batches);
+    }
+}
+
+// Two cursors over the same capture coexist on one engine under
+// distinct name prefixes — the per-session VA namespace trace-backed
+// tenants rely on.
+TEST(Service, TraceCursorNamespacesCoexist)
+{
+    ShardedEngine rec(engineConfig(1));
+    TraceRecorderSink sink;
+    rec.attachSink(&sink);
+    const auto id =
+        rec.allocate("w", 16 * kEntryBytes, CompressionTarget::Ratio2);
+    ASSERT_TRUE(id.has_value());
+    const EngineAllocation &alloc = rec.allocations().at(*id);
+    sink.noteAllocation(alloc.name, alloc.va, alloc.bytes, alloc.target);
+    std::vector<u8> zeros(kEntryBytes, 0);
+    AccessBatch plan;
+    for (unsigned e = 0; e < 16; ++e)
+        plan.write(alloc.va + e * kEntryBytes, zeros.data());
+    rec.execute(plan);
+    rec.detachSink(&sink);
+
+    TraceReplayer trace;
+    trace.loadImage(sink.serialize());
+
+    ShardedEngine eng(engineConfig(2));
+    TraceCursor a(trace, eng, 1, "a/");
+    TraceCursor b(trace, eng, 1, "b/");
+    ASSERT_EQ(eng.allocations().size(), 2u);
+
+    BatchSummary ta, tb;
+    std::vector<u8> readbuf;
+    while (a.next(plan, readbuf))
+        ta.accumulate(eng.execute(plan));
+    while (b.next(plan, readbuf))
+        tb.accumulate(eng.execute(plan));
+    EXPECT_TRUE(isolationEqual(ta, tb, true));
+}
+
+// ---------------------------------------------------------------------
+// Window-imbalance accounting (engine side of satellite #1).
+
+TEST(Service, WindowImbalanceAccumulatesOnlyUnderPerShardMode)
+{
+    // Merged mode: one window group, no per-shard spread to account.
+    {
+        ShardedEngine eng(engineConfig(4, WindowMode::Merged));
+        ServiceConfig scfg;
+        runFleet(eng, 4, scfg);
+        EXPECT_EQ(eng.windowImbalance().batches, 0u);
+    }
+
+    // Per-shard mode: every completed batch lands in the stats, the
+    // extrema bracket the mean, and the ratio histogram is complete.
+    {
+        ShardedEngine eng(engineConfig(4, WindowMode::PerShard));
+        ServiceConfig scfg;
+        const ServiceReport rep = runFleet(eng, 4, scfg);
+        const WindowImbalanceStats im = eng.windowImbalance();
+        EXPECT_EQ(im.batches, rep.dispatched);
+        EXPECT_GE(im.sumMax, im.sumMin);
+        EXPECT_LE(im.meanMin(), im.meanShard());
+        EXPECT_LE(im.meanShard(), im.meanMax());
+        EXPECT_GE(im.imbalance(), 1.0);
+        EXPECT_GE(im.maxMax, im.minMin);
+        u64 hist = 0;
+        for (const u64 bucket : im.ratioHist)
+            hist += bucket;
+        EXPECT_EQ(hist, im.batches);
+        // clearStats resets the accumulation with the other counters.
+        eng.clearStats();
+        EXPECT_EQ(eng.windowImbalance().batches, 0u);
+        EXPECT_EQ(eng.tenantTotals().size(), 0u);
+    }
+}
+
+// A single-allocation batch occupies one shard: its "spread" is
+// exactly ratio 1.0 (bucket 0) and min == max == the shard makespan.
+TEST(Service, WindowImbalanceSingleShardBatchesAreBalanced)
+{
+    ShardedEngine eng(engineConfig(1, WindowMode::PerShard));
+    ServiceConfig scfg;
+    runFleet(eng, 2, scfg);
+    const WindowImbalanceStats im = eng.windowImbalance();
+    ASSERT_GT(im.batches, 0u);
+    EXPECT_EQ(im.sumMin, im.sumMax);
+    EXPECT_DOUBLE_EQ(im.imbalance(), 1.0);
+    EXPECT_EQ(im.ratioHist[0], im.batches);
+}
+
+// ---------------------------------------------------------------------
+// Scheduler state-machine guards.
+
+TEST(ServiceDeath, RunIsSingleShotAndSessionsAreAddedFirst)
+{
+    ShardedEngine eng(engineConfig(2));
+    ServiceConfig scfg;
+    ServiceScheduler sched(eng, scfg);
+    sched.addSession(std::make_unique<TenantSession>(
+        "t0", eng, tenantSeed(0), kEntries, u64{2}));
+    sched.run();
+    EXPECT_DEATH(sched.run(), "single-shot");
+    EXPECT_DEATH(sched.addSession(std::make_unique<TenantSession>(
+                     "t1", eng, tenantSeed(1), kEntries, u64{2})),
+                 "before run");
+}
+
+} // namespace
+} // namespace buddy
