@@ -10,9 +10,11 @@
 #include <cstdio>
 
 #include "api/codec_registry.h"
+#include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/profiler.h"
+#include "obs/report.h"
 #include "workloads/analysis.h"
 #include "workloads/benchmark.h"
 #include "workloads/image.h"
@@ -20,8 +22,14 @@
 using namespace buddy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliFlags cli("bench_ablation_codec",
+                 "ablation: compression ratio per benchmark and codec");
+    addJsonFlag(cli);
+    if (!cli.parse(argc, argv))
+        return 0;
+
     std::printf("=== Ablation: codec choice under the final design "
                 "===\n(final compression ratio per benchmark and "
                 "codec)\n\n");
@@ -59,5 +67,14 @@ main()
 
     std::printf("\npaper: BPC selected for its compression ratios on "
                 "homogeneous GPU data (Section 2.4)\n");
+
+    if (!jsonPathOf(cli).empty()) {
+        obs::BenchReport report("ablation_codec");
+        for (std::size_t c = 0; c < codecs.size(); ++c)
+            report.setValue("gmean_" + codecs[c], gmean[c].value());
+        report.addTable("ratios", t);
+        report.writeTo(jsonPathOf(cli));
+        std::printf("wrote %s\n", jsonPathOf(cli).c_str());
+    }
     return 0;
 }

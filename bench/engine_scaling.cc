@@ -31,6 +31,9 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "engine/engine.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "workloads/patterns.h"
 
 using namespace buddy;
@@ -48,7 +51,9 @@ struct RunResult
 RunResult
 runOnce(unsigned shards, unsigned threads, const std::string &codec,
         std::size_t entries, std::size_t allocs, const std::vector<u8> &data,
-        std::size_t batch_entries, u64 window, WindowMode mode)
+        std::size_t batch_entries, u64 window, WindowMode mode,
+        obs::MetricRegistry *registry = nullptr,
+        obs::ChromeTraceSink *trace = nullptr)
 {
     EngineConfig cfg;
     cfg.shards = shards;
@@ -65,6 +70,10 @@ runOnce(unsigned shards, unsigned threads, const std::string &codec,
     cfg.shard.linkWindow = window;
     cfg.shard.windowMode = mode;
     ShardedEngine eng(cfg);
+    if (registry != nullptr)
+        eng.attachMetrics(*registry);
+    if (trace != nullptr)
+        eng.setBatchObserver(trace);
 
     const std::size_t per_alloc = (entries + allocs - 1) / allocs;
     std::vector<Addr> vas(entries);
@@ -155,6 +164,8 @@ main(int argc, char **argv)
                  {"per-shard", static_cast<u64>(WindowMode::PerShard)}},
                 "windowed-timing mode of the sweep");
     cli.addBool("smoke", "tiny working set + pass/fail line for CI");
+    addJsonFlag(cli);     // --json, machine-readable report
+    addTraceOutFlag(cli); // --trace-out, traces the max-shard run
     if (!cli.parse(argc, argv))
         return 0;
 
@@ -197,9 +208,18 @@ main(int argc, char **argv)
     RunResult ref;
     bool totals_ok = true;
     std::vector<std::pair<unsigned, RunResult>> runs;
+    // Telemetry is attached to the largest-shard run of the sweep: its
+    // registry is embedded in the --json report and its timeline is
+    // what --trace-out renders.
+    obs::MetricRegistry registry;
+    obs::ChromeTraceSink trace;
+    const bool want_trace = !traceOutPathOf(cli).empty();
     for (unsigned shards = 1; shards <= max_shards; shards *= 2) {
-        const RunResult r = runOnce(shards, threads, codec, entries, allocs,
-                                    data, batch_entries, window, mode);
+        const bool last = shards * 2 > max_shards;
+        const RunResult r =
+            runOnce(shards, threads, codec, entries, allocs, data,
+                    batch_entries, window, mode, last ? &registry : nullptr,
+                    last && want_trace ? &trace : nullptr);
         if (shards == 1)
             ref = r;
         else if (!sameTraffic(r.stats, ref.stats))
@@ -254,6 +274,38 @@ main(int argc, char **argv)
                     "submission-order stream through one W-deep window "
                     "group, so it is shard-count-invariant like the "
                     "traffic totals\n");
+    if (!jsonPathOf(cli).empty()) {
+        obs::BenchReport report("engine_scaling");
+        report.setValue("entries", static_cast<u64>(entries));
+        report.setValue("max_shards", max_shards);
+        report.setValue("codec", codec);
+        report.setValue("window", window);
+        report.setValue("window_mode", mode_token);
+        report.setValue("traffic_ok",
+                        static_cast<u64>(totals_ok ? 1 : 0));
+        if (!runs.empty()) {
+            const RunResult &best = runs.back().second;
+            report.setValue("best_shards", runs.back().first);
+            report.setValue("best_entries_per_s",
+                            2.0 * static_cast<double>(entries) /
+                                best.seconds);
+            report.setValue("best_speedup", ref.seconds / best.seconds);
+            report.setValue("sim_cycles", ref.stats.deviceCycles +
+                                              ref.stats.buddyCycles);
+            report.setValue("best_window_cycles",
+                            best.stats.combinedWindowCycles);
+        }
+        report.addTable("scaling", t);
+        report.attachRegistry(&registry);
+        report.writeTo(jsonPathOf(cli));
+        std::printf("wrote %s\n", jsonPathOf(cli).c_str());
+    }
+    if (want_trace) {
+        trace.save(traceOutPathOf(cli));
+        std::printf("trace: %zu batches -> %s (load in ui.perfetto.dev)\n",
+                    trace.batches(), traceOutPathOf(cli).c_str());
+    }
+
     if (smoke)
         std::printf("%s\n", totals_ok ? "SMOKE OK" : "SMOKE FAILED");
     return totals_ok ? 0 : 1;

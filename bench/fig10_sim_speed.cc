@@ -48,6 +48,7 @@
 #include "core/controller.h"
 #include "engine/engine.h"
 #include "gpusim/gpu.h"
+#include "obs/report.h"
 #include "workloads/benchmark.h"
 #include "workloads/patterns.h"
 
@@ -305,8 +306,17 @@ main(int argc, char **argv)
     cli.addString("codec", "bpc", "codec for the functional path");
     addWindowFlag(cli); // --window, default 32
     cli.addBool("smoke", "small set, timed section only, pass/fail line");
+    addJsonFlag(cli);
     if (!cli.parse(argc, argv))
         return 0;
+
+    obs::BenchReport report("fig10_sim_speed");
+    const auto writeReport = [&] {
+        if (!jsonPathOf(cli).empty()) {
+            report.writeTo(jsonPathOf(cli));
+            std::printf("wrote %s\n", jsonPathOf(cli).c_str());
+        }
+    };
 
     const u64 window = windowOf(cli);
     const bool smoke = cli.boolOf("smoke");
@@ -316,6 +326,10 @@ main(int argc, char **argv)
         const bool ok =
             timedBackendSection(n, cli.stringOf("codec"), window) &&
             windowSweepSection(n / 4, cli.stringOf("codec"));
+        report.setValue("smoke_ok", static_cast<u64>(ok ? 1 : 0));
+        report.setValue("entries", static_cast<u64>(n));
+        report.setValue("window", window);
+        writeReport();
         std::printf("%s\n", ok ? "SMOKE OK" : "SMOKE FAILED");
         return ok ? 0 : 1;
     }
@@ -367,9 +381,12 @@ main(int argc, char **argv)
         sxx += (xs[i] - mx) * (xs[i] - mx);
         syy += (ys[i] - my) * (ys[i] - my);
     }
+    const double correlation = sxy / std::sqrt(sxx * syy);
     std::printf("\nlog-log correlation vs. analytical model: %.3f "
                 "(paper: 0.989 vs. silicon)\n\n",
-                sxy / std::sqrt(sxx * syy));
+                correlation);
+    report.setValue("log_log_correlation", correlation);
+    report.addTable("fidelity_proxy", t);
 
     // (ii) Speed: wall-clock scaling with simulated work.
     Table s({"memOps/warp", "sim-cycles", "wall-ms", "cycles/ms"});
@@ -391,6 +408,7 @@ main(int argc, char **argv)
     s.print();
     std::printf("\nwall-clock grows linearly with simulated work "
                 "(the property that enables the Figure 11 sweeps)\n\n");
+    report.addTable("speed_scaling", s);
 
     // (iii) Functional-path throughput via the batched access plan.
     {
@@ -426,6 +444,8 @@ main(int argc, char **argv)
         std::printf("functional batch write throughput: %.0f entries/s "
                     "(%zu-entry plan, all six need buckets)\n\n",
                     static_cast<double>(n) / sec, n);
+        report.setValue("functional_entries_per_s",
+                        static_cast<double>(n) / sec);
     }
 
     // (iv) Simulated time of the timed backends.
@@ -440,5 +460,8 @@ main(int argc, char **argv)
     const bool sweep_ok = windowSweepSection(
         static_cast<std::size_t>(cli.uintOf("entries")) / 4,
         cli.stringOf("codec"));
+    report.setValue("backends_ok", static_cast<u64>(backends_ok ? 1 : 0));
+    report.setValue("window_sweep_ok", static_cast<u64>(sweep_ok ? 1 : 0));
+    writeReport();
     return backends_ok && sweep_ok ? 0 : 1;
 }

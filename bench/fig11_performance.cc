@@ -12,16 +12,24 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "gpusim/runner.h"
+#include "obs/report.h"
 #include "workloads/benchmark.h"
 
 using namespace buddy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliFlags cli("bench_fig11_performance",
+                 "Figure 11: performance vs. ideal large-memory GPU");
+    addJsonFlag(cli);
+    if (!cli.parse(argc, argv))
+        return 0;
+
     std::printf("=== Figure 11: performance vs. ideal large-memory GPU "
                 "===\n(speedup > 1.0 is faster than ideal)\n\n");
 
@@ -70,5 +78,19 @@ main()
                 dl150.value());
     std::printf("paper: bw-only avg +5.5%%; buddy@150 within 1%% (HPC) / "
                 "2.2%% (DL); AlexNet 0.935@150, ~0.65-0.75@50\n");
+
+    if (!jsonPathOf(cli).empty()) {
+        obs::BenchReport report("fig11_performance");
+        report.setValue("gmean_bw_only", bw_all.value());
+        report.setValue("gmean_buddy_50", b50.value());
+        report.setValue("gmean_buddy_100", b100.value());
+        report.setValue("gmean_buddy_150", b150.value());
+        report.setValue("gmean_buddy_200", b200.value());
+        report.setValue("gmean_buddy_150_hpc", hpc150.value());
+        report.setValue("gmean_buddy_150_dl", dl150.value());
+        report.addTable("speedups", t);
+        report.writeTo(jsonPathOf(cli));
+        std::printf("wrote %s\n", jsonPathOf(cli).c_str());
+    }
     return 0;
 }

@@ -44,6 +44,7 @@
 #include "common/table.h"
 #include "core/controller.h"
 #include "engine/engine.h"
+#include "obs/report.h"
 #include "umsim/um.h"
 #include "workloads/benchmark.h"
 
@@ -275,8 +276,17 @@ main(int argc, char **argv)
                 "also print the buddy serial/bw bracket rows");
     cli.addBool("smoke",
                 "small set, bracketing checks only, pass/fail line");
+    addJsonFlag(cli);
     if (!cli.parse(argc, argv))
         return 0;
+
+    obs::BenchReport report("fig12_um_oversubscription");
+    const auto writeReport = [&] {
+        if (!jsonPathOf(cli).empty()) {
+            report.writeTo(jsonPathOf(cli));
+            std::printf("wrote %s\n", jsonPathOf(cli).c_str());
+        }
+    };
 
     const u64 window = windowOf(cli);
     const unsigned gpus =
@@ -285,6 +295,10 @@ main(int argc, char **argv)
         const std::size_t n = static_cast<std::size_t>(
             cli.wasSet("entries") ? cli.uintOf("entries") : 2048);
         const bool ok = smokeCheck(n, window, gpus);
+        report.setValue("smoke_ok", static_cast<u64>(ok ? 1 : 0));
+        report.setValue("entries", static_cast<u64>(n));
+        report.setValue("window", window);
+        writeReport();
         std::printf("%s\n", ok ? "SMOKE OK" : "SMOKE FAILED");
         return ok ? 0 : 1;
     }
@@ -406,5 +420,12 @@ main(int argc, char **argv)
                 "GPU its own MSHR pool with a cross-shard barrier "
                 "(per-shard window mode)\n",
                 gpus);
+
+    report.setValue("entries", static_cast<u64>(entries));
+    report.setValue("window", window);
+    report.setValue("gpus", gpus);
+    report.addTable("oversubscription", t);
+    report.addTable("w_sweep", sweep);
+    writeReport();
     return 0;
 }

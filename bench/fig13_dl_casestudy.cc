@@ -13,15 +13,25 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "dlmodel/dlmodel.h"
+#include "obs/report.h"
 
 using namespace buddy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliFlags cli("bench_fig13_dl_casestudy",
+                 "Figure 13: the DL training case study");
+    addJsonFlag(cli);
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    obs::BenchReport report("fig13_dl_casestudy");
+
     const double kDeviceBytes = 12.0 * 1024 * 1024 * 1024; // Titan Xp
 
     // ------------------------------------------------------- 13a
@@ -44,6 +54,7 @@ main()
             t.addRow(row);
         }
         t.print();
+        report.addTable("13a_footprint", t);
     }
 
     // ------------------------------------------------------- 13b
@@ -63,6 +74,7 @@ main()
             t.addRow(row);
         }
         t.print();
+        report.addTable("13b_images_per_s", t);
     }
 
     // ------------------------------------------------------- 13c
@@ -86,6 +98,8 @@ main()
         t.print();
         std::printf("\npaper: ~1.14x average; BigLSTM 1.28x, VGG16 "
                     "1.30x\n");
+        report.setValue("mean_buddy_speedup", mean.mean());
+        report.addTable("13c_speedup", t);
     }
 
     // ------------------------------------------------------- 13d
@@ -105,6 +119,12 @@ main()
         std::printf("\npaper: batches 16/32 never reach peak accuracy; "
                     "64 reaches it but converges slower; 128-256 train "
                     "fastest\n");
+        report.addTable("13d_accuracy", t);
+    }
+
+    if (!jsonPathOf(cli).empty()) {
+        report.writeTo(jsonPathOf(cli));
+        std::printf("\nwrote %s\n", jsonPathOf(cli).c_str());
     }
     return 0;
 }

@@ -12,9 +12,11 @@
 #include <cstdio>
 #include <string>
 
+#include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "api/codec_registry.h"
+#include "obs/report.h"
 #include "workloads/analysis.h"
 #include "workloads/benchmark.h"
 #include "workloads/image.h"
@@ -22,8 +24,14 @@
 using namespace buddy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliFlags cli("bench_fig3_compressibility",
+                 "Figure 3: average BPC compression ratio per benchmark");
+    addJsonFlag(cli);
+    if (!cli.parse(argc, argv))
+        return 0;
+
     std::printf("=== Figure 3: workload compressibility (BPC, optimistic "
                 "8-size quantization) ===\n\n");
 
@@ -63,5 +71,14 @@ main()
 
     std::printf("\npaper: GMEAN_HPC ~2.5, GMEAN_DL ~1.85; seismic rises "
                 "from near-zero data to ~2x-compressible over the run\n");
+
+    if (!jsonPathOf(cli).empty()) {
+        obs::BenchReport report("fig3_compressibility");
+        report.setValue("gmean_hpc", hpc.value());
+        report.setValue("gmean_dl", dl.value());
+        report.addTable("compressibility", t);
+        report.writeTo(jsonPathOf(cli));
+        std::printf("wrote %s\n", jsonPathOf(cli).c_str());
+    }
     return 0;
 }

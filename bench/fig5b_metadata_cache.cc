@@ -11,15 +11,23 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
 #include "common/table.h"
 #include "gpusim/runner.h"
+#include "obs/report.h"
 #include "workloads/benchmark.h"
 
 using namespace buddy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliFlags cli("bench_fig5b_metadata_cache",
+                 "Figure 5b: metadata-cache hit rate vs. capacity");
+    addJsonFlag(cli);
+    if (!cli.parse(argc, argv))
+        return 0;
+
     std::printf("=== Figure 5b: metadata cache hit rate vs. capacity "
                 "===\n(capacities are full-GPU totals; the simulator "
                 "scales them)\n\n");
@@ -44,5 +52,13 @@ main()
     t.print();
     std::printf("\npaper: hit rates grow with capacity; palm and "
                 "seismic stay lowest among the streaming workloads\n");
+
+    if (!jsonPathOf(cli).empty()) {
+        obs::BenchReport report("fig5b_metadata_cache");
+        report.setValue("capacities", static_cast<u64>(sizes.size()));
+        report.addTable("hit_rates", t);
+        report.writeTo(jsonPathOf(cli));
+        std::printf("wrote %s\n", jsonPathOf(cli).c_str());
+    }
     return 0;
 }

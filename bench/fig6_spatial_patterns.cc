@@ -12,9 +12,11 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
 #include "common/table.h"
 #include "api/codec_registry.h"
 #include "core/profiler.h"
+#include "obs/report.h"
 #include "workloads/benchmark.h"
 #include "workloads/image.h"
 
@@ -39,8 +41,17 @@ heatChar(double avg_bucket)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliFlags cli("bench_fig6_spatial_patterns",
+                 "Figure 6: spatial patterns of compressibility");
+    addJsonFlag(cli);
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    obs::BenchReport report("fig6_spatial_patterns");
+    Table strips({"benchmark", "strip"});
+
     std::printf("=== Figure 6: spatial compressibility patterns ===\n");
     std::printf("(each character = one address stripe; ' '=all-zero, "
                 "'@'=incompressible)\n\n");
@@ -76,6 +87,7 @@ main()
                                        : 0.0));
         }
         std::printf("%-16s |%s|\n", spec.name.c_str(), strip.c_str());
+        strips.addRow({spec.name, strip});
 
         // Homogeneity: fraction of 8 KB pages whose entries share one
         // bucket, and mean same-bucket run length.
@@ -123,5 +135,12 @@ main()
     std::printf("\npaper: HPC = large homogeneous regions (high "
                 "page-homogeneity, long runs); DL = shuffled pools; "
                 "FF_HPGMG = short struct stripes\n");
+
+    if (!jsonPathOf(cli).empty()) {
+        report.addTable("strips", strips);
+        report.addTable("homogeneity", stats);
+        report.writeTo(jsonPathOf(cli));
+        std::printf("wrote %s\n", jsonPathOf(cli).c_str());
+    }
     return 0;
 }

@@ -12,10 +12,12 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "api/codec_registry.h"
 #include "core/profiler.h"
+#include "obs/report.h"
 #include "workloads/analysis.h"
 #include "workloads/benchmark.h"
 #include "workloads/image.h"
@@ -43,8 +45,14 @@ evaluate(const std::vector<AllocationProfile> &profiles,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliFlags cli("bench_fig7_design_sweep",
+                 "Figure 7: naive / per-allocation / final design sweep");
+    addJsonFlag(cli);
+    if (!cli.parse(argc, argv))
+        return 0;
+
     std::printf("=== Figure 7: design sweep (naive / per-allocation / "
                 "final with 16x zero targets) ===\n\n");
 
@@ -107,5 +115,18 @@ main()
 
     std::printf("\npaper: naive 1.57/1.18 with 8%%/32%% buddy; final "
                 "1.9/1.5 with 0.08%%/4%% buddy; AlexNet ~5.4%% final\n");
+
+    if (!jsonPathOf(cli).empty()) {
+        obs::BenchReport report("fig7_design_sweep");
+        report.setValue("gmean_hpc_naive", hpc_n.value());
+        report.setValue("gmean_hpc_per_alloc", hpc_p.value());
+        report.setValue("gmean_hpc_final", hpc_f.value());
+        report.setValue("gmean_dl_naive", dl_n.value());
+        report.setValue("gmean_dl_per_alloc", dl_p.value());
+        report.setValue("gmean_dl_final", dl_f.value());
+        report.addTable("design_sweep", t);
+        report.writeTo(jsonPathOf(cli));
+        std::printf("wrote %s\n", jsonPathOf(cli).c_str());
+    }
     return 0;
 }

@@ -11,9 +11,11 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
 #include "common/table.h"
 #include "api/codec_registry.h"
 #include "core/profiler.h"
+#include "obs/report.h"
 #include "workloads/analysis.h"
 #include "workloads/benchmark.h"
 #include "workloads/image.h"
@@ -21,8 +23,17 @@
 using namespace buddy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliFlags cli("bench_fig8_temporal_stability",
+                 "Figure 8: buddy accesses over a DL iteration at "
+                 "fixed targets");
+    addJsonFlag(cli);
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    obs::BenchReport report("fig8_temporal_stability");
+
     std::printf("=== Figure 8: buddy accesses over a DL iteration at "
                 "fixed targets ===\n\n");
 
@@ -84,8 +95,17 @@ main()
         (void)prev_overflow;
         t.print();
         std::printf("\n");
+
+        report.setValue(std::string(name) + "_fixed_ratio",
+                        decision.compressionRatio);
+        report.addTable(name, t);
     }
     std::printf("paper: SqueezeNet 1.49x / ResNet50 1.64x; buddy "
                 "fraction roughly flat despite heavy per-entry churn\n");
+
+    if (!jsonPathOf(cli).empty()) {
+        report.writeTo(jsonPathOf(cli));
+        std::printf("wrote %s\n", jsonPathOf(cli).c_str());
+    }
     return 0;
 }

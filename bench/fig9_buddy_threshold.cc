@@ -12,10 +12,12 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "api/codec_registry.h"
 #include "core/profiler.h"
+#include "obs/report.h"
 #include "workloads/analysis.h"
 #include "workloads/benchmark.h"
 #include "workloads/image.h"
@@ -23,8 +25,14 @@
 using namespace buddy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliFlags cli("bench_fig9_buddy_threshold",
+                 "Figure 9: Buddy Threshold sensitivity");
+    addJsonFlag(cli);
+    if (!cli.parse(argc, argv))
+        return 0;
+
     std::printf("=== Figure 9: Buddy Threshold sensitivity ===\n\n");
 
     // The profiling codec comes from the registry (BPC, the
@@ -84,5 +92,19 @@ main()
     std::printf("\npaper: HPC buddy%% stays near zero at all "
                 "thresholds; DL ratio and buddy%% grow with the "
                 "threshold; 30%% balances the two\n");
+
+    if (!jsonPathOf(cli).empty()) {
+        obs::BenchReport report("fig9_buddy_threshold");
+        for (std::size_t i = 0; i < thresholds.size(); ++i) {
+            const std::string pct =
+                strfmt("%.0f", thresholds[i] * 100);
+            report.setValue("gmean_hpc_ratio_at_" + pct,
+                            hpc_r[i].value());
+            report.setValue("gmean_dl_ratio_at_" + pct, dl_r[i].value());
+        }
+        report.addTable("threshold_sweep", t);
+        report.writeTo(jsonPathOf(cli));
+        std::printf("wrote %s\n", jsonPathOf(cli).c_str());
+    }
     return 0;
 }

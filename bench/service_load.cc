@@ -31,6 +31,9 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "engine/engine.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "service/scheduler.h"
 #include "service/session.h"
 
@@ -114,6 +117,8 @@ main(int argc, char **argv)
                  {"per-shard", static_cast<u64>(WindowMode::PerShard)}},
                 "windowed-timing mode of the shared engine");
     cli.addBool("smoke", "8-tenant run + pass/fail line for CI");
+    addJsonFlag(cli);     // --json, machine-readable report
+    addTraceOutFlag(cli); // --trace-out, Chrome trace timeline
     if (!cli.parse(argc, argv))
         return 0;
 
@@ -146,6 +151,15 @@ main(int argc, char **argv)
                                           entries, window, mode);
     ShardedEngine eng(cfg);
 
+    // Telemetry: one registry over the engine and the scheduler, and —
+    // when --trace-out is given — a Chrome-trace timeline fed by the
+    // engine's batch-completion hook.
+    obs::MetricRegistry registry;
+    eng.attachMetrics(registry);
+    obs::ChromeTraceSink trace;
+    if (!traceOutPathOf(cli).empty())
+        eng.setBatchObserver(&trace);
+
     ServiceConfig scfg;
     scfg.seed = seed;
     scfg.maxInflightPerTenant =
@@ -162,6 +176,7 @@ main(int argc, char **argv)
                                             tenantSeed(seed, i), entries,
                                             batches),
             1 + i % spread);
+    sched.attachMetrics(registry); // after the full roster, before run()
 
     const ServiceReport rep = sched.run();
 
@@ -228,7 +243,55 @@ main(int argc, char **argv)
                     hist.c_str());
     }
 
+    // Per-tenant service-cycle percentiles from the registry's
+    // per-batch histograms (the QoS latency view of the fairness
+    // currency; deterministic under the default merged window mode).
+    Table pct({"tenant", "batches", "p50-cyc", "p95-cyc", "p99-cyc",
+               "mean-cyc"});
+    for (const TenantReport &tr : rep.tenants) {
+        const auto &h = registry.histogram(
+            strfmt("sim/service/t%u/service_cycles", tr.tenant));
+        pct.addRow({tr.name, strfmt("%llu", (unsigned long long)h.count()),
+                    strfmt("%llu", (unsigned long long)h.percentile(500)),
+                    strfmt("%llu", (unsigned long long)h.percentile(950)),
+                    strfmt("%llu", (unsigned long long)h.percentile(990)),
+                    strfmt("%llu", (unsigned long long)h.mean())});
+    }
+    std::printf("\nper-tenant service-cycle percentiles (per-batch "
+                "max(combined-window-cycles, 1)):\n\n");
+    pct.print();
+
     const bool ok = iso_ok && account_ok;
+
+    if (!jsonPathOf(cli).empty()) {
+        obs::BenchReport report("service_load");
+        report.setValue("tenants", static_cast<u64>(tenants));
+        report.setValue("shards", shards);
+        report.setValue("sched", cli.enumTokenOf("sched"));
+        report.setValue("window_mode", cli.enumTokenOf("window-mode"));
+        report.setValue("rounds", rep.rounds);
+        report.setValue("dispatched", rep.dispatched);
+        report.setValue("max_global_inflight", rep.maxGlobalInflight);
+        report.setValue("min_service_cycles", rep.minServiceCycles);
+        report.setValue("max_service_cycles", rep.maxServiceCycles);
+        report.setValue("jain_index", rep.jainIndex);
+        report.setValue("weighted_jain_index", rep.weightedJainIndex);
+        report.setValue("wall_seconds", rep.wallSeconds);
+        report.setValue("isolation_ok", static_cast<u64>(iso_ok ? 1 : 0));
+        report.setValue("accounting_ok",
+                        static_cast<u64>(account_ok ? 1 : 0));
+        report.addTable("tenants", t);
+        report.addTable("service_cycle_percentiles", pct);
+        report.attachRegistry(&registry);
+        report.writeTo(jsonPathOf(cli));
+        std::printf("\nwrote %s\n", jsonPathOf(cli).c_str());
+    }
+    if (!traceOutPathOf(cli).empty()) {
+        trace.save(traceOutPathOf(cli));
+        std::printf("trace: %zu batches -> %s (load in ui.perfetto.dev)\n",
+                    trace.batches(), traceOutPathOf(cli).c_str());
+    }
+
     if (smoke)
         std::printf("%s\n", ok ? "SMOKE OK" : "SMOKE FAILED");
     return ok ? 0 : 1;

@@ -5,14 +5,22 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
 #include "common/table.h"
+#include "obs/report.h"
 #include "workloads/benchmark.h"
 
 using namespace buddy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliFlags cli("bench_tab1_benchmarks",
+                 "Table 1: the GPU benchmarks used");
+    addJsonFlag(cli);
+    if (!cli.parse(argc, argv))
+        return 0;
+
     std::printf("=== Table 1: GPU benchmarks used ===\n\n");
     Table t({"benchmark", "suite", "footprint", "allocations"});
     for (const auto &b : benchmarkRegistry()) {
@@ -32,5 +40,14 @@ main()
                   strfmt("%zu", b.allocations.size())});
     }
     t.print();
+
+    if (!jsonPathOf(cli).empty()) {
+        obs::BenchReport report("tab1_benchmarks");
+        report.setValue("benchmarks",
+                        static_cast<u64>(benchmarkRegistry().size()));
+        report.addTable("benchmarks", t);
+        report.writeTo(jsonPathOf(cli));
+        std::printf("\nwrote %s\n", jsonPathOf(cli).c_str());
+    }
     return 0;
 }

@@ -6,14 +6,22 @@
 
 #include <cstdio>
 
+#include "common/cli.h"
 #include "common/table.h"
 #include "gpusim/config.h"
+#include "obs/report.h"
 
 using namespace buddy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliFlags cli("bench_tab2_simconfig",
+                 "Table 2: performance-simulation parameters");
+    addJsonFlag(cli);
+    if (!cli.parse(argc, argv))
+        return 0;
+
     std::printf("=== Table 2: performance simulation parameters ===\n\n");
     const SimConfig c;
     Table t({"parameter", "value"});
@@ -45,5 +53,16 @@ main()
     t.addRow({"L2 MSHRs", strfmt("%u (scaled: %u)", c.l2Mshrs,
                                  c.scaledMshrs())});
     t.print();
+
+    if (!jsonPathOf(cli).empty()) {
+        obs::BenchReport report("tab2_simconfig");
+        report.setValue("sms", c.sms);
+        report.setValue("reference_sms", c.referenceSms);
+        report.setValue("link_gbps", c.linkGBps);
+        report.setValue("device_gbps", c.deviceGBps);
+        report.addTable("parameters", t);
+        report.writeTo(jsonPathOf(cli));
+        std::printf("\nwrote %s\n", jsonPathOf(cli).c_str());
+    }
     return 0;
 }

@@ -362,4 +362,43 @@ windowOf(const CliFlags &cli)
     return w;
 }
 
+/**
+ * Register the shared --json flag: path of the machine-readable
+ * buddy-bench-v1 results file (obs/report.h). Empty — the default —
+ * writes nothing. Every bench registers this, so CI can smoke any of
+ * them with `--json out.json | python3 -m json.tool`.
+ */
+inline void
+addJsonFlag(CliFlags &cli)
+{
+    cli.addString("json", "",
+                  "write machine-readable results to this path");
+}
+
+/** The --json path; empty when no report was requested. */
+inline const std::string &
+jsonPathOf(const CliFlags &cli)
+{
+    return cli.stringOf("json");
+}
+
+/**
+ * Register the shared --trace-out flag: path of a Chrome trace_event
+ * timeline (obs/chrome_trace.h) on the simulated-cycle clock, loadable
+ * in Perfetto. Empty — the default — disables trace capture.
+ */
+inline void
+addTraceOutFlag(CliFlags &cli)
+{
+    cli.addString("trace-out", "",
+                  "write a Chrome trace_event timeline to this path");
+}
+
+/** The --trace-out path; empty when no trace was requested. */
+inline const std::string &
+traceOutPathOf(const CliFlags &cli)
+{
+    return cli.stringOf("trace-out");
+}
+
 } // namespace buddy

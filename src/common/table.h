@@ -73,6 +73,15 @@ class Table
             emit(row);
     }
 
+    /** Column headers (machine-readable export; see obs/report.h). */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** All rows, in insertion order. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

@@ -168,6 +168,30 @@ BuddyController::trafficFor(const EntryLoc &loc, EntryMeta meta,
     return info;
 }
 
+void
+BuddyController::attachMetrics(obs::MetricRegistry &registry,
+                               const std::string &prefix)
+{
+    probes_.active = true;
+    probes_.batches = &registry.counter(prefix + "batches");
+    probes_.reads = &registry.counter(prefix + "reads");
+    probes_.writes = &registry.counter(prefix + "writes");
+    probes_.probes = &registry.counter(prefix + "probes");
+    probes_.writesZero = &registry.counter(prefix + "writes_zero");
+    probes_.writesCompressed =
+        &registry.counter(prefix + "writes_compressed");
+    probes_.writesRaw = &registry.counter(prefix + "writes_raw");
+    probes_.metadataHits = &registry.counter(prefix + "metadata_hits");
+    probes_.metadataMisses = &registry.counter(prefix + "metadata_misses");
+    probes_.buddyAccesses = &registry.counter(prefix + "buddy_accesses");
+    probes_.batchMakespan =
+        &registry.histogram(prefix + "batch_combined_makespan");
+    probes_.storedBits = &registry.histogram(prefix + "stored_bits");
+    probes_.windowOccupancy =
+        &registry.histogram(prefix + "window_occupancy");
+    probes_.windowStall = &registry.histogram(prefix + "window_stall");
+}
+
 timing::WindowGroup
 BuddyController::makeWindows() const
 {
@@ -250,6 +274,16 @@ BuddyController::executeOp(const AccessRequest &op,
 
         ++stats_.writes;
         ++summary.writes;
+        if (probes_.active) {
+            probes_.writes->add();
+            if (meta == EntryMeta::Zero)
+                probes_.writesZero->add();
+            else if (meta == EntryMeta::Raw)
+                probes_.writesRaw->add();
+            else
+                probes_.writesCompressed->add();
+            probes_.storedBits->add(stored_bits);
+        }
         break;
       }
 
@@ -290,6 +324,8 @@ BuddyController::executeOp(const AccessRequest &op,
 
         ++stats_.reads;
         ++summary.reads;
+        if (probes_.active)
+            probes_.reads->add();
         break;
       }
 
@@ -320,6 +356,8 @@ BuddyController::executeOp(const AccessRequest &op,
         // A probe models the traffic of a read: account it as one.
         ++stats_.reads;
         ++summary.probes;
+        if (probes_.active)
+            probes_.probes->add();
         break;
       }
     }
@@ -375,6 +413,22 @@ BuddyController::executeOp(const AccessRequest &op,
     if (info.usedBuddy())
         ++summary.buddyAccesses;
 
+    if (probes_.active) {
+        (meta_hit ? probes_.metadataHits : probes_.metadataMisses)->add();
+        if (info.usedBuddy())
+            probes_.buddyAccesses->add();
+        if (windows != nullptr) {
+            // Post-issue concurrency and the issue's window-constraint
+            // wait: the MSHR-pressure histograms. Pure functions of the
+            // window's own request stream, like the charges.
+            probes_.windowOccupancy->add(windows->device().outstanding() +
+                                         windows->buddy().outstanding());
+            probes_.windowStall->add(
+                std::max(windows->device().lastStall(),
+                         windows->buddy().lastStall()));
+        }
+    }
+
     if (!hub_.empty()) {
         AccessEvent event;
         event.kind = op.kind;
@@ -404,6 +458,11 @@ BuddyController::execute(AccessBatch &batch)
     for (const AccessRequest &op : batch.ops_)
         batch.results_.push_back(
             executeOp(op, scratch, &windows, batch.summary_));
+
+    if (probes_.active) {
+        probes_.batches->add();
+        probes_.batchMakespan->add(batch.summary_.combinedWindowCycles);
+    }
 
     if (!hub_.empty())
         hub_.emitBatch(batch.summary_);

@@ -50,6 +50,7 @@
 #include "core/backing.h"
 #include "core/firstfit.h"
 #include "core/metadata.h"
+#include "obs/metrics.h"
 
 namespace buddy {
 
@@ -245,6 +246,26 @@ class BuddyController
     /** Unsubscribe @p sink. */
     void detachSink(TrafficSink *sink) { hub_.detach(sink); }
 
+    /**
+     * Register this controller's metrics under @p prefix in @p registry
+     * and update them on every executed operation: operation and
+     * codec-outcome counters (writes_zero / writes_compressed /
+     * writes_raw), metadata hit/miss counters, and the batch-makespan,
+     * stored-bits, window-occupancy and window-stall histograms. Every
+     * value is simulated-time state, so with a "sim/"-rooted prefix the
+     * metrics join the determinism contract (a single controller's
+     * stream is pure; under the sharded engine, per-shard cache state
+     * belongs under "shard/" — the engine picks the prefixes).
+     *
+     * The registry must outlive the controller (or detachMetrics()).
+     * Call with no batch in flight.
+     */
+    void attachMetrics(obs::MetricRegistry &registry,
+                       const std::string &prefix);
+
+    /** Stop updating (previously attached) metrics. */
+    void detachMetrics() { probes_.active = false; }
+
     /** The allocation covering @p va (panics if none). */
     const Allocation &allocationFor(Addr va) const;
 
@@ -337,6 +358,30 @@ class BuddyController
                          timing::WindowGroup *windows,
                          BatchSummary &summary);
 
+    /**
+     * Stable-address metric objects resolved once by attachMetrics(),
+     * so the hot path updates them without a name lookup. Inactive
+     * (all-null) until attached.
+     */
+    struct MetricProbes
+    {
+        bool active = false;
+        obs::Counter *batches = nullptr;
+        obs::Counter *reads = nullptr;
+        obs::Counter *writes = nullptr;
+        obs::Counter *probes = nullptr;
+        obs::Counter *writesZero = nullptr;
+        obs::Counter *writesCompressed = nullptr;
+        obs::Counter *writesRaw = nullptr;
+        obs::Counter *metadataHits = nullptr;
+        obs::Counter *metadataMisses = nullptr;
+        obs::Counter *buddyAccesses = nullptr;
+        obs::LatencyHistogram *batchMakespan = nullptr;
+        obs::LatencyHistogram *storedBits = nullptr;
+        obs::LatencyHistogram *windowOccupancy = nullptr;
+        obs::LatencyHistogram *windowStall = nullptr;
+    };
+
     BuddyConfig cfg_;
     std::unique_ptr<Compressor> codec_;
     std::unique_ptr<BackingStore> device_;
@@ -358,6 +403,8 @@ class BuddyController
 
     /** Scratch reused by the single-op wrappers. */
     CompressionScratch soloScratch_;
+
+    MetricProbes probes_;
 
     std::unordered_map<u64, EntryState> entryState_;
 };

@@ -5,6 +5,8 @@
 #include <deque>
 #include <thread>
 
+#include "common/table.h"
+
 namespace buddy {
 namespace engine {
 
@@ -159,11 +161,72 @@ ShardedEngine::allocationFor(Addr va) const
     return a;
 }
 
+void
+ShardedEngine::attachMetrics(obs::MetricRegistry &registry)
+{
+    const bool mergedMode = cfg_.shard.windowMode == WindowMode::Merged;
+    probes_.active = true;
+
+    // Merged per-batch totals that are pure functions of the plans:
+    // identical under any sharding, so they live under sim/.
+    probes_.batches = &registry.counter("sim/engine/batches");
+    probes_.reads = &registry.counter("sim/engine/reads");
+    probes_.writes = &registry.counter("sim/engine/writes");
+    probes_.probes = &registry.counter("sim/engine/probes");
+    probes_.deviceSectors = &registry.counter("sim/engine/device_sectors");
+    probes_.buddySectors = &registry.counter("sim/engine/buddy_sectors");
+    probes_.buddyAccesses = &registry.counter("sim/engine/buddy_accesses");
+    probes_.deviceCycles = &registry.counter("sim/engine/device_cycles");
+    probes_.buddyCycles = &registry.counter("sim/engine/buddy_cycles");
+    probes_.batchOps = &registry.histogram("sim/engine/batch_ops");
+
+    // Metadata hit/miss is per-shard cache state: reproducible
+    // run-to-run, different across shard counts by design.
+    probes_.metadataHits = &registry.counter("shard/engine/metadata_hits");
+    probes_.metadataMisses =
+        &registry.counter("shard/engine/metadata_misses");
+
+    // Window totals join sim/ only under Merged mode (the merged-stream
+    // replay); under PerShard they are the N-GPU barrier makespans,
+    // which depend on the sharding by design.
+    const std::string wp = mergedMode ? "sim/engine/" : "shard/engine/";
+    probes_.deviceWindowCycles =
+        &registry.counter(wp + "device_window_cycles");
+    probes_.buddyWindowCycles =
+        &registry.counter(wp + "buddy_window_cycles");
+    probes_.combinedWindowCycles =
+        &registry.counter(wp + "combined_window_cycles");
+    probes_.batchMakespan =
+        &registry.histogram(wp + "batch_combined_makespan");
+    if (mergedMode) {
+        probes_.windowOccupancy =
+            &registry.histogram("sim/engine/window_occupancy");
+        probes_.windowStall =
+            &registry.histogram("sim/engine/window_stall");
+    } else {
+        // The shards' own controller metrics carry occupancy/stall in
+        // per-shard mode (each shard is its own MSHR pool).
+        probes_.windowOccupancy = nullptr;
+        probes_.windowStall = nullptr;
+    }
+
+    // Queue depth depends on how fast workers drain — thread timing,
+    // not simulated time — so it is wall/ by definition.
+    probes_.wallQueueDepth =
+        &registry.histogram("wall/engine/queue_depth");
+
+    // Each shard controller's own view (sub-stream windows, codec
+    // outcomes, its cache's hits): reproducible, sharding-dependent.
+    for (unsigned s = 0; s < shardCount(); ++s)
+        shards_[s]->attachMetrics(registry, strfmt("shard/s%u/", s));
+}
+
 std::future<BatchSummary>
 ShardedEngine::submit(AccessBatch &batch)
 {
     auto job = std::make_shared<BatchJob>();
     job->batch = &batch;
+    job->seq = nextSeq_.fetch_add(1, std::memory_order_relaxed);
 
     const std::size_t n = batch.ops_.size();
     batch.results_.assign(n, AccessInfo{});
@@ -205,6 +268,7 @@ ShardedEngine::submit(AccessBatch &batch)
 
     job->remaining.store(static_cast<unsigned>(job->subs.size()),
                          std::memory_order_relaxed);
+    std::size_t peakDepth = 0;
     for (unsigned sub = 0; sub < job->subs.size(); ++sub) {
         const unsigned s = job->subs[sub].shard;
         Worker &w = *workers_[workerOf(s)];
@@ -212,9 +276,16 @@ ShardedEngine::submit(AccessBatch &batch)
                           w.shards.begin();
         {
             std::lock_guard<std::mutex> lk(w.m);
-            w.queues[static_cast<std::size_t>(slot)].emplace_back(job, sub);
+            auto &q = w.queues[static_cast<std::size_t>(slot)];
+            q.emplace_back(job, sub);
+            peakDepth = std::max(peakDepth, q.size());
         }
         w.cv.notify_one();
+    }
+    if (probes_.active) {
+        // Post-enqueue depth depends on worker drain speed: wall/.
+        std::lock_guard<std::mutex> lk(accountMutex_);
+        probes_.wallQueueDepth->add(peakDepth);
     }
     return fut;
 }
@@ -314,6 +385,19 @@ ShardedEngine::finish(BatchJob &job)
             batch.results_[sp.origIdx[j]] = sp.plan.results_[j];
     }
 
+    // Observability feeds of the merged replay: per-op occupancy/stall
+    // samples collected into stack-local histograms (folded into the
+    // registry under the accounting lock below — bucket sums are
+    // commutative, so accumulation is completion-order-independent)
+    // and the replay windows' peak concurrency for the BatchRecord.
+    obs::LatencyHistogram localOcc;
+    obs::LatencyHistogram localStall;
+    u64 maxDevOut = 0;
+    u64 maxBudOut = 0;
+    const bool sampleWindows =
+        (probes_.active && probes_.windowOccupancy != nullptr) ||
+        observer_ != nullptr;
+
     if (cfg_.shard.windowMode == WindowMode::Merged) {
         // Windowed replay of the merged plan: reschedule the
         // submission-order traffic through one window group — the
@@ -342,7 +426,15 @@ ShardedEngine::finish(BatchJob &job)
             merged.deviceWindowCycles += charge.device;
             merged.buddyWindowCycles += charge.buddy;
             merged.combinedWindowCycles += charge.combined;
+            if (sampleWindows) {
+                localOcc.add(group.device().outstanding() +
+                             group.buddy().outstanding());
+                localStall.add(std::max(group.device().lastStall(),
+                                        group.buddy().lastStall()));
+            }
         }
+        maxDevOut = group.device().maxOutstanding();
+        maxBudOut = group.buddy().maxOutstanding();
     } else {
         // Per-shard window mode: each shard kept its own MSHR pool over
         // its own links — the per-op window charges the shards computed
@@ -408,6 +500,58 @@ ShardedEngine::finish(BatchJob &job)
         TenantTotals &t = tenantTotals_[batch.tenant()];
         t.summary.accumulate(merged);
         ++t.batches;
+
+        // Metric folds: every accumulation is a counter add or a
+        // histogram bucket sum — commutative, so the registry state is
+        // independent of which batch finished first.
+        if (probes_.active) {
+            probes_.batches->add();
+            probes_.reads->add(merged.reads);
+            probes_.writes->add(merged.writes);
+            probes_.probes->add(merged.probes);
+            probes_.deviceSectors->add(merged.deviceSectors);
+            probes_.buddySectors->add(merged.buddySectors);
+            probes_.buddyAccesses->add(merged.buddyAccesses);
+            probes_.deviceCycles->add(merged.deviceCycles);
+            probes_.buddyCycles->add(merged.buddyCycles);
+            probes_.metadataHits->add(merged.metadataHits);
+            probes_.metadataMisses->add(merged.metadataMisses);
+            probes_.deviceWindowCycles->add(merged.deviceWindowCycles);
+            probes_.buddyWindowCycles->add(merged.buddyWindowCycles);
+            probes_.combinedWindowCycles->add(
+                merged.combinedWindowCycles);
+            probes_.batchMakespan->add(merged.combinedWindowCycles);
+            probes_.batchOps->add(batch.ops_.size());
+            if (probes_.windowOccupancy != nullptr) {
+                probes_.windowOccupancy->merge(localOcc);
+                probes_.windowStall->merge(localStall);
+            }
+        }
+
+        // Timeline hook: one record per batch, serialized by this lock
+        // (completion order; seq recovers submission order).
+        if (observer_ != nullptr) {
+            obs::BatchRecord rec;
+            rec.seq = job.seq;
+            rec.tenant = batch.tenant();
+            rec.summary = merged;
+            rec.maxDeviceOutstanding = maxDevOut;
+            rec.maxBuddyOutstanding = maxBudOut;
+            rec.shards.reserve(job.subs.size());
+            for (const SubPlan &sp : job.subs) {
+                obs::BatchRecord::ShardSpan span;
+                span.shard = sp.shard;
+                span.ops = sp.plan.ops_.size();
+                span.combinedCycles = sp.plan.summary_.combinedWindowCycles;
+                rec.shards.push_back(span);
+            }
+            std::sort(rec.shards.begin(), rec.shards.end(),
+                      [](const obs::BatchRecord::ShardSpan &a,
+                         const obs::BatchRecord::ShardSpan &b) {
+                          return a.shard < b.shard;
+                      });
+            observer_->onBatchComplete(rec);
+        }
     }
 
     // Replay captured events to engine-level sinks in submission order:

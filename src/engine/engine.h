@@ -54,6 +54,8 @@
 #include "api/access.h"
 #include "api/traffic_sink.h"
 #include "core/controller.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
 
 namespace buddy {
 namespace engine {
@@ -252,6 +254,39 @@ class ShardedEngine
     /** Unsubscribe @p sink. */
     void detachSink(TrafficSink *sink) { hub_.detach(sink); }
 
+    /**
+     * Register the engine's metrics in @p registry and update them on
+     * every completed batch. Subtree discipline (obs/metrics.h):
+     *
+     *   sim/engine/    merged per-batch totals that are pure functions
+     *                  of the plans — bit-identical across shard counts
+     *                  (under WindowMode::Merged this includes the
+     *                  windowed makespans, occupancy and stall);
+     *   shard/...      reproducible run-to-run but sharding-dependent:
+     *                  each shard controller's own metrics under
+     *                  shard/s<k>/ (including metadata hit/miss — per-
+     *                  shard cache state) and, under PerShard mode,
+     *                  the engine's N-GPU window totals;
+     *   wall/engine/   thread-timing-dependent (queue depth) —
+     *                  excluded from every determinism check.
+     *
+     * Call with no batch in flight; the registry must outlive the
+     * engine. Metric folds happen under the accounting lock, so
+     * concurrent batch completions accumulate order-independently.
+     */
+    void attachMetrics(obs::MetricRegistry &registry);
+
+    /**
+     * Register @p observer to receive one BatchRecord per completed
+     * batch (obs/hooks.h), called under the accounting lock in
+     * completion order with submission-time seq numbers. Pass nullptr
+     * to detach; call with no batch in flight.
+     */
+    void setBatchObserver(obs::BatchObserver *observer)
+    {
+        observer_ = observer;
+    }
+
     unsigned shardCount() const { return static_cast<unsigned>(shards_.size()); }
     unsigned threadCount() const { return static_cast<unsigned>(workers_.size()); }
 
@@ -351,11 +386,42 @@ class ShardedEngine
     struct BatchJob
     {
         AccessBatch *batch = nullptr;
+        u64 seq = 0; ///< submission sequence (obs::BatchRecord sort key)
         std::vector<SubPlan> subs;
         std::vector<u32> opSub;     ///< sub index of each submission op
         std::vector<AllocId> opAlloc; ///< engine alloc id of each op
         std::atomic<unsigned> remaining{0};
         std::promise<BatchSummary> done;
+    };
+
+    /**
+     * Stable-address metric objects resolved once by attachMetrics();
+     * folded into under accountMutex_ on batch completion. Window
+     * histogram pointers stay null under WindowMode::PerShard (the
+     * shards' own controller metrics carry those there).
+     */
+    struct EngineProbes
+    {
+        bool active = false;
+        obs::Counter *batches = nullptr;
+        obs::Counter *reads = nullptr;
+        obs::Counter *writes = nullptr;
+        obs::Counter *probes = nullptr;
+        obs::Counter *deviceSectors = nullptr;
+        obs::Counter *buddySectors = nullptr;
+        obs::Counter *buddyAccesses = nullptr;
+        obs::Counter *deviceCycles = nullptr;
+        obs::Counter *buddyCycles = nullptr;
+        obs::Counter *metadataHits = nullptr;   // shard/ subtree
+        obs::Counter *metadataMisses = nullptr; // shard/ subtree
+        obs::Counter *deviceWindowCycles = nullptr;
+        obs::Counter *buddyWindowCycles = nullptr;
+        obs::Counter *combinedWindowCycles = nullptr;
+        obs::LatencyHistogram *batchMakespan = nullptr;
+        obs::LatencyHistogram *batchOps = nullptr;
+        obs::LatencyHistogram *windowOccupancy = nullptr; // Merged only
+        obs::LatencyHistogram *windowStall = nullptr;     // Merged only
+        obs::LatencyHistogram *wallQueueDepth = nullptr;  // wall/ subtree
     };
 
     struct Worker;
@@ -388,6 +454,11 @@ class ShardedEngine
     mutable std::mutex accountMutex_;
     std::map<u32, TenantTotals> tenantTotals_;
     WindowImbalanceStats imbalance_;
+    EngineProbes probes_;
+    obs::BatchObserver *observer_ = nullptr;
+
+    /** Submission sequence of the next batch (BatchJob::seq). */
+    std::atomic<u64> nextSeq_{0};
 
     std::map<AllocId, EngineAllocation> allocs_;
     std::map<Addr, AllocId> byVa_; // engine base VA -> id

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * ChromeTraceSink: render the simulated-cycle execution timeline as
+ * Chrome trace_event JSON, loadable in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing.
+ *
+ * The sink consumes batch completions — either rich BatchRecords from
+ * the sharded engine's BatchObserver hook (obs/hooks.h), or synthesized
+ * ones from a standalone controller's TrafficSink stream — and lays
+ * them out on one timeline whose clock is *simulated cycles*, not wall
+ * time. Batches are placed end-to-end in submission (`seq`) order, each
+ * spanning its combined windowed makespan:
+ *
+ *   pid "tenants"  one row per tenant; "X" span per batch with the
+ *                  batch's ops/traffic in args — the per-tenant service
+ *                  timeline the QoS scheduler shapes.
+ *   pid "gpus"     one row per shard; "X" span per participating shard
+ *                  sized by that shard's own makespan, so per-shard
+ *                  load imbalance is visible as ragged span ends.
+ *   counters       "C" events at each batch start: window occupancy
+ *                  (peak outstanding round trips per link) and
+ *                  cumulative sector traffic per link.
+ *
+ * Determinism: every field is integer simulated-time state and the
+ * layout sorts by seq, so the rendered JSON is byte-identical
+ * run-to-run for the same workload — toJson() output can be diffed as
+ * a regression test, exactly like obs::exportJson().
+ *
+ * Attach EITHER as a BatchObserver (engine; richer records) OR as a
+ * TrafficSink (standalone controller; spans synthesized per onBatch),
+ * not both — once an engine record arrives, synthesized ones are
+ * ignored to prevent double counting.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/traffic_sink.h"
+#include "obs/hooks.h"
+
+namespace buddy {
+namespace obs {
+
+/** The Chrome trace_event renderer (see file header). */
+class ChromeTraceSink : public api::TrafficSink, public BatchObserver
+{
+  public:
+    // BatchObserver (sharded engine): one rich record per batch.
+    void onBatchComplete(const BatchRecord &record) override;
+
+    // TrafficSink (standalone controller): synthesize one record per
+    // executed batch from the event stream.
+    void onAccess(const api::AccessEvent &event) override;
+    void onBatch(const api::BatchSummary &summary) override;
+
+    /** Completed batches recorded so far. */
+    std::size_t batches() const { return records_.size(); }
+
+    /** The recorded batches, completion-ordered (sort key is seq). */
+    const std::vector<BatchRecord> &records() const { return records_; }
+
+    /**
+     * Render the timeline as a complete Chrome trace_event JSON
+     * document ({"traceEvents":[...]}); byte-stable for identical
+     * record state.
+     */
+    std::string toJson() const;
+
+    /** Render and write to @p path (fatal on I/O failure). */
+    void save(const std::string &path) const;
+
+    /** Drop all recorded batches. */
+    void clear();
+
+  private:
+    std::vector<BatchRecord> records_;
+
+    /** Synthesis state of the TrafficSink path. */
+    u64 nextSeq_ = 0;
+    u64 pendingOps_ = 0;
+    u32 pendingTenant_ = 0;
+
+    /** True once a BatchObserver record arrived; disables synthesis. */
+    bool fromObserver_ = false;
+};
+
+} // namespace obs
+} // namespace buddy

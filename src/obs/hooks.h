@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Batch-completion observer hooks: the coarse-grained companion of the
+ * per-operation TrafficSink stream.
+ *
+ * The TrafficSink stream (api/traffic_sink.h) carries one event per
+ * entry access — the right granularity for traffic counting, profiling
+ * and trace recording, but too fine for timeline reconstruction: a
+ * timeline consumer needs the *batch* (the unit the windowed timing
+ * replay scopes, and the unit tenants submit) with its makespan,
+ * its per-shard split, and its submission order. BatchRecord carries
+ * exactly that, and BatchObserver receives one per completed batch.
+ *
+ * The sharded engine emits records from its completion path under its
+ * accounting lock, in completion order; `seq` is assigned at submission
+ * time, so sorting by it recovers the deterministic submission order
+ * regardless of which worker finished first. Every field is simulated-
+ * time state (no wall clocks), so a consumer that orders by seq sees a
+ * bit-identical record stream run-to-run.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "api/access.h"
+#include "common/types.h"
+
+namespace buddy {
+namespace obs {
+
+/** One completed batch, as observed on the batch-completion hook. */
+struct BatchRecord
+{
+    /** Submission sequence number (0-based, gap-free per producer). */
+    u64 seq = 0;
+
+    /** Tenant tag of the submitting batch (0 = anonymous). */
+    u32 tenant = 0;
+
+    /** The batch's merged traffic/timing summary. */
+    api::BatchSummary summary;
+
+    /** One participating shard's slice of the batch. */
+    struct ShardSpan
+    {
+        unsigned shard = 0;
+
+        /** Operations the shard executed. */
+        u64 ops = 0;
+
+        /**
+         * The shard's own combined windowed makespan for its sub-plan.
+         * Under WindowMode::PerShard the batch barrier waits for the
+         * max of these; under Merged they are the shards' sub-stream
+         * makespans (informational — the summary carries the merged
+         * single-stream makespan).
+         */
+        u64 combinedCycles = 0;
+    };
+
+    /** Participating shards in ascending shard order. */
+    std::vector<ShardSpan> shards;
+
+    /** Peak device-link round trips outstanding during the batch's
+     *  windowed replay (0 when the producer does not track it). */
+    u64 maxDeviceOutstanding = 0;
+
+    /** Peak buddy-link round trips outstanding. */
+    u64 maxBuddyOutstanding = 0;
+};
+
+/** Observer of batch completions (see file header). */
+class BatchObserver
+{
+  public:
+    virtual ~BatchObserver() = default;
+
+    /**
+     * One batch finished. Producers serialize calls (the engine holds
+     * its accounting lock), so implementations need no locking of
+     * their own; completion order is nondeterministic, `seq` order is
+     * not.
+     */
+    virtual void onBatchComplete(const BatchRecord &record) = 0;
+};
+
+} // namespace obs
+} // namespace buddy

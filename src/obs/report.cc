@@ -1,0 +1,107 @@
+#include "obs/report.h"
+
+#include "obs/json.h"
+
+namespace buddy {
+namespace obs {
+
+void
+BenchReport::setValue(const std::string &key, u64 v)
+{
+    Value val;
+    val.kind = Value::Kind::U64;
+    val.u = v;
+    values_[key] = val;
+}
+
+void
+BenchReport::setValue(const std::string &key, double v)
+{
+    Value val;
+    val.kind = Value::Kind::F64;
+    val.d = v;
+    values_[key] = val;
+}
+
+void
+BenchReport::setValue(const std::string &key, const std::string &v)
+{
+    Value val;
+    val.kind = Value::Kind::Str;
+    val.s = v;
+    values_[key] = val;
+}
+
+void
+BenchReport::addTable(const std::string &name, const Table &table)
+{
+    NamedTable t;
+    t.name = name;
+    t.headers = table.headers();
+    t.rows = table.rows();
+    tables_.push_back(std::move(t));
+}
+
+std::string
+BenchReport::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("buddy-bench-v1");
+    w.key("bench").value(bench_);
+
+    w.key("values").beginObject();
+    for (const auto &[key, v] : values_) {
+        w.key(key);
+        switch (v.kind) {
+          case Value::Kind::U64:
+            w.value(v.u);
+            break;
+          case Value::Kind::F64:
+            w.value(v.d);
+            break;
+          case Value::Kind::Str:
+            w.value(v.s);
+            break;
+        }
+    }
+    w.endObject();
+
+    w.key("tables").beginArray();
+    for (const NamedTable &t : tables_) {
+        w.beginObject();
+        w.key("name").value(t.name);
+        w.key("headers").beginArray();
+        for (const std::string &h : t.headers)
+            w.value(h);
+        w.endArray();
+        w.key("rows").beginArray();
+        for (const auto &row : t.rows) {
+            w.beginArray();
+            for (const std::string &cell : row)
+                w.value(cell);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    if (registry_ != nullptr) {
+        JsonExportOptions opts;
+        opts.includeWall = includeWall_;
+        w.key("metrics").raw(exportJson(*registry_, opts));
+    }
+
+    w.endObject();
+    return w.str();
+}
+
+void
+BenchReport::writeTo(const std::string &path) const
+{
+    writeFile(path, toJson());
+}
+
+} // namespace obs
+} // namespace buddy

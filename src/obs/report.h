@@ -1,0 +1,103 @@
+/**
+ * @file
+ * BenchReport: the machine-readable results file behind every bench's
+ * `--json <path>` flag.
+ *
+ * One schema ("buddy-bench-v1") for every bench, so the CI perf
+ * trajectory (BENCH_buddy.json) merges per-bench files mechanically:
+ *
+ *   {
+ *     "schema": "buddy-bench-v1",
+ *     "bench":  "<bench name>",
+ *     "values": { "<key>": <number|string>, ... },   // headline scalars
+ *     "tables": [ { "name": "...", "headers": [..],
+ *                   "rows": [[..], ..] }, ... ],     // the printed tables
+ *     "metrics": { ... }                             // optional: exportJson()
+ *   }
+ *
+ * "values" carries the bench's headline scalars (throughput, simulated
+ * cycle totals, ratios) in stable name order; "tables" mirrors the
+ * console Tables verbatim so nothing printed is lost to automation;
+ * "metrics" embeds the deterministic obs::exportJson() view of an
+ * attached MetricRegistry. Wall-clock scalars are fine in "values" —
+ * the determinism contract covers the "metrics" subtree, where wall
+ * metrics are segregated under obs::kWallPrefix and excluded by
+ * default.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/metrics.h"
+
+namespace buddy {
+namespace obs {
+
+/** Builder of one bench's machine-readable report (see file header). */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+    /** Set a headline scalar (last set wins; stable name order). */
+    void setValue(const std::string &key, u64 v);
+    void setValue(const std::string &key, unsigned v)
+    {
+        setValue(key, static_cast<u64>(v));
+    }
+    void setValue(const std::string &key, double v);
+    void setValue(const std::string &key, const std::string &v);
+
+    /** Append a console table verbatim (insertion order kept). */
+    void addTable(const std::string &name, const Table &table);
+
+    /**
+     * Embed @p registry's deterministic export under "metrics"
+     * (snapshot taken at render time; wall subtree excluded per
+     * @p includeWall). Pass nullptr to detach.
+     */
+    void
+    attachRegistry(const MetricRegistry *registry, bool includeWall = false)
+    {
+        registry_ = registry;
+        includeWall_ = includeWall;
+    }
+
+    const std::string &bench() const { return bench_; }
+
+    /** Render the buddy-bench-v1 document. */
+    std::string toJson() const;
+
+    /** Render and write to @p path (fatal on I/O failure). */
+    void writeTo(const std::string &path) const;
+
+  private:
+    struct Value
+    {
+        enum class Kind : u8 { U64, F64, Str } kind = Kind::U64;
+        u64 u = 0;
+        double d = 0.0;
+        std::string s;
+    };
+
+    struct NamedTable
+    {
+        std::string name;
+        std::vector<std::string> headers;
+        std::vector<std::vector<std::string>> rows;
+    };
+
+    std::string bench_;
+    std::map<std::string, Value> values_;
+    std::vector<NamedTable> tables_;
+    const MetricRegistry *registry_ = nullptr;
+    bool includeWall_ = false;
+};
+
+} // namespace obs
+} // namespace buddy

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/log.h"
+#include "common/table.h"
 #include "engine/engine.h"
 
 namespace buddy {
@@ -22,6 +23,12 @@ struct ServiceScheduler::Tenant
     u64 maxInflight = 0;
     u64 serviceCycles = 0;
     BatchSummary totals;
+
+    /** Metric probes (null until ServiceScheduler::attachMetrics). */
+    obs::LatencyHistogram *mServiceCycles = nullptr;
+    obs::Counter *mDispatched = nullptr;
+    obs::Counter *mBatches = nullptr;
+    obs::Counter *mQueueWait = nullptr;
 };
 
 /**
@@ -61,6 +68,23 @@ ServiceScheduler::addSession(std::unique_ptr<TenantSession> session,
     t->weight = weight;
     tenants_.push_back(std::move(t));
     return tenants_.back()->id;
+}
+
+void
+ServiceScheduler::attachMetrics(obs::MetricRegistry &registry)
+{
+    BUDDY_CHECK(!ran_, "attachMetrics must precede run()");
+    metricsActive_ = true;
+    mRounds_ = &registry.counter("sim/service/rounds");
+    mDispatched_ = &registry.counter("sim/service/dispatched");
+    mCapRounds_ = &registry.counter("sim/service/global_cap_rounds");
+    for (auto &t : tenants_) {
+        const std::string p = strfmt("sim/service/t%u/", t->id);
+        t->mServiceCycles = &registry.histogram(p + "service_cycles");
+        t->mDispatched = &registry.counter(p + "dispatched");
+        t->mBatches = &registry.counter(p + "batches");
+        t->mQueueWait = &registry.counter(p + "queue_wait_rounds");
+    }
 }
 
 int
@@ -151,14 +175,19 @@ ServiceScheduler::run()
             d->plan.setTenant(t.id);
             ++inflight[static_cast<std::size_t>(pick)];
             ++t.dispatched;
+            if (t.mDispatched != nullptr)
+                t.mDispatched->add();
             d->fut = engine_.submit(d->plan);
             dispatches.push_back(std::move(d));
         }
 
         for (std::size_t i = 0; i < n; ++i) {
             Tenant &t = *tenants_[i];
-            if (inflight[i] == 0 && !t.session->done())
+            if (inflight[i] == 0 && !t.session->done()) {
                 ++t.queueWaitRounds; // ready, admitted nothing
+                if (t.mQueueWait != nullptr)
+                    t.mQueueWait->add();
+            }
             t.maxInflight = std::max<u64>(t.maxInflight, inflight[i]);
         }
         rep.maxGlobalInflight =
@@ -171,9 +200,22 @@ ServiceScheduler::run()
             Tenant &t = *tenants_[d->tenant];
             t.totals.accumulate(s);
             ++t.batches;
-            t.serviceCycles += std::max<u64>(s.combinedWindowCycles, 1);
+            const u64 cycles = std::max<u64>(s.combinedWindowCycles, 1);
+            t.serviceCycles += cycles;
+            if (t.mBatches != nullptr) {
+                t.mBatches->add();
+                t.mServiceCycles->add(cycles);
+            }
         }
         ++rep.rounds;
+        if (metricsActive_) {
+            mRounds_->add();
+            mDispatched_->add(dispatches.size());
+            // The admission pass stopped at the global cap (rather
+            // than running out of eligible work): fleet saturation.
+            if (dispatches.size() >= cfg_.maxInflightTotal)
+                mCapRounds_->add();
+        }
     }
 
     rep.allFinished = allDone();

@@ -51,6 +51,7 @@
 
 #include "api/access.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "service/session.h"
 
 namespace buddy {
@@ -193,6 +194,27 @@ class ServiceScheduler
      */
     u32 addSession(std::unique_ptr<TenantSession> session, u64 weight = 1);
 
+    /**
+     * Register the scheduler's metrics in @p registry and update them
+     * during run(). Call after every addSession() and before run().
+     *
+     *   sim/service/rounds, dispatched, global_cap_rounds — fleet
+     *     round/admission counters;
+     *   sim/service/t<id>/service_cycles — per-tenant histogram of
+     *     per-batch max(combinedWindowCycles, 1), the fairness
+     *     currency (p50/p95/p99 come from here);
+     *   sim/service/t<id>/dispatched, batches, queue_wait_rounds —
+     *     per-tenant admission counters (queue_wait_rounds counts the
+     *     rounds the tenant was ready but admitted nothing — the
+     *     admission-denial signal).
+     *
+     * Everything is integer scheduler state or simulated cycles, so
+     * under WindowMode::Merged the whole subtree is bit-identical
+     * across shard counts and run-to-run. The registry must outlive
+     * the scheduler.
+     */
+    void attachMetrics(obs::MetricRegistry &registry);
+
     /** Drive every session to completion (or cfg.maxRounds) and return
      *  the fleet report. Callable once. */
     ServiceReport run();
@@ -212,6 +234,12 @@ class ServiceScheduler
     ServiceConfig cfg_;
     std::vector<std::unique_ptr<Tenant>> tenants_;
     bool ran_ = false;
+
+    /** Fleet metric probes (null until attachMetrics). */
+    bool metricsActive_ = false;
+    obs::Counter *mRounds_ = nullptr;
+    obs::Counter *mDispatched_ = nullptr;
+    obs::Counter *mCapRounds_ = nullptr;
 };
 
 } // namespace service

@@ -104,8 +104,10 @@ class RequestWindow
     Cycles
     issue(LinkDir dir, u64 bytes)
     {
-        if (bytes == 0)
+        if (bytes == 0) {
+            lastStall_ = 0;
             return 0;
+        }
         // Program order: never issue before an earlier request. The
         // window constraint: request i waits for request i-W to
         // complete (inflight_ holds the completion times of the still-
@@ -116,6 +118,7 @@ class RequestWindow
             at = std::max(at, inflight_.front());
             inflight_.pop_front();
         }
+        lastStall_ = at - lastIssue_;
         lastIssue_ = at;
         const Cycles done = server(dir).request(at, bytes);
         const Cycles fin = std::max(done, frontier_); // FCFS completion
@@ -133,6 +136,7 @@ class RequestWindow
         // charge-0 completion until its slot turn.
         while (!inflight_.empty() && inflight_.front() <= lastIssue_)
             inflight_.pop_front();
+        maxOutstanding_ = std::max<u64>(maxOutstanding_, inflight_.size());
         const Cycles charged = fin - frontier_;
         frontier_ = fin;
         ++issued_;
@@ -153,6 +157,21 @@ class RequestWindow
      * the stream's achieved concurrency, not to min(W, stream length).
      */
     u64 outstanding() const { return inflight_.size(); }
+
+    /**
+     * Peak outstanding() ever reached — the stream's achieved
+     * concurrency, sampled post-issue (observability feed; see
+     * obs/hooks.h BatchRecord).
+     */
+    u64 maxOutstanding() const { return maxOutstanding_; }
+
+    /**
+     * Cycles the most recent issue() waited on the window constraint
+     * (0 when a slot was free, when the request was zero-byte, or
+     * before any issue). Sampled per request into the observability
+     * stall histograms.
+     */
+    Cycles lastStall() const { return lastStall_; }
 
     /** Window size W. */
     u64 window() const { return window_; }
@@ -188,6 +207,8 @@ class RequestWindow
     Cycles lastIssue_ = 0;
     Cycles frontier_ = 0;
     u64 issued_ = 0;
+    u64 maxOutstanding_ = 0;
+    Cycles lastStall_ = 0;
 };
 
 /** Per-link and combined charges of one WindowGroup::issue(). */

@@ -176,5 +176,44 @@ TEST(CliFlagsDeath, SharedWindowHelperRejectsZero)
     EXPECT_DEATH(parseZeroWindow(), "bad --window value");
 }
 
+/** Parse @p args against the shared report/trace flag helpers. */
+CliFlags
+parseReportArgs(std::vector<std::string> args)
+{
+    args.insert(args.begin(), "test_cli");
+    std::vector<char *> argv;
+    argv.reserve(args.size());
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    CliFlags cli("test_cli", "report flag helpers");
+    addJsonFlag(cli);
+    addTraceOutFlag(cli);
+    cli.parse(static_cast<int>(argv.size()), argv.data());
+    return cli;
+}
+
+TEST(CliFlagsDeath, DanglingReportFlagsAreHardUsageErrors)
+{
+    // The shared --json / --trace-out string flags obey the same
+    // valued-flag plumbing as every other kind: dangling at the end of
+    // argv must die, never read past argv or silently keep a default.
+    EXPECT_DEATH({ parseReportArgs({"--json"}); }, "needs a value");
+    EXPECT_DEATH({ parseReportArgs({"--trace-out"}); }, "needs a value");
+    EXPECT_DEATH({ parseReportArgs({"--json", "a.json", "--trace-out"}); },
+                 "needs a value");
+}
+
+TEST(CliFlags, ReportFlagHelpersParseAndDefaultEmpty)
+{
+    const CliFlags off = parseReportArgs({});
+    EXPECT_TRUE(jsonPathOf(off).empty()); // empty path = no report
+    EXPECT_TRUE(traceOutPathOf(off).empty());
+
+    const CliFlags on = parseReportArgs(
+        {"--json", "out.json", "--trace-out=timeline.json"});
+    EXPECT_EQ(jsonPathOf(on), "out.json");
+    EXPECT_EQ(traceOutPathOf(on), "timeline.json");
+}
+
 } // namespace
 } // namespace buddy

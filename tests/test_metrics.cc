@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests of the observability registry (obs/metrics.h) and its JSON
+ * export (obs/json.h): log2-bucket boundaries, deterministic percentile
+ * estimates, exact histogram merges, snapshot/delta arithmetic,
+ * registry get-or-create semantics, and byte-stable exportJson output
+ * (including the wall-subtree and prefix filters).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace buddy {
+namespace obs {
+namespace {
+
+TEST(LatencyHistogram, BucketBoundaries)
+{
+    EXPECT_EQ(LatencyHistogram::bucketOf(0), 0u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(1), 1u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(2), 2u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(3), 2u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(4), 3u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(1023), 10u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(1024), 11u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(~0ull),
+              LatencyHistogram::kBuckets - 1);
+
+    // Every bucket's [lo, hi] round-trips through bucketOf.
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+        EXPECT_EQ(LatencyHistogram::bucketOf(LatencyHistogram::bucketLo(b)),
+                  b);
+        EXPECT_EQ(LatencyHistogram::bucketOf(LatencyHistogram::bucketHi(b)),
+                  b);
+    }
+}
+
+TEST(LatencyHistogram, ExactAggregates)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(500), 0u);
+
+    for (const u64 v : {0ull, 1ull, 5ull, 100ull, 100ull, 7000ull}) {
+        h.add(v);
+    }
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.sum(), 7206u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 7000u);
+    EXPECT_EQ(h.mean(), 1201u);
+}
+
+TEST(LatencyHistogram, PercentilesAreClampedAndOrdered)
+{
+    LatencyHistogram h;
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        h.add(100 + rng.below(900)); // samples in [100, 999]
+
+    const u64 p0 = h.percentile(0);
+    const u64 p50 = h.percentile(500);
+    const u64 p95 = h.percentile(950);
+    const u64 p99 = h.percentile(990);
+    const u64 p100 = h.percentile(1000);
+
+    EXPECT_EQ(p0, h.min());
+    EXPECT_EQ(p100, h.max());
+    EXPECT_LE(p0, p50);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, p100);
+    // Estimates stay inside the observed range, never just bucket
+    // bounds (the bucket [512, 1023] exceeds the true max of 999).
+    EXPECT_GE(p50, h.min());
+    EXPECT_LE(p99, h.max());
+}
+
+TEST(LatencyHistogram, SingleValuePercentilesAreExact)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.add(777);
+    EXPECT_EQ(h.percentile(500), 777u);
+    EXPECT_EQ(h.percentile(990), 777u);
+}
+
+TEST(LatencyHistogram, MergeIsExactAndOrderIndependent)
+{
+    Rng rng(9);
+    LatencyHistogram whole, a, b, c;
+    for (int i = 0; i < 3000; ++i) {
+        const u64 v = rng.below(1 << 20);
+        whole.add(v);
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(v);
+    }
+
+    LatencyHistogram ab = a; // fold a<-b<-c
+    ab.merge(b);
+    ab.merge(c);
+    LatencyHistogram cb = c; // fold c<-b<-a (reverse completion order)
+    cb.merge(b);
+    cb.merge(a);
+
+    for (const LatencyHistogram *m : {&ab, &cb}) {
+        EXPECT_EQ(m->count(), whole.count());
+        EXPECT_EQ(m->sum(), whole.sum());
+        EXPECT_EQ(m->min(), whole.min());
+        EXPECT_EQ(m->max(), whole.max());
+        for (std::size_t bkt = 0; bkt < LatencyHistogram::kBuckets; ++bkt)
+            EXPECT_EQ(m->bucketCount(bkt), whole.bucketCount(bkt));
+        EXPECT_EQ(m->percentile(990), whole.percentile(990));
+    }
+}
+
+TEST(MetricRegistry, GetOrCreateKeepsStableAddresses)
+{
+    MetricRegistry reg;
+    Counter &c1 = reg.counter("sim/a");
+    Counter &c2 = reg.counter("sim/b");
+    c1.add(3);
+    Counter &again = reg.counter("sim/a");
+    EXPECT_EQ(&again, &c1); // same object, not a fresh one
+    EXPECT_EQ(again.value(), 3u);
+    EXPECT_EQ(c2.value(), 0u);
+    EXPECT_EQ(reg.size(), 2u);
+
+    reg.gauge("sim/g").set(-5);
+    reg.histogram("sim/h").add(17);
+    EXPECT_EQ(reg.size(), 4u);
+}
+
+TEST(MetricRegistryDeath, CrossKindNameIsFatal)
+{
+    MetricRegistry reg;
+    reg.counter("sim/x");
+    EXPECT_DEATH({ reg.histogram("sim/x"); }, "sim/x");
+}
+
+TEST(MetricSnapshot, DeltaSubtractsCountersAndBuckets)
+{
+    MetricRegistry reg;
+    Counter &c = reg.counter("sim/ops");
+    LatencyHistogram &h = reg.histogram("sim/lat");
+    c.add(10);
+    h.add(4);
+    h.add(4);
+    const MetricSnapshot before = reg.snapshot();
+
+    c.add(7);
+    h.add(4);
+    h.add(4096);
+    const MetricSnapshot after = reg.snapshot();
+
+    const MetricSnapshot d = after.delta(before);
+    EXPECT_EQ(d.counters.at("sim/ops"), 7u);
+    const LatencyHistogram &dh = d.histograms.at("sim/lat");
+    EXPECT_EQ(dh.count(), 2u);
+    EXPECT_EQ(dh.bucketCount(LatencyHistogram::bucketOf(4)), 1u);
+    EXPECT_EQ(dh.bucketCount(LatencyHistogram::bucketOf(4096)), 1u);
+}
+
+TEST(ExportJson, ByteStableAndValid)
+{
+    const auto build = [](MetricRegistry &reg) {
+        reg.counter("sim/engine/batches").add(12);
+        reg.gauge("sim/engine/shards").set(4);
+        LatencyHistogram &h = reg.histogram("sim/engine/makespan");
+        Rng rng(41);
+        for (int i = 0; i < 500; ++i)
+            h.add(rng.below(100000));
+        reg.counter("wall/engine/queue_depth").add(99);
+    };
+
+    MetricRegistry a, b;
+    build(a);
+    build(b);
+    const std::string ja = exportJson(a);
+    const std::string jb = exportJson(b);
+    EXPECT_EQ(ja, jb); // byte-identical for identical state
+    EXPECT_TRUE(jsonValid(ja));
+
+    // The wall subtree is excluded by default and opt-in.
+    EXPECT_EQ(ja.find("wall/"), std::string::npos);
+    JsonExportOptions wall;
+    wall.includeWall = true;
+    const std::string jw = exportJson(a, wall);
+    EXPECT_TRUE(jsonValid(jw));
+    EXPECT_NE(jw.find("wall/engine/queue_depth"), std::string::npos);
+
+    // The prefix filter narrows the export.
+    JsonExportOptions onlySim;
+    onlySim.prefix = "sim/engine/";
+    const std::string js = exportJson(a, onlySim);
+    EXPECT_TRUE(jsonValid(js));
+    EXPECT_NE(js.find("sim/engine/batches"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesAndValidates)
+{
+    JsonWriter w;
+    w.beginObject()
+        .key("s")
+        .value(std::string("a\"b\\c\nd\te\x01"))
+        .key("nan")
+        .value(0.0 / 0.0)
+        .key("neg")
+        .value(i64{-42})
+        .endObject();
+    EXPECT_TRUE(w.complete());
+    EXPECT_TRUE(jsonValid(w.str()));
+    EXPECT_NE(w.str().find("\\u0001"), std::string::npos);
+    EXPECT_NE(w.str().find("null"), std::string::npos);
+
+    EXPECT_FALSE(jsonValid("{\"a\":1,}"));
+    EXPECT_FALSE(jsonValid("{\"a\":1} trailing"));
+    EXPECT_FALSE(jsonValid("{'a':1}"));
+    EXPECT_TRUE(jsonValid("[1, 2.5e3, \"x\", true, null, {}]"));
+}
+
+} // namespace
+} // namespace obs
+} // namespace buddy
