@@ -22,13 +22,15 @@
  *      modes (merged single-GPU stream and per-shard N-GPU pools with
  *      a cross-shard barrier), reporting the serial LinkModel cycle
  *      totals, the windowed-replay makespans (--window outstanding
- *      round trips, timing/window.h), and the combined (cross-link)
- *      makespans, and checking that multi-shard cycle totals reproduce
+ *      round trips, timing/window.h), the combined (cross-link)
+ *      makespans, and the codec-charged makespans (combined plus the
+ *      pipelined (de)compression unit, timing/window.h CodecStage),
+ *      and checking that multi-shard cycle totals reproduce
  *      run-to-run;
  *  (v) the windowed replay's W sweep on the dram/host-um pair: W=1
  *      must reproduce the serial totals bit-for-bit and wider windows
  *      must shrink monotonely toward the bandwidth bound, the combined
- *      makespan shrinking monotonely inside them.
+ *      and codec-charged makespans shrinking monotonely inside them.
  *
  * --smoke shrinks the set and runs sections (iv)+(v) only, emitting
  * "SMOKE OK"/"SMOKE FAILED" — the CI ThreadSanitizer job drives the
@@ -64,6 +66,8 @@ struct TimedRun
     u64 deviceWindowCycles = 0;
     u64 buddyWindowCycles = 0;
     u64 combinedWindowCycles = 0;
+    u64 codecCycles = 0;
+    u64 codecChargedWindowCycles = 0;
     u64 buddySectors = 0;
 
     u64 total() const { return deviceCycles + buddyCycles; }
@@ -81,6 +85,8 @@ struct TimedRun
                deviceWindowCycles == o.deviceWindowCycles &&
                buddyWindowCycles == o.buddyWindowCycles &&
                combinedWindowCycles == o.combinedWindowCycles &&
+               codecCycles == o.codecCycles &&
+               codecChargedWindowCycles == o.codecChargedWindowCycles &&
                buddySectors == o.buddySectors;
     }
 };
@@ -120,6 +126,8 @@ runTimed(Target &target, std::size_t entries, const std::vector<u8> &data)
     r.deviceWindowCycles += plan.summary().deviceWindowCycles;
     r.buddyWindowCycles += plan.summary().buddyWindowCycles;
     r.combinedWindowCycles += plan.summary().combinedWindowCycles;
+    r.codecCycles += plan.summary().codecCycles;
+    r.codecChargedWindowCycles += plan.summary().codecChargedWindowCycles;
     r.buddySectors += plan.summary().buddySectors;
 
     plan.clear();
@@ -131,6 +139,8 @@ runTimed(Target &target, std::size_t entries, const std::vector<u8> &data)
     r.deviceWindowCycles += plan.summary().deviceWindowCycles;
     r.buddyWindowCycles += plan.summary().buddyWindowCycles;
     r.combinedWindowCycles += plan.summary().combinedWindowCycles;
+    r.codecCycles += plan.summary().codecCycles;
+    r.codecChargedWindowCycles += plan.summary().codecChargedWindowCycles;
     r.buddySectors += plan.summary().buddySectors;
     return r;
 }
@@ -157,7 +167,7 @@ timedBackendSection(std::size_t entries, const std::string &codec,
     Table t({"device/buddy backends", "dev-cycles", "buddy-cycles",
              "total",
              strfmt("win-total (W=%llu)", (unsigned long long)window),
-             "comb-total", "vs dram/host-um"});
+             "comb-total", "codec-charged", "vs dram/host-um"});
     double baseline = 0;
     bool windows_bounded = true;
     const auto addRow = [&](const std::string &name, const TimedRun &r) {
@@ -169,17 +179,27 @@ timedBackendSection(std::size_t entries, const std::string &codec,
                   strfmt("%llu", (unsigned long long)r.windowTotal()),
                   strfmt("%llu",
                          (unsigned long long)r.combinedWindowCycles),
+                  strfmt("%llu",
+                         (unsigned long long)r.codecChargedWindowCycles),
                   strfmt("%.2fx",
                          static_cast<double>(r.total()) / baseline)});
         // The windowed makespan can never exceed the serial charge,
         // and the combined (cross-link) makespan is bracketed by the
-        // per-link max and the per-link sum.
+        // per-link max and the per-link sum. The codec-charged makespan
+        // stacks the inline (de)compression unit on top of the combined
+        // one, so it can only grow from there and never by more than
+        // the sum of the per-op serial codec charges.
         windows_bounded = windows_bounded && r.windowTotal() <= r.total();
         windows_bounded =
             windows_bounded &&
             r.combinedWindowCycles <= r.windowTotal() &&
             r.combinedWindowCycles >=
                 std::max(r.deviceWindowCycles, r.buddyWindowCycles);
+        windows_bounded =
+            windows_bounded &&
+            r.codecChargedWindowCycles >= r.combinedWindowCycles &&
+            r.codecChargedWindowCycles <=
+                r.combinedWindowCycles + r.codecCycles;
     };
 
     for (const char *buddy_kind : {"host-um", "remote"}) {
@@ -236,8 +256,11 @@ timedBackendSection(std::size_t entries, const std::string &codec,
                 "(timing/link_model.h); win-total overlaps them with W "
                 "outstanding round trips (timing/window.h), comb-total "
                 "additionally overlaps the two links against each other "
-                "(WindowGroup); the per-GPU row gives each shard its "
-                "own MSHR pool with a cross-shard barrier\n");
+                "(WindowGroup); codec-charged stacks the pipelined "
+                "(de)compression unit (CodecStage) on top of comb-total "
+                "— bracketed by [comb, comb + serial codec charge], "
+                "checked; the per-GPU row gives each shard its own MSHR "
+                "pool with a cross-shard barrier\n");
     return reproducible && windows_bounded && barrier_bounded;
 }
 
@@ -252,11 +275,13 @@ windowSweepSection(std::size_t entries, const std::string &codec)
 {
     const std::vector<u8> data = timedWorkingSet(entries);
 
-    Table t({"W", "win-total", "comb-total", "vs serial"});
+    Table t({"W", "win-total", "comb-total", "codec-charged",
+             "vs serial"});
     bool ok = true;
     u64 serial_total = 0;
     u64 prev = 0;
     u64 prev_comb = 0;
+    u64 prev_charged = 0;
     for (const u64 w : {1ull, 2ull, 4ull, 8ull, 16ull, 32ull, 64ull,
                         256ull}) {
         BuddyConfig cfg;
@@ -272,16 +297,25 @@ windowSweepSection(std::size_t entries, const std::string &codec)
         } else {
             ok = ok && r.windowTotal() <= prev &&
                  r.windowTotal() <= serial_total;
-            // The combined makespan shrinks monotonely with W too.
+            // The combined and codec-charged makespans shrink
+            // monotonely with W too (wider windows only ever lower the
+            // link frontiers the codec stage waits on).
             ok = ok && r.combinedWindowCycles <= prev_comb;
+            ok = ok && r.codecChargedWindowCycles <= prev_charged;
         }
         ok = ok && r.combinedWindowCycles <= r.windowTotal();
+        ok = ok && r.codecChargedWindowCycles >= r.combinedWindowCycles &&
+             r.codecChargedWindowCycles <=
+                 r.combinedWindowCycles + r.codecCycles;
         prev = r.windowTotal();
         prev_comb = r.combinedWindowCycles;
+        prev_charged = r.codecChargedWindowCycles;
         t.addRow({strfmt("%llu", (unsigned long long)w),
                   strfmt("%llu", (unsigned long long)r.windowTotal()),
                   strfmt("%llu",
                          (unsigned long long)r.combinedWindowCycles),
+                  strfmt("%llu",
+                         (unsigned long long)r.codecChargedWindowCycles),
                   strfmt("%.2fx", static_cast<double>(r.windowTotal()) /
                                       static_cast<double>(serial_total))});
     }
@@ -290,7 +324,10 @@ windowSweepSection(std::size_t entries, const std::string &codec)
                 "windows overlap the host-um round-trip latency "
                 "(monotone, checked); the comb column overlaps the two "
                 "links against each other on top (monotone and within "
-                "the win-total, checked)\n");
+                "the win-total, checked); codec-charged stacks the "
+                "pipelined codec unit on the combined makespan "
+                "(monotone and within [comb, comb + serial codec "
+                "charge], checked)\n");
     return ok;
 }
 

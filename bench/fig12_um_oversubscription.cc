@@ -20,17 +20,20 @@
  * brackets, which the windowed line always falls between. A W-sweep
  * table shows the convergence.
  *
- * Two further lines refine the model: "buddy W=<n> comb" reports the
+ * Three further lines refine the model: "buddy W=<n> comb" reports the
  * combined (cross-link) makespan — the device and buddy links drain in
  * parallel, so the pass finishes at the max of the per-link windowed
- * makespans rather than their sum (timing/window.h WindowGroup) — and
- * "buddy W=<n> x<G>GPU" runs the same pass on a --gpus-shard engine in
- * per-shard window mode (BuddyConfig::windowMode): each GPU keeps its
- * own MSHR pool and the pass completes at a cross-shard barrier, the
- * honest N-GPU reading of the peer backend.
+ * makespans rather than their sum (timing/window.h WindowGroup);
+ * "buddy W=<n> codec" stacks the pipelined (de)compression unit on the
+ * combined makespan (timing/window.h CodecStage — always within
+ * [comb, comb + serial codec charge]); and "buddy W=<n> x<G>GPU" runs
+ * the same pass on a --gpus-shard engine in per-shard window mode
+ * (BuddyConfig::windowMode): each GPU keeps its own MSHR pool and the
+ * pass completes at a cross-shard barrier, the honest N-GPU reading of
+ * the peer backend.
  *
  * --smoke skips the UM model and checks the bracketing invariants of
- * all three windowed lines (including 1-GPU-per-shard == combined,
+ * all four windowed lines (including 1-GPU-per-shard == combined,
  * bit-for-bit) on a small set, emitting "SMOKE OK"/"SMOKE FAILED" for
  * CI.
  */
@@ -59,6 +62,8 @@ struct TimedPass
     u64 bw = 0;         ///< bottleneck-pipe occupancy (bandwidth bound)
     u64 windowed = 0;   ///< per-link windowed makespans, summed
     u64 combined = 0;   ///< cross-link combined makespan (the honest line)
+    u64 codec = 0;      ///< combined plus the pipelined codec unit
+    u64 codecSerial = 0; ///< serial per-op codec charges, summed
 };
 
 /**
@@ -150,6 +155,8 @@ timedReadCycles(std::size_t entries, double oversub, u64 window)
     t.serial = read_pass.totalCycles();
     t.windowed = read_pass.windowTotalCycles();
     t.combined = read_pass.combinedWindowCycles;
+    t.codec = read_pass.codecChargedWindowCycles;
+    t.codecSerial = read_pass.codecCycles;
     // Perfectly overlapped, the read pass takes as long as its busiest
     // pipe is occupied.
     t.bw = std::max(
@@ -223,6 +230,21 @@ smokeCheck(std::size_t entries, u64 window, unsigned gpus)
                         (unsigned long long)win.windowed, o * 100);
             ok = false;
         }
+        // The codec-charged makespan stacks the pipelined codec unit
+        // on the combined one; it can only grow from there and never
+        // by more than the serialized per-op codec charges. (On this
+        // pass the spilled payloads are incompressible, so the stored
+        // lines are raw, reads pay no decompression, and the line
+        // coincides with the combined one.)
+        if (win.codec < win.combined ||
+            win.codec > win.combined + win.codecSerial) {
+            std::printf("FAIL: codec-charged %llu outside [comb %llu, "
+                        "comb + %llu] at oversub %.0f%%\n",
+                        (unsigned long long)win.codec,
+                        (unsigned long long)win.combined,
+                        (unsigned long long)win.codecSerial, o * 100);
+            ok = false;
+        }
         // One GPU in per-shard mode degenerates to the merged line
         // bit-for-bit; N GPUs can only finish sooner (barrier of
         // quarter-length streams).
@@ -249,6 +271,8 @@ smokeCheck(std::size_t entries, u64 window, unsigned gpus)
         if (again.windowed != win.windowed ||
             again.serial != win.serial || again.bw != win.bw ||
             again.combined != win.combined ||
+            again.codec != win.codec ||
+            again.codecSerial != win.codecSerial ||
             timedReadCyclesPerShard(entries, o, window, gpus) != n_gpu) {
             std::printf("FAIL: timed pass not reproducible at oversub "
                         "%.0f%%\n",
@@ -342,6 +366,9 @@ main(int argc, char **argv)
             name, strfmt("buddy W=%llu", (unsigned long long)window)};
         std::vector<std::string> comb = {
             name, strfmt("buddy W=%llu comb", (unsigned long long)window)};
+        std::vector<std::string> codec = {
+            name,
+            strfmt("buddy W=%llu codec", (unsigned long long)window)};
         std::vector<std::string> ngpu = {
             name, strfmt("buddy W=%llu x%uGPU",
                          (unsigned long long)window, gpus)};
@@ -359,6 +386,7 @@ main(int argc, char **argv)
                 ratioCell(timed[i].windowed, timed_base.windowed));
             comb.push_back(
                 ratioCell(timed[i].combined, timed_base.combined));
+            codec.push_back(ratioCell(timed[i].codec, timed_base.codec));
             ngpu.push_back(ratioCell(pershard[i], pershard_base));
             ser.push_back(ratioCell(timed[i].serial, timed_base.serial));
             bwb.push_back(ratioCell(timed[i].bw, timed_base.bw));
@@ -367,6 +395,7 @@ main(int argc, char **argv)
         t.addRow(pin);
         t.addRow(win);
         t.addRow(comb);
+        t.addRow(codec);
         t.addRow(ngpu);
         if (bounds) {
             t.addRow(ser);
@@ -416,9 +445,13 @@ main(int argc, char **argv)
                 "bound, and the windowed line lands between them — the "
                 "paper measures ~1.67x at a 50 GB/s link (Fig. 11). "
                 "The comb row overlaps the device and buddy links "
-                "(makespan = max, not sum); the x%uGPU row gives each "
-                "GPU its own MSHR pool with a cross-shard barrier "
-                "(per-shard window mode)\n",
+                "(makespan = max, not sum); the codec row stacks the "
+                "pipelined (de)compression unit on the combined "
+                "makespan (CodecStage — the spilled payloads here are "
+                "incompressible and stored raw, so reads pay no "
+                "decompression and the row tracks comb); the x%uGPU "
+                "row gives each GPU its own MSHR pool with a "
+                "cross-shard barrier (per-shard window mode)\n",
                 gpus);
 
     report.setValue("entries", static_cast<u64>(entries));

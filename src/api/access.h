@@ -112,6 +112,32 @@ struct AccessInfo
     Cycles combinedWindowCycles = 0;
 
     /**
+     * Unloaded (de)compression latency of this access through the
+     * configured codec's inline unit (CodecTiming::latency per
+     * processed entry; see timing/link_model.h): nonzero exactly when
+     * the codec ran — compression on non-zero writes, decompression on
+     * reads/probes of compressed entries — and the codec timing is
+     * nonzero. A pure function of the op and the codec configuration,
+     * so it rides the engine's determinism contract like the serial
+     * link charges. Never folded into deviceCycles/buddyCycles: link
+     * occupancy stays a pure function of the traffic.
+     */
+    Cycles codecCycles = 0;
+
+    /**
+     * Codec-charged share of the windowed replay: the advance of the
+     * batch's codec-charged frontier — each op's completion including
+     * its (de)compression through the batch's shared CodecStage
+     * (timing/window.h). Telescopes to the batch's codec-charged
+     * makespan: combinedWindowCycles plus exactly the codec time the
+     * pipelined unit could not hide behind link transfers; equal to
+     * combinedWindowCycles when the codec timing is free. Shard-
+     * invariance follows combinedWindowCycles: exact under
+     * WindowMode::Merged, per-shard by design under PerShard.
+     */
+    Cycles codecChargedWindowCycles = 0;
+
+    /**
      * Total link cycles charged for this access. The device and buddy
      * portions occupy different links, so this is link occupancy (the
      * quantity that sums across a batch), not a parallel makespan.
@@ -178,6 +204,25 @@ struct BatchSummary
      */
     u64 combinedWindowCycles = 0;
 
+    /**
+     * Total unloaded codec latency the batch charged (AccessInfo::
+     * codecCycles sums): serial occupancy of the inline unit, additive
+     * across batches and shards. 0 exactly when the codec timing is
+     * free or no op exercised the codec.
+     */
+    u64 codecCycles = 0;
+
+    /**
+     * Codec-charged windowed makespan of the batch: the combined
+     * (cross-link) makespan plus the codec time the pipelined unit
+     * could not hide behind link transfers — the headline
+     * "codec-charged" figure the fig10/fig12 lines report. Equals
+     * combinedWindowCycles when the codec timing is free. Under
+     * per-shard window mode it carries the codec-charged N-GPU
+     * makespan (max over shards), like combinedWindowCycles.
+     */
+    u64 codecChargedWindowCycles = 0;
+
     u64 operations() const { return reads + writes + probes; }
 
     /**
@@ -202,6 +247,8 @@ struct BatchSummary
         deviceWindowCycles += o.deviceWindowCycles;
         buddyWindowCycles += o.buddyWindowCycles;
         combinedWindowCycles += o.combinedWindowCycles;
+        codecCycles += o.codecCycles;
+        codecChargedWindowCycles += o.codecChargedWindowCycles;
     }
 
     /** Total link cycles the batch charged (occupancy, additive). */

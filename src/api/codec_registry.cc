@@ -24,13 +24,22 @@ CodecRegistry::instance()
 
 CodecRegistry::CodecRegistry()
 {
-    registerCodec({"bpc", 128.0, true,
+    // Inline-unit timing defaults, cycles per 128 B entry at the core
+    // clock (initiation interval, pipeline depth). Rough estimates of
+    // relative hardware complexity, deepest pipe for the heaviest
+    // transform: zero detection is a wired OR (free); BDI is a
+    // single-pass delta pack; FPC adds per-word prefix coding; BPC's
+    // delta+bit-plane (DBX) transform is the deepest of the four.
+    // These feed only the *codec-charged* totals — the serial and
+    // windowed link totals never depend on them — and
+    // BuddyConfig::codecTiming overrides them per controller.
+    registerCodec({"bpc", 128.0, true, timing::CodecTiming{2, 4},
                    [] { return std::make_unique<BpcCompressor>(); }});
-    registerCodec({"bdi", 256.0, true,
+    registerCodec({"bdi", 256.0, true, timing::CodecTiming{1, 2},
                    [] { return std::make_unique<BdiCompressor>(); }});
-    registerCodec({"fpc", 64.0, true,
+    registerCodec({"fpc", 64.0, true, timing::CodecTiming{1, 3},
                    [] { return std::make_unique<FpcCompressor>(); }});
-    registerCodec({"zero", 1024.0, true,
+    registerCodec({"zero", 1024.0, true, timing::CodecTiming{0, 1},
                    [] { return std::make_unique<ZeroCompressor>(); }});
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "compress/compressor.h"
+#include "timing/link_model.h"
 
 namespace buddy {
 namespace api {
@@ -39,6 +40,16 @@ struct CodecInfo
      * controller surfaces in diagnostics.
      */
     bool supportsScratch = false;
+
+    /**
+     * Latency/throughput model of the codec's inline hardware unit
+     * (timing/link_model.h): the timing the window scheduler charges
+     * (de)compression at unless BuddyConfig::codecTiming overrides it.
+     * The built-ins carry distinct estimates of their pipeline cost;
+     * the default-constructed timing is the free unit, which charges
+     * nothing and leaves every total bit-identical to a codec-free run.
+     */
+    timing::CodecTiming timing;
 
     /** Instantiate the codec. */
     std::function<std::unique_ptr<Compressor>()> factory;
@@ -103,12 +114,16 @@ using api::CodecRegistry;
 /**
  * Register @p type under @p name with capability metadata from the call
  * site, e.g.:
- *   BUDDY_REGISTER_CODEC(MyCodec, "mine", 64.0, true);
+ *   BUDDY_REGISTER_CODEC(MyCodec, "mine", 64.0, true,
+ *                        (::buddy::timing::CodecTiming{4, 2}));
+ * The timing argument is the codec's inline-unit latency/throughput
+ * model; pass the default-constructed CodecTiming for a free unit.
  * Note: in a statically linked library, place registrations in an object
  * file the final binary references, or the linker may drop them.
  */
-#define BUDDY_REGISTER_CODEC(type, name_, maxRatio_, supportsScratch_)       \
+#define BUDDY_REGISTER_CODEC(type, name_, maxRatio_, supportsScratch_,       \
+                             timing_)                                        \
     static ::buddy::api::CodecRegistrar buddyCodecRegistrar_##type{          \
         ::buddy::api::CodecInfo{                                             \
-            name_, maxRatio_, supportsScratch_,                              \
+            name_, maxRatio_, supportsScratch_, timing_,                     \
             [] { return std::make_unique<type>(); }}}

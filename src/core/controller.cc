@@ -23,6 +23,13 @@ BuddyController::BuddyController(const BuddyConfig &cfg)
       // names (listing what is registered), so a misconfigured codec or
       // backend is caught here instead of at the first access.
       codec_(api::CodecRegistry::instance().create(cfg.codec)),
+      // create() above fails fast on unknown names, so find() is
+      // non-null here: the resolved timing is the config override or the
+      // codec's registered inline-unit estimate.
+      codecTiming_(cfg.codecTiming
+                       ? *cfg.codecTiming
+                       : api::CodecRegistry::instance().find(cfg.codec)
+                             ->timing),
       device_(makeBackingStore(
           cfg.deviceBackend, cfg.deviceBytes,
           cfg.deviceLink ? *cfg.deviceLink
@@ -196,7 +203,8 @@ timing::WindowGroup
 BuddyController::makeWindows() const
 {
     return timing::WindowGroup(device_->makeWindow(cfg_.linkWindow),
-                               buddy_.store().makeWindow(cfg_.linkWindow));
+                               buddy_.store().makeWindow(cfg_.linkWindow),
+                               codecTiming_);
 }
 
 AccessInfo
@@ -213,6 +221,12 @@ BuddyController::executeOp(const AccessRequest &op,
     bool is_zero = false;
     Cycles dev_cycles = 0; // link charges of this op's store traffic
     Cycles bud_cycles = 0;
+    // Which inline-unit pass this op runs (charged at codecTiming_):
+    // writes of non-zero entries compress (even when the result is
+    // stored Raw — the unit still ran to discover that); reads and
+    // probes of Compressed entries decompress. Zero entries and Raw
+    // reads bypass the unit entirely.
+    timing::CodecWork codec_work = timing::CodecWork::None;
 
     switch (op.kind) {
       case AccessKind::Write: {
@@ -225,6 +239,7 @@ BuddyController::executeOp(const AccessRequest &op,
             meta = EntryMeta::Zero;
             is_zero = true;
         } else {
+            codec_work = timing::CodecWork::Compress;
             comp_bits = codec_->compressInto(data, scratch.encode, scratch);
             if (comp_bits > kEntryBytes * 8) {
                 meta = EntryMeta::Raw;
@@ -320,6 +335,7 @@ BuddyController::executeOp(const AccessRequest &op,
                                          scratch.io + on_dev,
                                          bytes - on_dev);
             codec_->decompressFrom(scratch.io, bits, out);
+            codec_work = timing::CodecWork::Decompress;
         }
 
         ++stats_.reads;
@@ -352,6 +368,10 @@ BuddyController::executeOp(const AccessRequest &op,
             dev_cycles = device_->chargeRead(on_dev);
         if (stored > on_dev)
             bud_cycles = buddy_.chargeRead(stored - on_dev);
+        // Probe mirrors the read's codec accounting too: a read of a
+        // Compressed entry would run the decompressor.
+        if (meta != EntryMeta::Zero && meta != EntryMeta::Raw)
+            codec_work = timing::CodecWork::Decompress;
 
         // A probe models the traffic of a read: account it as one.
         ++stats_.reads;
@@ -364,29 +384,50 @@ BuddyController::executeOp(const AccessRequest &op,
 
     info.deviceCycles = dev_cycles;
     info.buddyCycles = bud_cycles;
+    // Unloaded inline-unit latency: a pure function of the op and the
+    // resolved codec timing, never folded into the link cycles.
+    info.codecCycles = codec_work != timing::CodecWork::None
+                           ? codecTiming_.latency()
+                           : 0;
 
     // Windowed replay: schedule the same sector traffic (identical byte
     // counts and directions to the serial charges above) through the
-    // batch's MSHR-style windows. At linkWindow == 1 the charges equal
-    // the serial ones bit-for-bit. Single-op streams (null windows)
-    // take the serial charges directly — a lone request in a fresh
-    // window costs exactly latency + transfer.
+    // batch's MSHR-style windows. At linkWindow == 1 the link charges
+    // equal the serial ones bit-for-bit. Single-op streams (null
+    // windows) take the serial charges directly — a lone request in a
+    // fresh window costs exactly latency + transfer.
     if (windows != nullptr) {
         const timing::LinkDir dir = op.kind == AccessKind::Write
                                         ? timing::LinkDir::Write
                                         : timing::LinkDir::Read;
         const timing::GroupCharge charge = windows->issue(
             dir, static_cast<u64>(info.deviceSectors) * kSectorBytes,
-            static_cast<u64>(info.buddySectors) * kSectorBytes);
+            static_cast<u64>(info.buddySectors) * kSectorBytes,
+            codec_work);
         info.deviceWindowCycles = charge.device;
         info.buddyWindowCycles = charge.buddy;
         info.combinedWindowCycles = charge.combined;
+        info.codecChargedWindowCycles = charge.codecCharged;
     } else {
         info.deviceWindowCycles = dev_cycles;
         info.buddyWindowCycles = bud_cycles;
         // A lone request in a fresh group: each link's frontier is its
         // serial charge, so the combined frontier is their max.
-        info.combinedWindowCycles = std::max(dev_cycles, bud_cycles);
+        const Cycles combined = std::max(dev_cycles, bud_cycles);
+        info.combinedWindowCycles = combined;
+        // The codec-charged frontier of the same lone request: a
+        // compression starts at 0 and overlaps the stores fully; a
+        // decompression waits for the loads, then decodes. Matches
+        // WindowGroup::issue() on a fresh group exactly (free timing
+        // collapses both to the combined frontier).
+        if (codec_work == timing::CodecWork::Compress)
+            info.codecChargedWindowCycles =
+                std::max(combined, codecTiming_.latency());
+        else if (codec_work == timing::CodecWork::Decompress)
+            info.codecChargedWindowCycles =
+                combined + codecTiming_.latency();
+        else
+            info.codecChargedWindowCycles = combined;
     }
 
     stats_.deviceSectorTraffic += info.deviceSectors;
@@ -396,6 +437,8 @@ BuddyController::executeOp(const AccessRequest &op,
     stats_.deviceWindowCycles += info.deviceWindowCycles;
     stats_.buddyWindowCycles += info.buddyWindowCycles;
     stats_.combinedWindowCycles += info.combinedWindowCycles;
+    stats_.codecCycles += info.codecCycles;
+    stats_.codecChargedWindowCycles += info.codecChargedWindowCycles;
     if (info.usedBuddy())
         ++stats_.buddyAccesses;
 
@@ -406,6 +449,8 @@ BuddyController::executeOp(const AccessRequest &op,
     summary.deviceWindowCycles += info.deviceWindowCycles;
     summary.buddyWindowCycles += info.buddyWindowCycles;
     summary.combinedWindowCycles += info.combinedWindowCycles;
+    summary.codecCycles += info.codecCycles;
+    summary.codecChargedWindowCycles += info.codecChargedWindowCycles;
     if (meta_hit)
         ++summary.metadataHits;
     else

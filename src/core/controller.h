@@ -122,6 +122,18 @@ struct BuddyConfig
     u64 linkWindow = 1;
 
     /**
+     * Inline (de)compression unit timing override (see
+     * timing::CodecTiming). Unset — the default — resolves to the
+     * configured codec's registry timing (CodecInfo::timing:
+     * zero/bdi/fpc/bpc carry distinct estimates); set it explicitly to
+     * sweep codec speed (bench/ablation_codec_timing.cc) or to
+     * timing::CodecTiming{} for a provably free unit. Only the
+     * codecCycles / codecChargedWindowCycles fields depend on it; the
+     * serial and windowed link totals never do.
+     */
+    std::optional<timing::CodecTiming> codecTiming;
+
+    /**
      * Multi-GPU semantics of the windowed replay (see WindowMode).
      * Only the sharded engine reads it; a standalone controller is a
      * single GPU under either value.
@@ -166,6 +178,19 @@ struct BuddyStats
      * makespan (max over shards) instead.
      */
     u64 combinedWindowCycles = 0;
+
+    /** Unloaded codec latency charged (AccessInfo::codecCycles sums):
+     *  additive serial occupancy of the inline unit. */
+    u64 codecCycles = 0;
+
+    /**
+     * Codec-charged windowed makespans summed over batches: per batch,
+     * the combined makespan plus the codec time the inline unit could
+     * not hide behind link transfers (equal to combinedWindowCycles
+     * when the codec timing is free). Under the engine's per-shard
+     * window mode: the codec-charged N-GPU makespan.
+     */
+    u64 codecChargedWindowCycles = 0;
 
     /** Fraction of accesses that needed buddy memory. */
     double
@@ -302,6 +327,15 @@ class BuddyController
     /** The codec the controller compresses with. */
     const Compressor &codec() const { return *codec_; }
 
+    /**
+     * The resolved inline-unit timing the windowed replay charges
+     * (de)compression at: BuddyConfig::codecTiming when set, else the
+     * configured codec's registry timing. The engine's merged-stream
+     * replay rebuilds its WindowGroup from this, so merged codec-
+     * charged totals are bit-identical to a single controller's.
+     */
+    const timing::CodecTiming &codecTiming() const { return codecTiming_; }
+
     /** The device-memory backing store. */
     const BackingStore &deviceStore() const { return *device_; }
 
@@ -384,6 +418,7 @@ class BuddyController
 
     BuddyConfig cfg_;
     std::unique_ptr<Compressor> codec_;
+    timing::CodecTiming codecTiming_; ///< resolved, see codecTiming()
     std::unique_ptr<BackingStore> device_;
     BuddyCarveOut buddy_;
     std::unique_ptr<MetadataStore> metaStore_;

@@ -178,6 +178,9 @@ ShardedEngine::attachMetrics(obs::MetricRegistry &registry)
     probes_.buddyAccesses = &registry.counter("sim/engine/buddy_accesses");
     probes_.deviceCycles = &registry.counter("sim/engine/device_cycles");
     probes_.buddyCycles = &registry.counter("sim/engine/buddy_cycles");
+    // Unloaded codec latency is a pure per-op function like the serial
+    // cycles: sim/ under every mode.
+    probes_.codecCycles = &registry.counter("sim/engine/codec_cycles");
     probes_.batchOps = &registry.histogram("sim/engine/batch_ops");
 
     // Metadata hit/miss is per-shard cache state: reproducible
@@ -196,6 +199,8 @@ ShardedEngine::attachMetrics(obs::MetricRegistry &registry)
         &registry.counter(wp + "buddy_window_cycles");
     probes_.combinedWindowCycles =
         &registry.counter(wp + "combined_window_cycles");
+    probes_.codecChargedWindowCycles =
+        &registry.counter(wp + "codec_charged_window_cycles");
     probes_.batchMakespan =
         &registry.histogram(wp + "batch_combined_makespan");
     if (mergedMode) {
@@ -381,6 +386,9 @@ ShardedEngine::finish(BatchJob &job)
         merged.buddyAccesses += s.buddyAccesses;
         merged.deviceCycles += s.deviceCycles;
         merged.buddyCycles += s.buddyCycles;
+        // Unloaded codec latency is a pure per-op function (like the
+        // serial cycles), so its merge is the plain sum in either mode.
+        merged.codecCycles += s.codecCycles;
         for (std::size_t j = 0; j < sp.origIdx.size(); ++j)
             batch.results_[sp.origIdx[j]] = sp.plan.results_[j];
     }
@@ -410,22 +418,34 @@ ShardedEngine::finish(BatchJob &job)
         const u64 w = cfg_.shard.linkWindow;
         timing::WindowGroup group(
             c0.deviceStore().makeWindow(w),
-            c0.carveOut().store().makeWindow(w));
+            c0.carveOut().store().makeWindow(w),
+            c0.codecTiming());
         for (std::size_t i = 0; i < batch.ops_.size(); ++i) {
             AccessInfo &info = batch.results_[i];
             const timing::LinkDir dir =
                 batch.ops_[i].kind == AccessKind::Write
                     ? timing::LinkDir::Write
                     : timing::LinkDir::Read;
+            // Whether the op ran the inline unit is a pure per-op fact
+            // the shards already computed (codecCycles > 0 exactly when
+            // a pass ran — any nonzero initiation interval has nonzero
+            // latency); the direction recovers which pass it was.
+            timing::CodecWork work = timing::CodecWork::None;
+            if (info.codecCycles > 0)
+                work = batch.ops_[i].kind == AccessKind::Write
+                           ? timing::CodecWork::Compress
+                           : timing::CodecWork::Decompress;
             const timing::GroupCharge charge = group.issue(
                 dir, static_cast<u64>(info.deviceSectors) * kSectorBytes,
-                static_cast<u64>(info.buddySectors) * kSectorBytes);
+                static_cast<u64>(info.buddySectors) * kSectorBytes, work);
             info.deviceWindowCycles = charge.device;
             info.buddyWindowCycles = charge.buddy;
             info.combinedWindowCycles = charge.combined;
+            info.codecChargedWindowCycles = charge.codecCharged;
             merged.deviceWindowCycles += charge.device;
             merged.buddyWindowCycles += charge.buddy;
             merged.combinedWindowCycles += charge.combined;
+            merged.codecChargedWindowCycles += charge.codecCharged;
             if (sampleWindows) {
                 localOcc.add(group.device().outstanding() +
                              group.buddy().outstanding());
@@ -456,6 +476,9 @@ ShardedEngine::finish(BatchJob &job)
                 std::max(merged.buddyWindowCycles, s.buddyWindowCycles);
             merged.combinedWindowCycles = std::max(
                 merged.combinedWindowCycles, s.combinedWindowCycles);
+            merged.codecChargedWindowCycles =
+                std::max(merged.codecChargedWindowCycles,
+                         s.codecChargedWindowCycles);
             min_makespan = std::min(min_makespan, s.combinedWindowCycles);
             sum_makespan += s.combinedWindowCycles;
         }
@@ -489,6 +512,8 @@ ShardedEngine::finish(BatchJob &job)
                                  std::memory_order_relaxed);
     combinedWindowCycles_.fetch_add(merged.combinedWindowCycles,
                                     std::memory_order_relaxed);
+    codecChargedWindowCycles_.fetch_add(merged.codecChargedWindowCycles,
+                                        std::memory_order_relaxed);
     batch.summary_ = merged;
 
     // Per-tenant accounting: fold the batch's merged summary into the
@@ -520,6 +545,9 @@ ShardedEngine::finish(BatchJob &job)
             probes_.buddyWindowCycles->add(merged.buddyWindowCycles);
             probes_.combinedWindowCycles->add(
                 merged.combinedWindowCycles);
+            probes_.codecCycles->add(merged.codecCycles);
+            probes_.codecChargedWindowCycles->add(
+                merged.codecChargedWindowCycles);
             probes_.batchMakespan->add(merged.combinedWindowCycles);
             probes_.batchOps->add(batch.ops_.size());
             if (probes_.windowOccupancy != nullptr) {
@@ -590,6 +618,7 @@ ShardedEngine::stats() const
         total.overflowEntries += st.overflowEntries;
         total.deviceCycles += st.deviceCycles;
         total.buddyCycles += st.buddyCycles;
+        total.codecCycles += st.codecCycles;
     }
     // Windowed totals come from the engine's per-batch accumulation
     // (merged-stream replay, or per-shard maxima under
@@ -601,6 +630,8 @@ ShardedEngine::stats() const
         buddyWindowCycles_.load(std::memory_order_relaxed);
     total.combinedWindowCycles =
         combinedWindowCycles_.load(std::memory_order_relaxed);
+    total.codecChargedWindowCycles =
+        codecChargedWindowCycles_.load(std::memory_order_relaxed);
     return total;
 }
 
@@ -614,6 +645,7 @@ ShardedEngine::clearStats()
     deviceWindowCycles_.store(0, std::memory_order_relaxed);
     buddyWindowCycles_.store(0, std::memory_order_relaxed);
     combinedWindowCycles_.store(0, std::memory_order_relaxed);
+    codecChargedWindowCycles_.store(0, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(accountMutex_);
     tenantTotals_.clear();
     imbalance_ = WindowImbalanceStats{};

@@ -417,6 +417,8 @@ class ShardedEngine
         obs::Counter *deviceWindowCycles = nullptr;
         obs::Counter *buddyWindowCycles = nullptr;
         obs::Counter *combinedWindowCycles = nullptr;
+        obs::Counter *codecCycles = nullptr; // sim/ subtree (serial sum)
+        obs::Counter *codecChargedWindowCycles = nullptr;
         obs::LatencyHistogram *batchMakespan = nullptr;
         obs::LatencyHistogram *batchOps = nullptr;
         obs::LatencyHistogram *windowOccupancy = nullptr; // Merged only
@@ -446,6 +448,7 @@ class ShardedEngine
     std::atomic<u64> deviceWindowCycles_{0};
     std::atomic<u64> buddyWindowCycles_{0};
     std::atomic<u64> combinedWindowCycles_{0};
+    std::atomic<u64> codecChargedWindowCycles_{0};
 
     /** Guards tenantTotals_ and imbalance_ — finish() runs on worker
      *  threads, so concurrent batch completions race without it. The

@@ -19,8 +19,11 @@ constexpr u8 kMagic[4] = {'B', 'D', 'Y', 'T'};
 // v3: the footer additionally carries the windowed-replay totals
 // (deviceWindowCycles/buddyWindowCycles).
 // v4: the footer additionally carries the combined (cross-link)
-// windowed makespan total (combinedWindowCycles). Older images remain
-// readable: the fields their footers predate load as 0.
+// windowed makespan total (combinedWindowCycles).
+// v5: the footer additionally carries the inline-unit totals
+// (codecCycles/codecChargedWindowCycles). Older images remain
+// readable: the fields their footers predate load as 0
+// (TraceReplayer::loadedVersion() distinguishes absent from zero).
 constexpr u8 kVersion = kTraceFormatVersion;
 constexpr u8 kOldestReadableVersion = 2;
 constexpr u8 kTagZeroWrite = 0x10;
@@ -100,6 +103,10 @@ putTotals(std::vector<u8> &out, const TraceTotals &t, u8 version)
     }
     if (version >= 4)
         putVarint(out, t.summary.combinedWindowCycles);
+    if (version >= 5) {
+        putVarint(out, t.summary.codecCycles);
+        putVarint(out, t.summary.codecChargedWindowCycles);
+    }
     putVarint(out, t.batches);
 }
 
@@ -123,6 +130,10 @@ readTotals(Reader &r, u8 version)
     }
     if (version >= 4)
         t.summary.combinedWindowCycles = r.varint();
+    if (version >= 5) {
+        t.summary.codecCycles = r.varint();
+        t.summary.codecChargedWindowCycles = r.varint();
+    }
     t.batches = r.varint();
     return t;
 }
@@ -185,10 +196,22 @@ TraceRecorderSink::onBatch(const BatchSummary &summary)
 }
 
 std::vector<u8>
-TraceRecorderSink::serialize(unsigned version) const
+TraceRecorderSink::serialize(unsigned version, bool allowLossyDowngrade) const
 {
     BUDDY_CHECK(version >= kOldestReadableVersion && version <= kVersion,
                 "unsupported trace serialization version");
+    // A pre-v5 footer has nowhere to put the codec totals. Dropping
+    // them is loss-free exactly when the capture charged no codec time:
+    // codecCycles is 0 and the charged makespan collapsed onto the
+    // combined one (a free unit leaves it equal, so it reconstructs
+    // from the surviving v4 field). Anything else silently corrupts
+    // the capture's accounting, so the caller must opt in explicitly.
+    BUDDY_CHECK(version >= 5 || allowLossyDowngrade ||
+                    (totals_.summary.codecCycles == 0 &&
+                     totals_.summary.codecChargedWindowCycles ==
+                         totals_.summary.combinedWindowCycles),
+                "serializing nonzero codec totals to a pre-v5 trace "
+                "drops them; pass allowLossyDowngrade to accept the loss");
     std::vector<u8> out;
     out.insert(out.end(), kMagic, kMagic + 4);
     out.push_back(static_cast<u8>(version));
@@ -249,6 +272,7 @@ TraceReplayer::loadImage(std::vector<u8> image)
     batches_.clear();
     ops_ = 0;
     recorded_ = TraceTotals{};
+    loadedVersion_ = 0;
 
     Reader r{image_};
     BUDDY_CHECK(std::memcmp(r.raw(4), kMagic, 4) == 0,
@@ -256,6 +280,7 @@ TraceReplayer::loadImage(std::vector<u8> image)
     const u8 version = r.byte();
     BUDDY_CHECK(version >= kOldestReadableVersion && version <= kVersion,
                 "unsupported trace version");
+    loadedVersion_ = version;
 
     const u64 alloc_count = r.varint();
     allocs_.reserve(alloc_count);

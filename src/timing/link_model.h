@@ -29,6 +29,18 @@
  *
  * All arithmetic is unsigned 64-bit integer: cycle totals are exact,
  * reproducible run-to-run, and safe to compare bit-for-bit in tests.
+ *
+ * Zero-size request contract (shared by every timing layer): a request
+ * for zero bytes / zero sectors is a *non-request* — it costs nothing
+ * (not even latency), advances no clock, occupies no pipe and no
+ * window slot, and leaves all counters untouched. The three layers pin
+ * this identically: LatencyBandwidthServer::cost(0) == 0 and
+ * request(now, 0) == now with no state change, LinkModel::charge(dir,
+ * 0) == 0 with no clock advance, SectorServer::request(now, 0) == now
+ * (timing/servers.h), and RequestWindow::issue(dir, 0) == 0 without
+ * consuming a slot (timing/window.h). One cross-layer test in
+ * tests/test_link_model.cc asserts all of them against each other, so
+ * the layers cannot drift apart silently.
  */
 
 #pragma once
@@ -72,6 +84,43 @@ struct LinkTiming
 };
 
 /**
+ * Latency/throughput parameters of an inline (de)compression unit.
+ *
+ * The unit is modeled as a fixed-function pipeline: it accepts a new
+ * 128 B entry every cyclesPerEntry cycles (the initiation interval) and
+ * an entry leaves the pipe latency() = cyclesPerEntry * pipelineDepth
+ * cycles after it entered. cyclesPerEntry == 0 is the free unit — it
+ * charges nothing and is an exact arithmetic no-op in the window
+ * scheduler, whatever the depth — so CodecTiming{0, *} reproduces the
+ * codec-free totals bit-for-bit. Every registered codec carries a
+ * CodecTiming (api/codec_registry.h); BuddyConfig::codecTiming
+ * overrides it per controller.
+ */
+struct CodecTiming
+{
+    /** Initiation interval: cycles between entries entering the pipe
+     *  (0 = free unit, no charge, exact no-op). */
+    Cycles cyclesPerEntry = 0;
+
+    /** Pipeline depth in stages (values below 1 behave as 1). */
+    u64 pipelineDepth = 1;
+
+    /** True when the unit charges nothing. */
+    bool
+    free() const
+    {
+        return cyclesPerEntry == 0;
+    }
+
+    /** Unloaded pass-through latency of one entry. */
+    Cycles
+    latency() const
+    {
+        return cyclesPerEntry * std::max<u64>(pipelineDepth, 1);
+    }
+};
+
+/**
  * Default link timing for a backing-store kind, loosely calibrated to
  * the paper's reference machine at a ~1.3 GHz core clock:
  *
@@ -109,7 +158,9 @@ class LatencyBandwidthServer
         return (bytes + bytesPerCycle_ - 1) / bytesPerCycle_;
     }
 
-    /** Unloaded request cost: the closed form tests check against. */
+    /** Unloaded request cost: the closed form tests check against.
+     *  cost(0) == 0 — a zero-byte request pays no latency either (the
+     *  file-level zero-size request contract). */
     Cycles
     cost(u64 bytes) const
     {
@@ -118,6 +169,9 @@ class LatencyBandwidthServer
 
     /**
      * Enqueue a @p bytes transfer arriving at time @p now.
+     * Zero bytes is a non-request: returns @p now unchanged with no
+     * queueing, no busy time, and no counter update (the zero-size
+     * request contract in the file header).
      * @return absolute completion time.
      */
     Cycles
@@ -175,7 +229,9 @@ class LinkModel
     {}
 
     /** Charge a @p bytes transfer in direction @p dir at the current
-     *  clock; advances the clock. @return cycles charged. */
+     *  clock; advances the clock. Zero bytes charges 0 and does not
+     *  advance the clock (the zero-size request contract).
+     *  @return cycles charged. */
     Cycles
     charge(LinkDir dir, u64 bytes)
     {

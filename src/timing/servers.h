@@ -47,6 +47,11 @@ class SectorServer
 
     /**
      * Enqueue a @p sectors transfer at time @p now.
+     * Zero sectors is a non-request: returns @p now with no latency, no
+     * busy time, and no counter update — the same zero-size request
+     * contract the integer-cycle layer documents in
+     * timing/link_model.h and tests/test_link_model.cc pins across all
+     * three layers.
      * @return completion time.
      */
     SimTime

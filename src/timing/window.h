@@ -45,6 +45,25 @@
  * additionally reports the combined (cross-link) completion frontier,
  * whose telescoped per-batch total is max(device makespan, buddy
  * makespan) rather than their sum.
+ *
+ * Codec stage: a WindowGroup optionally carries a CodecStage — the
+ * inline (de)compression unit (CodecTiming, link_model.h) the access
+ * stream shares. Compression work enters the pipe as soon as the unit
+ * accepts it (payloads are available at submission); decompression
+ * work enters when the op's link transfers complete. The codec-charged
+ * frontier — the completion of each op *including* its codec work — is
+ * tracked alongside the combined one and telescopes the same way, so a
+ * batch's codec-charged makespan is the combined makespan plus exactly
+ * the codec time the unit could not hide behind link transfers. A free
+ * unit (cyclesPerEntry == 0) is an exact arithmetic no-op: the
+ * codec-charged frontier equals the combined frontier cycle-for-cycle,
+ * and no pre-existing total changes — the property the
+ * CodecTiming{0, *} bit-compatibility contract rests on.
+ *
+ * Zero-size requests: issue() with zero bytes is free and occupies no
+ * window slot — the shared zero-size request contract documented in
+ * timing/link_model.h and pinned across all three timing layers by
+ * tests/test_link_model.cc.
  */
 
 #pragma once
@@ -211,6 +230,60 @@ class RequestWindow
     Cycles lastStall_ = 0;
 };
 
+/**
+ * The inline (de)compression unit of one scheduled access stream: a
+ * fixed-function FCFS pipeline parameterized by CodecTiming. Work is
+ * admitted in stream order; a new entry may enter every cyclesPerEntry
+ * cycles and leaves latency() cycles after it entered. Like the
+ * windows, a stage is built per request stream (one per batch), so
+ * codec-charged totals stay additive across batches. With free timing
+ * every admit() is an exact no-op (returns the availability time,
+ * advances nothing).
+ */
+class CodecStage
+{
+  public:
+    explicit CodecStage(const CodecTiming &timing) : timing_(timing) {}
+
+    /**
+     * Admit one entry whose input becomes available at @p avail.
+     * @return the cycle the entry leaves the pipe.
+     */
+    Cycles
+    admit(Cycles avail)
+    {
+        if (timing_.cyclesPerEntry == 0)
+            return avail;
+        const Cycles start = std::max(avail, nextAccept_);
+        lastStall_ = start - avail;
+        nextAccept_ = start + timing_.cyclesPerEntry;
+        ++entries_;
+        return start + timing_.latency();
+    }
+
+    /** Entries the stage processed (free-timing admits excluded). */
+    u64 entries() const { return entries_; }
+
+    /** Cycles the most recent admit() waited on the initiation
+     *  interval (backpressure from earlier entries). */
+    Cycles lastStall() const { return lastStall_; }
+
+    const CodecTiming &timing() const { return timing_; }
+
+  private:
+    CodecTiming timing_;
+    Cycles nextAccept_ = 0; ///< next cycle the pipe can accept an entry
+    Cycles lastStall_ = 0;
+    u64 entries_ = 0;
+};
+
+/** Codec work one WindowGroup::issue() schedules for its access. */
+enum class CodecWork : u8 {
+    None,       ///< no codec involvement (zero/raw entries)
+    Compress,   ///< write path: input available at submission
+    Decompress, ///< read path: input available at link completion
+};
+
 /** Per-link and combined charges of one WindowGroup::issue(). */
 struct GroupCharge
 {
@@ -228,6 +301,15 @@ struct GroupCharge
      * when the two links run in parallel.
      */
     Cycles combined = 0;
+
+    /**
+     * Advance of the codec-charged frontier: the op's completion
+     * *including* its (de)compression through the group's CodecStage.
+     * Telescopes to WindowGroup::chargedElapsed(); always >= the
+     * combined charge's telescoped total, and equal to it when the
+     * codec timing is free or the stream carries no codec work.
+     */
+    Cycles codecCharged = 0;
 };
 
 /**
@@ -248,21 +330,38 @@ struct GroupCharge
  * bracket is what the fuzz tests pin through the whole stack). Like
  * RequestWindow, a group is built per request stream (one per batch)
  * and all arithmetic is exact unsigned 64-bit.
+ *
+ * The optional codec stage (see the file header) adds a fourth,
+ * codec-charged frontier: each op's completion including its codec
+ * work, clamped monotone like the others. Its telescoped per-batch
+ * total — chargedElapsed() — is bracketed by
+ *
+ *   combined  <=  charged  <=  combined + Σ codec latencies
+ *
+ * and collapses to the combined makespan exactly when the codec timing
+ * is free or no op carries codec work.
  */
 class WindowGroup
 {
   public:
-    WindowGroup(RequestWindow device, RequestWindow buddy)
-        : device_(std::move(device)), buddy_(std::move(buddy))
+    WindowGroup(RequestWindow device, RequestWindow buddy,
+                const CodecTiming &codec = CodecTiming{})
+        : device_(std::move(device)), buddy_(std::move(buddy)),
+          codec_(codec)
     {}
 
     /**
      * Issue one access: @p device_bytes over the device link and
-     * @p buddy_bytes over the buddy link, both in direction @p dir.
-     * Either byte count may be zero (free, occupies no slot).
+     * @p buddy_bytes over the buddy link, both in direction @p dir,
+     * plus the access's codec involvement @p work. Either byte count
+     * may be zero (free, occupies no slot). Compression work enters
+     * the codec pipe as soon as it accepts (the payload exists at
+     * submission); decompression work enters once the op's link
+     * transfers have delivered the stored bytes.
      */
     GroupCharge
-    issue(LinkDir dir, u64 device_bytes, u64 buddy_bytes)
+    issue(LinkDir dir, u64 device_bytes, u64 buddy_bytes,
+          CodecWork work = CodecWork::None)
     {
         GroupCharge c;
         c.device = device_.issue(dir, device_bytes);
@@ -271,11 +370,36 @@ class WindowGroup
             std::max(device_.elapsed(), buddy_.elapsed());
         c.combined = fin - combined_;
         combined_ = fin;
+
+        // The op's completion including codec work. Decompression
+        // waits for the links this op actually used (an untouched
+        // link's backlog is not a data dependency); compression
+        // streams into the unit from submission on.
+        Cycles op_done = combined_;
+        if (work != CodecWork::None) {
+            Cycles avail = 0;
+            if (work == CodecWork::Decompress) {
+                if (device_bytes > 0)
+                    avail = std::max(avail, device_.elapsed());
+                if (buddy_bytes > 0)
+                    avail = std::max(avail, buddy_.elapsed());
+            }
+            op_done = std::max(op_done, codec_.admit(avail));
+        }
+        const Cycles charged = std::max(charged_, op_done);
+        c.codecCharged = charged - charged_;
+        charged_ = charged;
         return c;
     }
 
     /** Combined (cross-link) makespan of the stream issued so far. */
     Cycles combinedElapsed() const { return combined_; }
+
+    /** Codec-charged makespan of the stream issued so far: the
+     *  combined makespan plus the codec time the unit could not hide
+     *  behind link transfers. Equals combinedElapsed() when the codec
+     *  timing is free. */
+    Cycles chargedElapsed() const { return charged_; }
 
     /** The device-link window. */
     const RequestWindow &device() const { return device_; }
@@ -283,12 +407,20 @@ class WindowGroup
     /** The buddy-link window. */
     const RequestWindow &buddy() const { return buddy_; }
 
+    /** The stream's codec stage. */
+    const CodecStage &codec() const { return codec_; }
+
   private:
     RequestWindow device_;
     RequestWindow buddy_;
+    CodecStage codec_;
 
     /** Combined completion frontier: max over the link frontiers. */
     Cycles combined_ = 0;
+
+    /** Codec-charged completion frontier: op completions including
+     *  codec work, >= combined_ always. */
+    Cycles charged_ = 0;
 };
 
 } // namespace timing

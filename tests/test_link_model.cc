@@ -5,7 +5,11 @@
  * analytically expected cycle count — on the raw servers, on dram /
  * remote / peer backing stores driven directly, and through
  * BuddyController::execute, where every per-operation cycle charge must
- * be a pure function of the operation's traffic.
+ * be a pure function of the operation's traffic. Also pins the
+ * zero-size request contract across all three timing layers (the
+ * LatencyBandwidthServer/LinkModel cycle layer, the continuous-time
+ * SectorServer, and the windowed RequestWindow/WindowGroup): zero size
+ * means non-request — no cost, no clock advance, no slot, no counters.
  */
 
 #include <gtest/gtest.h>
@@ -16,6 +20,8 @@
 #include "core/controller.h"
 #include "engine/engine.h"
 #include "timing/link_model.h"
+#include "timing/servers.h"
+#include "timing/window.h"
 #include "workloads/patterns.h"
 
 namespace buddy {
@@ -77,6 +83,81 @@ TEST(LatencyBandwidthServer, ZeroBytesAndInfiniteBandwidthAreFree)
     EXPECT_EQ(s.cost(0), 0u);
     EXPECT_EQ(s.cost(4096), 50u);    // latency only
     EXPECT_EQ(s.request(7, 4096), 57u);
+}
+
+TEST(LinkModel, ZeroSizeRequestContractHoldsAcrossAllTimingLayers)
+{
+    // The zero-size request contract (documented in timing/link_model.h):
+    // a zero-size request is a non-request at EVERY timing layer — it
+    // returns immediately, charges nothing, advances no clock, occupies
+    // no window slot, and updates no counter. The three layers grew up
+    // independently, so this cross-layer test pins them to one behavior
+    // instead of letting the semantics drift apart again.
+
+    // Layer 1: the integer-cycle LatencyBandwidthServer.
+    LatencyBandwidthServer lbs(50, 16);
+    lbs.request(0, 128); // prime with one real request
+    const u64 req_before = lbs.requests();
+    const u64 bytes_before = lbs.bytesServed();
+    const Cycles busy_before = lbs.busyCycles();
+    EXPECT_EQ(lbs.cost(0), 0u);
+    EXPECT_EQ(lbs.request(77, 0), 77u); // returns `now`, no latency
+    EXPECT_EQ(lbs.requests(), req_before);
+    EXPECT_EQ(lbs.bytesServed(), bytes_before);
+    EXPECT_EQ(lbs.busyCycles(), busy_before);
+    EXPECT_EQ(lbs.queuedCycles(), 0u);
+
+    // ... and the LinkModel clock wrapping it.
+    LinkTiming t;
+    t.latency = 9;
+    t.readBytesPerCycle = 32;
+    t.writeBytesPerCycle = 32;
+    timing::LinkModel link(t);
+    link.charge(LinkDir::Write, 128);
+    const Cycles clock = link.now();
+    EXPECT_EQ(link.charge(LinkDir::Read, 0), 0u);
+    EXPECT_EQ(link.charge(LinkDir::Write, 0), 0u);
+    EXPECT_EQ(link.now(), clock);
+
+    // Layer 2: the continuous-time SectorServer.
+    timing::SectorServer ss(2.0, 30.0);
+    ss.request(0.0, 4); // prime
+    const double free_before = ss.nextFree();
+    const double sbusy_before = ss.busyTime();
+    const u64 sect_before = ss.sectorsTransferred();
+    EXPECT_EQ(ss.request(123.5, 0), 123.5); // `now` back, no latency
+    EXPECT_EQ(ss.nextFree(), free_before);
+    EXPECT_EQ(ss.busyTime(), sbusy_before);
+    EXPECT_EQ(ss.sectorsTransferred(), sect_before);
+
+    // Layer 3: the MSHR-style RequestWindow (and its group). A window
+    // of 1 makes slot occupancy observable: if a zero-byte issue took a
+    // slot, the third real request below would stall behind it.
+    timing::RequestWindow win(t, 1);
+    EXPECT_EQ(win.issue(LinkDir::Read, 0), 0u);
+    EXPECT_EQ(win.issued(), 0u);
+    EXPECT_EQ(win.outstanding(), 0u);
+    EXPECT_EQ(win.elapsed(), 0u);
+    EXPECT_EQ(win.lastStall(), 0u);
+    win.issue(LinkDir::Read, 128);
+    const Cycles frontier = win.elapsed();
+    EXPECT_EQ(win.issue(LinkDir::Read, 0), 0u);
+    EXPECT_EQ(win.elapsed(), frontier);
+    EXPECT_EQ(win.issued(), 1u);
+
+    // Through WindowGroup: a fully zero-size access charges nothing on
+    // any frontier, codec-charged included.
+    timing::WindowGroup group(timing::RequestWindow(t, 2),
+                              timing::RequestWindow(t, 2));
+    group.issue(LinkDir::Write, 128, 32);
+    const Cycles combined = group.combinedElapsed();
+    const timing::GroupCharge zero =
+        group.issue(LinkDir::Write, 0, 0);
+    EXPECT_EQ(zero.device, 0u);
+    EXPECT_EQ(zero.buddy, 0u);
+    EXPECT_EQ(zero.combined, 0u);
+    EXPECT_EQ(zero.codecCharged, 0u);
+    EXPECT_EQ(group.combinedElapsed(), combined);
 }
 
 TEST(LinkModel, ChargeAdvancesClockByUnloadedCost)

@@ -223,6 +223,47 @@ TEST(JsonWriter, EscapesAndValidates)
     EXPECT_TRUE(jsonValid("[1, 2.5e3, \"x\", true, null, {}]"));
 }
 
+// The writer and the validator are two independent implementations of
+// the string grammar; every byte value the writer can be handed must
+// come out as something the validator accepts, or exported metric
+// names/values with unusual bytes would produce reports jsonValid —
+// and real parsers — reject.
+TEST(JsonWriter, EveryByteValueEscapesToValidJson)
+{
+    // Each byte value alone, embedded mid-string, and as a key.
+    for (unsigned b = 0; b < 256; ++b) {
+        const std::string s("x" + std::string(1, static_cast<char>(b)) +
+                            "y");
+        EXPECT_TRUE(jsonValid("\"" + jsonEscape(s) + "\""))
+            << "byte 0x" << std::hex << b;
+
+        JsonWriter w;
+        w.beginObject().key(s).value(s).endObject();
+        EXPECT_TRUE(w.complete());
+        EXPECT_TRUE(jsonValid(w.str())) << "byte 0x" << std::hex << b;
+    }
+
+    // All 256 values in one string: still one valid document.
+    std::string all;
+    for (unsigned b = 0; b < 256; ++b)
+        all += static_cast<char>(b);
+    JsonWriter w;
+    w.beginObject().key("all").value(all).endObject();
+    EXPECT_TRUE(jsonValid(w.str()));
+
+    // Control bytes escape to \uXXXX; printable/high bytes pass through
+    // untouched — multi-byte UTF-8 sequences (2-, 3-, and 4-byte) and
+    // DEL (0x7f, printable per the JSON grammar) must survive verbatim.
+    EXPECT_EQ(jsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+    EXPECT_EQ(jsonEscape("\xe2\x86\x92"), "\xe2\x86\x92");
+    EXPECT_EQ(jsonEscape("\xf0\x9f\x98\x80"), "\xf0\x9f\x98\x80");
+    EXPECT_EQ(jsonEscape("\x7f"), "\x7f");
+    EXPECT_EQ(jsonEscape("\x1f"), "\\u001f");
+    EXPECT_TRUE(jsonValid("\"" + jsonEscape("caf\xc3\xa9 \xf0\x9f\x98"
+                                            "\x80 \x7f") +
+                          "\""));
+}
+
 } // namespace
 } // namespace obs
 } // namespace buddy

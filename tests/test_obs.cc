@@ -2,10 +2,12 @@
  * @file
  * End-to-end determinism of the telemetry subsystem (src/obs/): one
  * recorded trace replayed through engines at 1/2/4 shards must export
- * byte-identical `sim/` metric JSON, the full deterministic export must
- * reproduce run-to-run at a fixed shard count, and the Chrome-trace
- * timeline and buddy-bench-v1 report renderers must emit byte-stable,
- * syntactically valid JSON.
+ * byte-identical `sim/` metric JSON — under the default codec timing
+ * and under an explicitly slow CodecTiming alike — the full
+ * deterministic export must reproduce run-to-run at a fixed shard
+ * count, W=1 plus a free codec must collapse the windowed totals onto
+ * the serial charges, and the Chrome-trace timeline and buddy-bench-v1
+ * report renderers must emit byte-stable, syntactically valid JSON.
  */
 
 #include <gtest/gtest.h>
@@ -19,6 +21,7 @@
 #include "obs/chrome_trace.h"
 #include "obs/json.h"
 #include "obs/report.h"
+#include "timing/window.h"
 #include "workloads/patterns.h"
 
 namespace buddy {
@@ -77,13 +80,13 @@ recordWorkload()
     return recorder.serialize();
 }
 
-/** Replay the trace at @p shards with metrics attached; export @p opts. */
+/** Replay the trace on a @p cfg engine with metrics; export @p opts. */
 std::string
-replayExport(const engine::TraceReplayer &trace, unsigned shards,
+replayExport(const engine::TraceReplayer &trace, const EngineConfig &cfg,
              const obs::JsonExportOptions &opts,
              std::string *chromeJson = nullptr)
 {
-    ShardedEngine eng(engineConfig(shards));
+    ShardedEngine eng(cfg);
     obs::MetricRegistry registry;
     eng.attachMetrics(registry);
     obs::ChromeTraceSink sink;
@@ -103,9 +106,9 @@ TEST(ObsDeterminism, SimSubtreeIsByteIdenticalAcrossShardCounts)
     obs::JsonExportOptions simOnly;
     simOnly.prefix = obs::kSimPrefix;
 
-    const std::string at1 = replayExport(trace, 1, simOnly);
-    const std::string at2 = replayExport(trace, 2, simOnly);
-    const std::string at4 = replayExport(trace, 4, simOnly);
+    const std::string at1 = replayExport(trace, engineConfig(1), simOnly);
+    const std::string at2 = replayExport(trace, engineConfig(2), simOnly);
+    const std::string at4 = replayExport(trace, engineConfig(4), simOnly);
 
     EXPECT_TRUE(obs::jsonValid(at1));
     EXPECT_FALSE(at1.empty());
@@ -118,6 +121,59 @@ TEST(ObsDeterminism, SimSubtreeIsByteIdenticalAcrossShardCounts)
     EXPECT_NE(at1.find("sim/engine/window_occupancy"), std::string::npos);
 }
 
+TEST(ObsDeterminism, SimSubtreeShardInvariantUnderExplicitCodecTiming)
+{
+    engine::TraceReplayer trace;
+    trace.loadImage(recordWorkload());
+
+    obs::JsonExportOptions simOnly;
+    simOnly.prefix = obs::kSimPrefix;
+
+    // A deliberately slow unit (well past the registry defaults), so
+    // the codec-charged makespan visibly diverges from the combined
+    // one — and must still not depend on the sharding.
+    const auto slowConfig = [](unsigned shards) {
+        EngineConfig cfg = engineConfig(shards);
+        cfg.shard.codecTiming = timing::CodecTiming{16, 8};
+        return cfg;
+    };
+    const std::string at1 = replayExport(trace, slowConfig(1), simOnly);
+    const std::string at2 = replayExport(trace, slowConfig(2), simOnly);
+    const std::string at4 = replayExport(trace, slowConfig(4), simOnly);
+
+    EXPECT_TRUE(obs::jsonValid(at1));
+    EXPECT_EQ(at1, at2);
+    EXPECT_EQ(at1, at4);
+    // The codec totals ride the sim/ subtree (merged window mode).
+    EXPECT_NE(at1.find("sim/engine/codec_cycles"), std::string::npos);
+    EXPECT_NE(at1.find("sim/engine/codec_charged_window_cycles"),
+              std::string::npos);
+    // And the slow unit's export differs from the default-timing one
+    // (the metric is live, not a constant).
+    EXPECT_NE(at1, replayExport(trace, engineConfig(1), simOnly));
+}
+
+TEST(ObsDeterminism, FreeCodecAtWindowOneReproducesSerialTotals)
+{
+    engine::TraceReplayer trace;
+    trace.loadImage(recordWorkload());
+
+    // The pre-codec-timing model is a config point, not a code path:
+    // W=1 plus a free codec must collapse every windowed total onto
+    // the serial charges bit-for-bit.
+    EngineConfig cfg = engineConfig(4);
+    cfg.shard.linkWindow = 1;
+    cfg.shard.codecTiming = timing::CodecTiming{}; // free unit
+    ShardedEngine eng(cfg);
+    const TraceTotals t = trace.replay(eng);
+    const BatchSummary &s = t.summary;
+    EXPECT_GT(s.deviceCycles, 0u);
+    EXPECT_EQ(s.codecCycles, 0u);
+    EXPECT_EQ(s.deviceWindowCycles, s.deviceCycles);
+    EXPECT_EQ(s.buddyWindowCycles, s.buddyCycles);
+    EXPECT_EQ(s.codecChargedWindowCycles, s.combinedWindowCycles);
+}
+
 TEST(ObsDeterminism, FullDeterministicExportReproducesRunToRun)
 {
     engine::TraceReplayer trace;
@@ -126,8 +182,8 @@ TEST(ObsDeterminism, FullDeterministicExportReproducesRunToRun)
     // Everything except wall/ — including the shard/ subtree, which is
     // sharding-*dependent* but still deterministic run-to-run.
     const obs::JsonExportOptions all;
-    const std::string runA = replayExport(trace, 4, all);
-    const std::string runB = replayExport(trace, 4, all);
+    const std::string runA = replayExport(trace, engineConfig(4), all);
+    const std::string runB = replayExport(trace, engineConfig(4), all);
     EXPECT_EQ(runA, runB);
     EXPECT_NE(runA.find("shard/s0/"), std::string::npos);
     // wall/ metrics exist but stay out of the deterministic export.
@@ -142,8 +198,8 @@ TEST(ObsDeterminism, ChromeTraceIsValidAndByteStable)
     obs::JsonExportOptions simOnly;
     simOnly.prefix = obs::kSimPrefix;
     std::string traceA, traceB;
-    replayExport(trace, 4, simOnly, &traceA);
-    replayExport(trace, 4, simOnly, &traceB);
+    replayExport(trace, engineConfig(4), simOnly, &traceA);
+    replayExport(trace, engineConfig(4), simOnly, &traceB);
 
     EXPECT_TRUE(obs::jsonValid(traceA));
     EXPECT_EQ(traceA, traceB); // worker completion order cannot leak

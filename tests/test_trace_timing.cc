@@ -9,8 +9,13 @@
  * modes must round-trip traces through the replayer against timed
  * engines, logging the seed on any failure. Format compatibility is
  * pinned across versions: v2 images load with zero windowed totals,
- * serialize(3) drops only the v4 combined (cross-link) total, and a
- * capture replays under either window mode and any W.
+ * serialize(3) drops only the v4 combined (cross-link) total,
+ * serialize(4) drops only the v5 codec totals, downgrades that would
+ * silently drop *nonzero* codec totals are fatal without the explicit
+ * allowLossyDowngrade opt-in, and a capture replays under either window
+ * mode and any W. Comparisons against downgraded footers go through the
+ * version-aware sameSummary overload, which skips fields the footer
+ * never carried instead of comparing dropped data against zero.
  */
 
 #include <gtest/gtest.h>
@@ -37,20 +42,35 @@ timedEngineConfig(unsigned shards, const std::string &buddy_backend)
     return cfg;
 }
 
+/**
+ * Field-wise summary equality, honouring what a footer of @p version
+ * actually carried: fields newer than the version are skipped
+ * explicitly (they read back as 0 from such a footer, and comparing
+ * dropped data against a live total would be a silent lie). The default
+ * compares every field — two current-format summaries.
+ */
 bool
-sameSummary(const BatchSummary &a, const BatchSummary &b)
+sameSummary(const BatchSummary &a, const BatchSummary &b,
+            unsigned version = engine::kTraceFormatVersion)
 {
-    return a.reads == b.reads && a.writes == b.writes &&
-           a.probes == b.probes && a.deviceSectors == b.deviceSectors &&
-           a.buddySectors == b.buddySectors &&
-           a.metadataHits == b.metadataHits &&
-           a.metadataMisses == b.metadataMisses &&
-           a.buddyAccesses == b.buddyAccesses &&
-           a.deviceCycles == b.deviceCycles &&
-           a.buddyCycles == b.buddyCycles &&
-           a.deviceWindowCycles == b.deviceWindowCycles &&
-           a.buddyWindowCycles == b.buddyWindowCycles &&
-           a.combinedWindowCycles == b.combinedWindowCycles;
+    bool same = a.reads == b.reads && a.writes == b.writes &&
+                a.probes == b.probes &&
+                a.deviceSectors == b.deviceSectors &&
+                a.buddySectors == b.buddySectors &&
+                a.metadataHits == b.metadataHits &&
+                a.metadataMisses == b.metadataMisses &&
+                a.buddyAccesses == b.buddyAccesses &&
+                a.deviceCycles == b.deviceCycles &&
+                a.buddyCycles == b.buddyCycles;
+    if (version >= 3)
+        same = same && a.deviceWindowCycles == b.deviceWindowCycles &&
+               a.buddyWindowCycles == b.buddyWindowCycles;
+    if (version >= 4)
+        same = same && a.combinedWindowCycles == b.combinedWindowCycles;
+    if (version >= 5)
+        same = same && a.codecCycles == b.codecCycles &&
+               a.codecChargedWindowCycles == b.codecChargedWindowCycles;
+    return same;
 }
 
 /** Record a mixed write+read+probe workload; return the trace image. */
@@ -254,9 +274,18 @@ TEST(TraceTiming, V2ImagesRemainReadable)
     rec.detachSink(&recorder);
     EXPECT_GT(recorder.totals().summary.deviceWindowCycles, 0u);
 
+    // The default bpc codec timing is nonzero, so the capture carries
+    // nonzero codec totals and the v2 downgrade needs the explicit
+    // data-loss opt-in.
+    EXPECT_GT(recorder.totals().summary.codecCycles, 0u);
     TraceReplayer replayer;
-    replayer.loadImage(recorder.serialize(2));
+    replayer.loadImage(
+        recorder.serialize(2, /*allowLossyDowngrade=*/true));
     EXPECT_EQ(replayer.opCount(), recorder.opCount());
+    EXPECT_EQ(replayer.loadedVersion(), 2u);
+    EXPECT_FALSE(replayer.hasWindowTotals());
+    EXPECT_FALSE(replayer.hasCombinedTotal());
+    EXPECT_FALSE(replayer.hasCodecTotals());
 
     // v2 footers predate the windowed totals: they load as zero while
     // the serial fields survive.
@@ -264,8 +293,12 @@ TEST(TraceTiming, V2ImagesRemainReadable)
     EXPECT_EQ(loaded.deviceWindowCycles, 0u);
     EXPECT_EQ(loaded.buddyWindowCycles, 0u);
     EXPECT_EQ(loaded.combinedWindowCycles, 0u);
+    EXPECT_EQ(loaded.codecCycles, 0u);
+    EXPECT_EQ(loaded.codecChargedWindowCycles, 0u);
     EXPECT_EQ(loaded.deviceCycles, recorder.totals().summary.deviceCycles);
     EXPECT_EQ(loaded.buddyCycles, recorder.totals().summary.buddyCycles);
+    EXPECT_TRUE(sameSummary(loaded, recorder.totals().summary,
+                            replayer.loadedVersion()));
 
     // The op stream is version-independent: the replay reproduces the
     // full totals, windowed fields included.
@@ -290,8 +323,12 @@ TEST(TraceTiming, V3DowngradeDropsOnlyTheCombinedTotal)
     EXPECT_GT(recorded.summary.combinedWindowCycles, 0u);
 
     TraceReplayer v3;
-    v3.loadImage(recorder.serialize(3));
+    v3.loadImage(recorder.serialize(3, /*allowLossyDowngrade=*/true));
     EXPECT_EQ(v3.opCount(), recorder.opCount());
+    EXPECT_EQ(v3.loadedVersion(), 3u);
+    EXPECT_TRUE(v3.hasWindowTotals());
+    EXPECT_FALSE(v3.hasCombinedTotal());
+    EXPECT_FALSE(v3.hasCodecTotals());
     const BatchSummary &loaded = v3.recordedTotals().summary;
     EXPECT_EQ(loaded.combinedWindowCycles, 0u);
     EXPECT_EQ(loaded.deviceWindowCycles,
@@ -299,10 +336,115 @@ TEST(TraceTiming, V3DowngradeDropsOnlyTheCombinedTotal)
     EXPECT_EQ(loaded.buddyWindowCycles,
               recorded.summary.buddyWindowCycles);
     EXPECT_EQ(loaded.deviceCycles, recorded.summary.deviceCycles);
+    EXPECT_TRUE(
+        sameSummary(loaded, recorded.summary, v3.loadedVersion()));
 
     ShardedEngine fresh(cfg);
     const TraceTotals replayed = v3.replay(fresh);
     EXPECT_TRUE(sameSummary(replayed.summary, recorded.summary));
+}
+
+TEST(TraceTiming, V4DowngradeDropsOnlyTheCodecTotals)
+{
+    // serialize(4) is the downgrade hook for pre-v5 consumers: every
+    // link and window total survives, only the codec totals load as
+    // zero, and the op stream still replays to the full totals —
+    // including the codec ones, recomputed by the target.
+    EngineConfig cfg = timedEngineConfig(2, "remote");
+    cfg.shard.linkWindow = 4;
+    ShardedEngine rec(cfg);
+    TraceTotals recorded;
+    TraceRecorderSink recorder;
+    recordWorkload(rec, 512, 43, &recorded, &recorder);
+    EXPECT_GT(recorded.summary.codecCycles, 0u);
+    EXPECT_GT(recorded.summary.codecChargedWindowCycles, 0u);
+
+    TraceReplayer v4;
+    v4.loadImage(recorder.serialize(4, /*allowLossyDowngrade=*/true));
+    EXPECT_EQ(v4.opCount(), recorder.opCount());
+    EXPECT_EQ(v4.loadedVersion(), 4u);
+    EXPECT_TRUE(v4.hasWindowTotals());
+    EXPECT_TRUE(v4.hasCombinedTotal());
+    EXPECT_FALSE(v4.hasCodecTotals());
+    const BatchSummary &loaded = v4.recordedTotals().summary;
+    EXPECT_EQ(loaded.codecCycles, 0u);
+    EXPECT_EQ(loaded.codecChargedWindowCycles, 0u);
+    EXPECT_EQ(loaded.combinedWindowCycles,
+              recorded.summary.combinedWindowCycles);
+    EXPECT_TRUE(
+        sameSummary(loaded, recorded.summary, v4.loadedVersion()));
+
+    ShardedEngine fresh(cfg);
+    const TraceTotals replayed = v4.replay(fresh);
+    EXPECT_TRUE(sameSummary(replayed.summary, recorded.summary));
+    EXPECT_EQ(replayed.summary.codecCycles, recorded.summary.codecCycles);
+}
+
+TEST(TraceTiming, LossyCodecDowngradeWithoutOptInDies)
+{
+    // Serializing a capture with nonzero codec totals to any pre-v5
+    // version silently drops them — fatal unless the caller accepts the
+    // loss explicitly. The opt-in path is exercised by the downgrade
+    // tests above; here the guard itself is pinned.
+    ShardedEngine rec(timedEngineConfig(2, "remote"));
+    TraceTotals recorded;
+    TraceRecorderSink recorder;
+    recordWorkload(rec, 256, 47, &recorded, &recorder);
+    ASSERT_GT(recorded.summary.codecCycles, 0u);
+
+    EXPECT_DEATH({ recorder.serialize(4); }, "pre-v5");
+    EXPECT_DEATH({ recorder.serialize(2); }, "allowLossyDowngrade");
+}
+
+TEST(TraceTiming, FreeCodecCaptureDowngradesWithoutOptIn)
+{
+    // With an explicitly free codec unit the capture's codec totals are
+    // zero, so a pre-v5 footer drops nothing: the downgrade needs no
+    // opt-in and the loaded summary matches field-for-field at the
+    // downgraded version.
+    EngineConfig cfg = timedEngineConfig(2, "remote");
+    cfg.shard.codecTiming = timing::CodecTiming{};
+    ShardedEngine rec(cfg);
+    TraceTotals recorded;
+    TraceRecorderSink recorder;
+    recordWorkload(rec, 256, 53, &recorded, &recorder);
+    EXPECT_EQ(recorded.summary.codecCycles, 0u);
+    // The free unit's charged frontier tracks the combined one exactly.
+    EXPECT_EQ(recorded.summary.codecChargedWindowCycles,
+              recorded.summary.combinedWindowCycles);
+
+    TraceReplayer v4;
+    v4.loadImage(recorder.serialize(4)); // no opt-in needed
+    EXPECT_TRUE(sameSummary(v4.recordedTotals().summary, recorded.summary,
+                            v4.loadedVersion()));
+}
+
+TEST(TraceTiming, CodecTotalsRoundTripThroughV5Images)
+{
+    // The current format round-trips the codec totals: the footer
+    // carries them, the replayer reports them present, and an
+    // identically-configured replay reproduces them bit-for-bit.
+    EngineConfig cfg = timedEngineConfig(2, "remote");
+    cfg.shard.linkWindow = 4;
+    ShardedEngine rec(cfg);
+    TraceTotals recorded;
+    const auto image = recordWorkload(rec, 512, 59, &recorded);
+    EXPECT_GT(recorded.summary.codecCycles, 0u);
+    EXPECT_GE(recorded.summary.codecChargedWindowCycles,
+              recorded.summary.combinedWindowCycles);
+
+    TraceReplayer replayer;
+    replayer.loadImage(image);
+    EXPECT_EQ(replayer.loadedVersion(), engine::kTraceFormatVersion);
+    EXPECT_TRUE(replayer.hasCodecTotals());
+    EXPECT_TRUE(sameSummary(replayer.recordedTotals().summary,
+                            recorded.summary));
+
+    ShardedEngine fresh(cfg);
+    const TraceTotals replayed = replayer.replay(fresh);
+    EXPECT_EQ(replayed.summary.codecCycles, recorded.summary.codecCycles);
+    EXPECT_EQ(replayed.summary.codecChargedWindowCycles,
+              recorded.summary.codecChargedWindowCycles);
 }
 
 TEST(TraceTiming, ReplayUnderEitherWindowModeAndAnyWindow)

@@ -21,7 +21,12 @@
  *   - WindowGroup's combined (cross-link) charges telescope to the max
  *     of the per-link makespans and stay bracketed by that max and the
  *     per-link sum, through the raw group and through
- *     BuddyController::execute.
+ *     BuddyController::execute;
+ *   - the codec stage: a free CodecTiming is an exact no-op on every
+ *     frontier, the pipelined admission matches a closed form, and the
+ *     codec-charged makespan is bracketed by the combined makespan and
+ *     combined + the summed codec latencies, monotone in the codec's
+ *     initiation interval.
  */
 
 #include <gtest/gtest.h>
@@ -38,6 +43,9 @@
 namespace buddy {
 namespace {
 
+using timing::CodecStage;
+using timing::CodecTiming;
+using timing::CodecWork;
 using timing::GroupCharge;
 using timing::LatencyBandwidthServer;
 using timing::LinkDir;
@@ -326,6 +334,151 @@ TEST(WindowGroup, HandComputedCombinedFrontier)
     EXPECT_EQ(group.buddy().elapsed(), 28u);
 }
 
+// ------------------------------------------------------- codec stage --
+
+TEST(CodecStage, FreeUnitIsAnExactNoOp)
+{
+    // cyclesPerEntry == 0 is the free unit: admit() is the identity on
+    // availability and records nothing, whatever the pipeline depth
+    // claims. This is the property that lets a zero timing reproduce
+    // every pre-codec total bit-for-bit.
+    CodecStage stage(CodecTiming{0, 64});
+    EXPECT_TRUE(stage.timing().free());
+    EXPECT_EQ(stage.timing().latency(), 0u);
+    for (const Cycles avail : {0ull, 7ull, 1000ull, 3ull}) {
+        EXPECT_EQ(stage.admit(avail), avail);
+        EXPECT_EQ(stage.lastStall(), 0u);
+    }
+    EXPECT_EQ(stage.entries(), 0u);
+}
+
+TEST(CodecStage, PipelinedAdmissionMatchesClosedForm)
+{
+    // ii = 2, depth = 4: unloaded latency 8, one new entry every 2
+    // cycles. Back-to-back admissions at avail = 0 start at 0, 2, 4 and
+    // finish at 8, 10, 12; an entry arriving after the pipe drained
+    // starts immediately again.
+    CodecStage stage(CodecTiming{2, 4});
+    EXPECT_EQ(stage.timing().latency(), 8u);
+    EXPECT_EQ(stage.admit(0), 8u);
+    EXPECT_EQ(stage.lastStall(), 0u);
+    EXPECT_EQ(stage.admit(0), 10u);
+    EXPECT_EQ(stage.lastStall(), 2u); // waited for the issue slot
+    EXPECT_EQ(stage.admit(0), 12u);
+    EXPECT_EQ(stage.lastStall(), 4u);
+    EXPECT_EQ(stage.admit(100), 108u); // pipe idle: no stall
+    EXPECT_EQ(stage.lastStall(), 0u);
+    EXPECT_EQ(stage.entries(), 4u);
+
+    // A depth below 1 behaves as 1: latency == cyclesPerEntry.
+    CodecStage shallow(CodecTiming{3, 0});
+    EXPECT_EQ(shallow.timing().latency(), 3u);
+    EXPECT_EQ(shallow.admit(0), 3u);
+}
+
+TEST(WindowGroupCodec, FreeTimingLeavesEveryFrontierIdentical)
+{
+    // The same random stream through a codec-free group and through a
+    // group with an explicit free codec stage fed codec work on every
+    // op: all four charge fields must match op-for-op — the free unit
+    // is invisible, codec work or not.
+    LinkTiming dev{2, 64, 64};
+    LinkTiming bud{50, 8, 8};
+    WindowGroup plain(RequestWindow(dev, 4), RequestWindow(bud, 4));
+    WindowGroup freed(RequestWindow(dev, 4), RequestWindow(bud, 4),
+                      CodecTiming{0, 8});
+    Rng rng(91);
+    for (std::size_t i = 0; i < 400; ++i) {
+        const LinkDir dir = rng.below(2) ? LinkDir::Read : LinkDir::Write;
+        const u64 dev_bytes = rng.below(3) ? 32 * rng.below(5) : 0;
+        const u64 bud_bytes = rng.below(3) ? 32 * rng.below(4) : 0;
+        const CodecWork work = dir == LinkDir::Write
+                                   ? CodecWork::Compress
+                                   : CodecWork::Decompress;
+        const GroupCharge a = plain.issue(dir, dev_bytes, bud_bytes);
+        const GroupCharge b = freed.issue(dir, dev_bytes, bud_bytes, work);
+        ASSERT_EQ(a.device, b.device);
+        ASSERT_EQ(a.buddy, b.buddy);
+        ASSERT_EQ(a.combined, b.combined);
+        ASSERT_EQ(a.codecCharged, b.codecCharged);
+        // With no (or free) codec work the charged frontier tracks the
+        // combined one cycle-for-cycle.
+        ASSERT_EQ(a.codecCharged, a.combined);
+    }
+    EXPECT_EQ(freed.chargedElapsed(), freed.combinedElapsed());
+}
+
+TEST(WindowGroupCodec, HandComputedCodecChargedFrontier)
+{
+    // Both links latency 10 at 32 B/cycle, W = 1, codec ii = 4 depth 2
+    // (latency 8). Op 1: 128 B device write, compression starts at
+    // submission and finishes at 8, fully hidden under the link's 14.
+    // Op 2: 128 B device read, decompression waits for delivery at 28
+    // and exposes its full 8 cycles. Op 3: 128 B device write at 42,
+    // compression (admitted at the pipe's next slot, 32) finishes at 40
+    // — hidden again.
+    LinkTiming t{10, 32, 32};
+    WindowGroup group(RequestWindow(t, 1), RequestWindow(t, 1),
+                      CodecTiming{4, 2});
+
+    GroupCharge c = group.issue(LinkDir::Write, 128, 0,
+                                CodecWork::Compress);
+    EXPECT_EQ(c.combined, 14u);
+    EXPECT_EQ(c.codecCharged, 14u); // codec hidden behind the store
+
+    c = group.issue(LinkDir::Read, 128, 0, CodecWork::Decompress);
+    EXPECT_EQ(c.combined, 14u); // link frontier 28
+    EXPECT_EQ(c.codecCharged, 22u); // 28 delivery + 8 decode - 14
+    EXPECT_EQ(group.chargedElapsed(), 36u);
+
+    c = group.issue(LinkDir::Write, 128, 0, CodecWork::Compress);
+    EXPECT_EQ(group.combinedElapsed(), 42u);
+    EXPECT_EQ(group.chargedElapsed(), 42u); // hidden again
+    EXPECT_EQ(c.codecCharged, 6u);
+    EXPECT_EQ(group.codec().entries(), 3u);
+}
+
+TEST(WindowGroupCodec, ChargedMakespanIsBracketedAndMonotoneInSpeed)
+{
+    // Sweeping the codec from free to very slow over one fixed stream:
+    // the charged makespan never decreases as the unit slows, always
+    // sits in [combined, combined + Σ latencies], and the link
+    // frontiers never move at all (the codec is a parallel unit, not a
+    // link gate).
+    LinkTiming dev{2, 64, 64};
+    LinkTiming bud{50, 8, 8};
+    Cycles prev_charged = 0;
+    Cycles baseline_combined = 0;
+    for (const u64 ii : {0ull, 1ull, 2ull, 8ull, 64ull}) {
+        WindowGroup group(RequestWindow(dev, 8), RequestWindow(bud, 8),
+                          CodecTiming{ii, 4});
+        Rng rng(137);
+        for (std::size_t i = 0; i < 500; ++i) {
+            const LinkDir dir =
+                rng.below(2) ? LinkDir::Read : LinkDir::Write;
+            const u64 dev_bytes = rng.below(3) ? 32 * rng.below(5) : 0;
+            const u64 bud_bytes = rng.below(3) ? 32 * rng.below(4) : 0;
+            CodecWork work = CodecWork::None;
+            if (rng.below(2) && (dev_bytes > 0 || bud_bytes > 0))
+                work = dir == LinkDir::Write ? CodecWork::Compress
+                                             : CodecWork::Decompress;
+            group.issue(dir, dev_bytes, bud_bytes, work);
+        }
+        if (ii == 0)
+            baseline_combined = group.combinedElapsed();
+        // Link and combined frontiers are codec-invariant.
+        EXPECT_EQ(group.combinedElapsed(), baseline_combined);
+        // Bracket and monotonicity of the charged makespan.
+        EXPECT_GE(group.chargedElapsed(), group.combinedElapsed());
+        EXPECT_LE(group.chargedElapsed(),
+                  group.combinedElapsed() +
+                      group.codec().entries() *
+                          group.codec().timing().latency());
+        EXPECT_GE(group.chargedElapsed(), prev_charged);
+        prev_charged = group.chargedElapsed();
+    }
+}
+
 // --------------------------------------------------- controller-driven --
 
 BuddyConfig
@@ -384,8 +537,15 @@ TEST(WindowedController, WindowOneReproducesSerialTotalsBitForBit)
         EXPECT_EQ(s.combinedWindowCycles,
                   std::max(s.deviceWindowCycles, s.buddyWindowCycles));
         combined_total += s.combinedWindowCycles;
+        // The codec-charged makespan brackets hold per batch, and the
+        // link totals above are untouched by the (nonzero, default
+        // bpc) codec timing — the codec is a parallel unit.
+        EXPECT_GE(s.codecChargedWindowCycles, s.combinedWindowCycles);
+        EXPECT_LE(s.codecChargedWindowCycles,
+                  s.combinedWindowCycles + s.codecCycles);
     }
     EXPECT_GT(gpu.stats().buddyCycles, 0u);
+    EXPECT_GT(gpu.stats().codecCycles, 0u);
     EXPECT_EQ(gpu.stats().deviceWindowCycles, gpu.stats().deviceCycles);
     EXPECT_EQ(gpu.stats().buddyWindowCycles, gpu.stats().buddyCycles);
     EXPECT_EQ(gpu.stats().combinedWindowCycles, combined_total);
@@ -410,14 +570,82 @@ TEST(WindowedController, SingleOpWrappersReportCombinedAsLinkMax)
     EXPECT_GT(w.buddyCycles, 0u);
     EXPECT_EQ(w.combinedWindowCycles,
               std::max(w.deviceCycles, w.buddyCycles));
+    // Incompressible data still ran the compressor (to discover it
+    // doesn't fit): the unloaded latency is charged, overlapped with
+    // the stores in the codec-charged figure.
+    EXPECT_EQ(w.codecCycles, gpu.codecTiming().latency());
+    EXPECT_EQ(w.codecChargedWindowCycles,
+              std::max(w.combinedWindowCycles, w.codecCycles));
 
     std::vector<u8> out(kEntryBytes);
     const AccessInfo r = gpu.readEntry(va, out.data());
     EXPECT_EQ(r.combinedWindowCycles,
               std::max(r.deviceCycles, r.buddyCycles));
+    // The entry is stored Raw, so the read bypasses the decompressor.
+    EXPECT_EQ(r.codecCycles, 0u);
+    EXPECT_EQ(r.codecChargedWindowCycles, r.combinedWindowCycles);
     const AccessInfo p = gpu.probeEntry(va);
     EXPECT_EQ(p.combinedWindowCycles,
               std::max(p.deviceCycles, p.buddyCycles));
+    EXPECT_EQ(p.codecCycles, 0u);
+}
+
+TEST(WindowedController, SingleOpWrappersMatchOneOpBatchesExactly)
+{
+    // The wrappers' closed-form codec-charged fallback must agree with
+    // the real window-group path: the same op executed as a 1-op batch
+    // (fresh windows) yields bit-identical AccessInfo timing fields,
+    // compressible and incompressible entries alike, on two
+    // identically-configured controllers.
+    BuddyConfig cfg = windowedConfig(1);
+    BuddyController solo(cfg);
+    BuddyController batched(cfg);
+    const auto mk = [](BuddyController &gpu) {
+        const auto id = gpu.allocate("a", 64 * kEntryBytes,
+                                     CompressionTarget::Ratio2);
+        EXPECT_TRUE(id.has_value());
+        return gpu.allocations().at(*id).va;
+    };
+    const Addr va_s = mk(solo);
+    const Addr va_b = mk(batched);
+
+    Rng rng(41);
+    std::vector<u8> data(8 * kEntryBytes);
+    for (std::size_t e = 0; e < 8; ++e)
+        fillBucketEntry(rng, static_cast<unsigned>(e % kPatternBuckets),
+                        data.data() + e * kEntryBytes);
+    std::vector<u8> out(kEntryBytes);
+
+    const auto same = [](const AccessInfo &a, const AccessInfo &b) {
+        EXPECT_EQ(a.deviceCycles, b.deviceCycles);
+        EXPECT_EQ(a.buddyCycles, b.buddyCycles);
+        EXPECT_EQ(a.codecCycles, b.codecCycles);
+        EXPECT_EQ(a.deviceWindowCycles, b.deviceWindowCycles);
+        EXPECT_EQ(a.buddyWindowCycles, b.buddyWindowCycles);
+        EXPECT_EQ(a.combinedWindowCycles, b.combinedWindowCycles);
+        EXPECT_EQ(a.codecChargedWindowCycles,
+                  b.codecChargedWindowCycles);
+    };
+
+    for (std::size_t e = 0; e < 8; ++e) {
+        const Addr off = e * kEntryBytes;
+        const u8 *payload = data.data() + off;
+
+        AccessBatch wb;
+        wb.write(va_b + off, payload);
+        batched.execute(wb);
+        same(solo.writeEntry(va_s + off, payload), wb.results()[0]);
+
+        AccessBatch rb;
+        rb.read(va_b + off, out.data());
+        batched.execute(rb);
+        same(solo.readEntry(va_s + off, out.data()), rb.results()[0]);
+
+        AccessBatch pb;
+        pb.probe(va_b + off);
+        batched.execute(pb);
+        same(solo.probeEntry(va_s + off), pb.results()[0]);
+    }
 }
 
 TEST(WindowedController, WindowedTotalsFallBetweenBoundsAndShrink)

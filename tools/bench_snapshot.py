@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Maintain and gate the committed BENCH_buddy.json snapshot.
+
+The repo commits a merged buddy-bench-v1 snapshot at the root so
+downstream tooling (and reviewers) can diff bench behaviour without
+building. Its `sim/` metric subtrees are simulated-time totals, which
+the determinism contract pins bit-for-bit run-to-run — so a divergence
+between the committed snapshot and a fresh run means the snapshot is
+stale (someone changed timing behaviour without refreshing it), and CI
+should fail rather than let the artifact rot.
+
+    refresh  re-run the smoke benches and fold their reports into
+             BENCH_buddy.json in place (non-smoke entries are kept
+             verbatim)
+    check    re-run the smoke benches and compare every deterministic
+             `sim/` metric of the committed snapshot against the fresh
+             reports; exit 1 on any divergence
+
+Both modes run the same bench commands, so `check` failing is always
+fixable by `refresh` + commit.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+# The smoke benches CI regenerates: deterministic, seconds to run, and
+# the only snapshot entries that carry attached metric registries.
+SMOKE_BENCHES = [
+    ("engine_scaling", ["--smoke"]),
+    ("service_load", ["--smoke"]),
+    ("fig10_sim_speed", ["--smoke"]),
+    ("fig12_um_oversubscription", ["--smoke"]),
+    ("ablation_codec_timing", []),
+]
+
+METRIC_KINDS = ("counters", "gauges", "histograms")
+
+
+def run_smoke_benches(build_dir: Path, out_dir: Path) -> dict:
+    """Run each smoke bench with --json; return {bench: report}."""
+    reports = {}
+    for name, flags in SMOKE_BENCHES:
+        exe = build_dir / f"bench_{name}"
+        if not exe.exists():
+            sys.exit(f"error: {exe} not built (build the bench targets "
+                     "first)")
+        out = out_dir / f"{name}.json"
+        cmd = [str(exe), *flags, "--json", str(out)]
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True)
+        if proc.returncode != 0:
+            sys.exit(f"error: {' '.join(cmd)} failed:\n{proc.stdout}")
+        report = json.loads(out.read_text())
+        reports[report["bench"]] = report
+    return reports
+
+
+def sim_subtree(report: dict) -> dict:
+    """The deterministic sim/ metrics of one report, flattened."""
+    flat = {}
+    for kind, metrics in report.get("metrics", {}).items():
+        if kind not in METRIC_KINDS:
+            continue
+        for name, value in metrics.items():
+            if name.startswith("sim/"):
+                flat[f"{kind}:{name}"] = value
+    return flat
+
+
+def diff_subtrees(bench: str, committed: dict, fresh: dict) -> list:
+    """Human-readable divergences between two sim/ subtrees."""
+    problems = []
+    for key in sorted(committed.keys() | fresh.keys()):
+        if key not in fresh:
+            problems.append(f"{bench}: {key} committed but gone fresh")
+        elif key not in committed:
+            problems.append(f"{bench}: {key} fresh but not committed")
+        elif committed[key] != fresh[key]:
+            problems.append(f"{bench}: {key} committed "
+                            f"{committed[key]!r} != fresh {fresh[key]!r}")
+    return problems
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("mode", choices=["refresh", "check"])
+    ap.add_argument("--build-dir", default="build", type=Path)
+    ap.add_argument("--snapshot", default=Path(__file__).parent.parent /
+                    "BENCH_buddy.json", type=Path)
+    args = ap.parse_args()
+
+    snapshot = json.loads(args.snapshot.read_text())
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = run_smoke_benches(args.build_dir, Path(tmp))
+
+    if args.mode == "refresh":
+        snapshot["benches"].update(fresh)
+        snapshot["benches"] = dict(sorted(snapshot["benches"].items()))
+        args.snapshot.write_text(
+            json.dumps(snapshot, indent=1, sort_keys=False) + "\n")
+        print(f"refreshed {len(fresh)} bench entries in {args.snapshot}")
+        return 0
+
+    problems = []
+    for bench, report in fresh.items():
+        committed = snapshot["benches"].get(bench)
+        if committed is None:
+            problems.append(f"{bench}: missing from the committed "
+                            "snapshot")
+            continue
+        problems += diff_subtrees(bench, sim_subtree(committed),
+                                  sim_subtree(report))
+    if problems:
+        print("committed BENCH_buddy.json is stale — its deterministic "
+              "sim/ metrics diverge from a fresh run:")
+        for p in problems:
+            print(f"  {p}")
+        print("fix: python3 tools/bench_snapshot.py refresh "
+              "--build-dir <build> and commit the result")
+        return 1
+    print(f"snapshot sim/ subtrees match a fresh run "
+          f"({len(fresh)} benches checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
