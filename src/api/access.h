@@ -369,8 +369,17 @@ class AccessBatch
     /** The submitting tenant's id (0 = untagged). */
     u32 tenant() const { return tenant_; }
 
+    /**
+     * The engine submit sequence stamped by ShardedEngine::submit()
+     * (valid once submit() returns; 0 before any submission). The
+     * batch's identity for completion-hook consumers: BatchRecords and
+     * service-scheduler timeline spans carry the same sequence, so
+     * per-batch data from both sides joins on it.
+     */
+    u64 submitSeq() const { return submitSeq_; }
+
   private:
-    // Fill results_ / summary_ after execution.
+    // Fill results_ / summary_ / submitSeq_ after execution.
     friend class ::buddy::BuddyController;
     friend class ::buddy::engine::ShardedEngine;
 
@@ -378,6 +387,7 @@ class AccessBatch
     std::vector<AccessInfo> results_;
     BatchSummary summary_;
     u32 tenant_ = 0;
+    u64 submitSeq_ = 0;
 };
 
 } // namespace api

@@ -10,7 +10,8 @@
  * known ones, and numeric flags hard-reject everything strtoull would
  * quietly mangle — trailing junk, signed values, out-of-range values,
  * and a valued flag dangling at the end of argv
- * (tests/test_cli.cc pins each rejection).
+ * (tests/test_cli.cc pins each rejection). Registering the same flag
+ * name twice is a fail-fast programming error, not a silent override.
  *
  *   CliFlags cli("bench_engine_scaling",
  *                "throughput vs. shard count on a mixed working set");
@@ -52,7 +53,7 @@ class CliFlags
         f.kind = Kind::Uint;
         f.u = def;
         f.help = help;
-        flags_.push_back(std::move(f));
+        registerFlag(std::move(f));
     }
 
     void
@@ -64,7 +65,7 @@ class CliFlags
         f.kind = Kind::String;
         f.s = std::move(def);
         f.help = help;
-        flags_.push_back(std::move(f));
+        registerFlag(std::move(f));
     }
 
     /** Bool flags default to false and take no value. */
@@ -75,7 +76,7 @@ class CliFlags
         f.name = name;
         f.kind = Kind::Bool;
         f.help = help;
-        flags_.push_back(std::move(f));
+        registerFlag(std::move(f));
     }
 
     /**
@@ -106,7 +107,7 @@ class CliFlags
                 break;
             }
         BUDDY_CHECK(found, "enum flag default is not an accepted token");
-        flags_.push_back(std::move(f));
+        registerFlag(std::move(f));
     }
 
     /**
@@ -272,6 +273,22 @@ class CliFlags
             out += token;
         }
         return out;
+    }
+
+    /**
+     * All add* paths funnel here: registering the same name twice is a
+     * programming error (the second registration would silently win at
+     * parse/read time), rejected as fail-fast as unknown enum tokens.
+     */
+    void
+    registerFlag(Flag f)
+    {
+        if (find(f.name) != nullptr) {
+            std::fprintf(stderr, "%s: flag --%s registered twice\n",
+                         program_.c_str(), f.name.c_str());
+            BUDDY_FATAL("duplicate flag registration");
+        }
+        flags_.push_back(std::move(f));
     }
 
     Flag *

@@ -232,6 +232,7 @@ ShardedEngine::submit(AccessBatch &batch)
     auto job = std::make_shared<BatchJob>();
     job->batch = &batch;
     job->seq = nextSeq_.fetch_add(1, std::memory_order_relaxed);
+    batch.submitSeq_ = job->seq;
 
     const std::size_t n = batch.ops_.size();
     batch.results_.assign(n, AccessInfo{});

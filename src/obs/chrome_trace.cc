@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/log.h"
 #include "common/table.h"
 #include "obs/json.h"
 
@@ -49,9 +50,22 @@ ChromeTraceSink::onBatch(const api::BatchSummary &summary)
 }
 
 void
+ChromeTraceSink::noteServiceSpan(u64 seq, u64 arrival, u64 admit,
+                                 u64 complete)
+{
+    BUDDY_CHECK(arrival <= admit && admit < complete,
+                "service span times must be arrival <= admit < complete");
+    ServiceSpan &s = serviceSpans_[seq];
+    s.arrival = arrival;
+    s.admit = admit;
+    s.complete = complete;
+}
+
+void
 ChromeTraceSink::clear()
 {
     records_.clear();
+    serviceSpans_.clear();
     nextSeq_ = 0;
     pendingOps_ = 0;
     pendingTenant_ = 0;
@@ -120,16 +134,41 @@ ChromeTraceSink::toJson() const
     for (const unsigned s : shards)
         metadataEvent(w, "thread_name", kGpuPid, s, strfmt("gpu %u", s));
 
-    // Lay batches end-to-end on one simulated-cycle clock. Chrome's ts
-    // unit is nominally microseconds; here 1 us == 1 simulated cycle.
+    // Lay batches on one simulated-cycle clock. Chrome's ts unit is
+    // nominally microseconds; here 1 us == 1 simulated cycle. Batches
+    // with a service span sit at their true open-loop times; the rest
+    // go end-to-end on the synthetic clock.
     u64 clock = 0;
     u64 cumDeviceSectors = 0;
     u64 cumBuddySectors = 0;
     for (const BatchRecord *r : ordered) {
-        const u64 dur =
+        u64 ts = clock;
+        u64 dur =
             r->summary.combinedWindowCycles > 0
                 ? r->summary.combinedWindowCycles
                 : 1; // zero-cycle batches still get a visible sliver
+        const auto span = serviceSpans_.find(r->seq);
+        if (span != serviceSpans_.end()) {
+            const ServiceSpan &s = span->second;
+            ts = s.admit;
+            dur = s.complete - s.admit;
+            if (s.admit > s.arrival) {
+                // Queueing delay: eligible but unadmitted.
+                w.beginObject()
+                    .key("name").value(strfmt("queued %llu",
+                                              (unsigned long long)r->seq))
+                    .key("cat").value("queue")
+                    .key("ph").value("X")
+                    .key("pid").value(kTenantPid)
+                    .key("tid").value(r->tenant)
+                    .key("ts").value(s.arrival)
+                    .key("dur").value(s.admit - s.arrival)
+                    .key("args").beginObject()
+                    .key("queueDelayCycles").value(s.admit - s.arrival)
+                    .endObject()
+                    .endObject();
+            }
+        }
         cumDeviceSectors += r->summary.deviceSectors;
         cumBuddySectors += r->summary.buddySectors;
 
@@ -141,7 +180,7 @@ ChromeTraceSink::toJson() const
             .key("ph").value("X")
             .key("pid").value(kTenantPid)
             .key("tid").value(r->tenant)
-            .key("ts").value(clock)
+            .key("ts").value(ts)
             .key("dur").value(dur)
             .key("args").beginObject()
             .key("ops").value(r->summary.operations())
@@ -162,7 +201,7 @@ ChromeTraceSink::toJson() const
                 .key("ph").value("X")
                 .key("pid").value(kGpuPid)
                 .key("tid").value(s.shard)
-                .key("ts").value(clock)
+                .key("ts").value(ts)
                 .key("dur").value(s.combinedCycles > 0 ? s.combinedCycles
                                                        : 1)
                 .key("args").beginObject()
@@ -177,7 +216,7 @@ ChromeTraceSink::toJson() const
             .key("ph").value("C")
             .key("pid").value(kGpuPid)
             .key("tid").value(0)
-            .key("ts").value(clock)
+            .key("ts").value(ts)
             .key("args").beginObject()
             .key("device").value(r->maxDeviceOutstanding)
             .key("buddy").value(r->maxBuddyOutstanding)
@@ -188,14 +227,15 @@ ChromeTraceSink::toJson() const
             .key("ph").value("C")
             .key("pid").value(kTenantPid)
             .key("tid").value(0)
-            .key("ts").value(clock)
+            .key("ts").value(ts)
             .key("args").beginObject()
             .key("device").value(cumDeviceSectors)
             .key("buddy").value(cumBuddySectors)
             .endObject()
             .endObject();
 
-        clock += dur;
+        if (span == serviceSpans_.end())
+            clock += dur; // synthetic layout only advances for unpinned
     }
 
     w.endArray();

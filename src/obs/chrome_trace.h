@@ -21,6 +21,14 @@
  *                  (peak outstanding round trips per link) and
  *                  cumulative sector traffic per link.
  *
+ * Service-clock spans: the continuous-admission service scheduler can
+ * mirror its per-batch timing into the sink via noteServiceSpan(),
+ * keyed by the engine submit sequence. A batch with a service span is
+ * placed at its true open-loop times — a "queued" span from arrival to
+ * admission and the batch span from admission to completion on the
+ * scheduler's simulated clock — instead of the synthetic end-to-end
+ * layout (which remains the model for batches without spans).
+ *
  * Determinism: every field is integer simulated-time state and the
  * layout sorts by seq, so the rendered JSON is byte-identical
  * run-to-run for the same workload — toJson() output can be diffed as
@@ -34,6 +42,7 @@
 
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -55,6 +64,15 @@ class ChromeTraceSink : public api::TrafficSink, public BatchObserver
     void onAccess(const api::AccessEvent &event) override;
     void onBatch(const api::BatchSummary &summary) override;
 
+    /**
+     * Pin the batch submitted as engine sequence @p seq to the service
+     * scheduler's clock: it arrived (became eligible) at @p arrival,
+     * was admitted at @p admit, and completed at @p complete, all in
+     * simulated cycles (arrival <= admit < complete — checked). The
+     * batch's spans are then laid out at these true open-loop times.
+     */
+    void noteServiceSpan(u64 seq, u64 arrival, u64 admit, u64 complete);
+
     /** Completed batches recorded so far. */
     std::size_t batches() const { return records_.size(); }
 
@@ -75,7 +93,16 @@ class ChromeTraceSink : public api::TrafficSink, public BatchObserver
     void clear();
 
   private:
+    /** One scheduler-clock pin (see noteServiceSpan). */
+    struct ServiceSpan
+    {
+        u64 arrival = 0;
+        u64 admit = 0;
+        u64 complete = 0;
+    };
+
     std::vector<BatchRecord> records_;
+    std::map<u64, ServiceSpan> serviceSpans_; ///< by engine submit seq
 
     /** Synthesis state of the TrafficSink path. */
     u64 nextSeq_ = 0;

@@ -6,21 +6,50 @@
  *
  * The scheduler runs the engine as a long-lived multiplexer: sessions
  * are added up front (each bringing its own VA namespace), then run()
- * drives them to completion in deterministic dispatch *rounds*. Each
- * round the QoS policy admits batches — at most
- * ServiceConfig::maxInflightPerTenant per tenant and
- * ServiceConfig::maxInflightTotal overall — submits them to the
- * engine's worker pool for concurrent execution, and barriers on their
- * completion before accounting. Sessions generate plans lazily
- * (TenantSession::next), so a tenant denied admission is backpressured
- * into its stream rather than queueing unbounded work; a session with
- * work ready that dispatches nothing in a round accrues queue-wait.
+ * drives them to completion under one of two admission models
+ * (ServiceConfig::admission):
+ *
+ *   BulkSynchronous  deterministic dispatch *rounds*: each round the
+ *                    QoS policy admits batches — at most
+ *                    ServiceConfig::maxInflightPerTenant per tenant and
+ *                    ServiceConfig::maxInflightTotal overall — submits
+ *                    them to the engine's worker pool for concurrent
+ *                    execution, and barriers on their completion before
+ *                    accounting. A slow tenant stalls the round, and
+ *                    queue-wait is measured in rounds: a session denied
+ *                    ready work in a round (admitted nothing, or capped
+ *                    by the fleet-wide limit below its own cap) accrues
+ *                    one queue-wait round.
+ *
+ *   Continuous       open-loop admission on a simulated-cycle clock: no
+ *                    round barrier — slots refill as batch futures
+ *                    resolve, and the QoS policy re-picks among
+ *                    eligible tenants at every completion event. A
+ *                    batch is eligible once the clock passes its
+ *                    arrival time (TenantSession arrival process;
+ *                    sessions without one are closed-loop) and its
+ *                    tenant is below its in-flight cap. Each batch is
+ *                    accounted per-batch in simulated cycles: queueing
+ *                    delay (arrival -> admission) and service latency
+ *                    (admission -> completion, = max(combined windowed
+ *                    makespan, 1)); a batch's completion event is its
+ *                    admission time plus its service latency, and the
+ *                    clock advances from completion to completion (or
+ *                    jumps to the next arrival when the fleet idles).
+ *
+ * Sessions generate plans lazily (TenantSession::next) in both modes,
+ * so a tenant denied admission is backpressured into its stream rather
+ * than queueing unbounded work.
  *
  * Determinism: policy decisions depend only on integer scheduler state
- * (dispatch counts, weights, the seeded round-robin rotation) and
- * engine results are deterministic per batch, so a fixed
+ * (dispatch counts, weights, the seeded round-robin rotation, and — in
+ * continuous mode — the simulated clock and deterministic arrival
+ * times), engine results are deterministic per batch, and continuous-
+ * mode completion events pop in (completion time, admission sequence)
+ * order regardless of which worker finished first, so a fixed
  * ServiceConfig::seed makes the whole run — dispatch order, queue-wait,
- * per-tenant totals, fairness — reproducible run-to-run. And because
+ * latency histograms, per-tenant totals, fairness — reproducible
+ * run-to-run. And because
  * each batch carries ops of exactly one tenant and per-batch results
  * are pure functions of the plan (under WindowMode::Merged), a
  * tenant's accumulated totals are bit-identical to replaying its
@@ -60,6 +89,10 @@ namespace engine {
 class ShardedEngine;
 }
 
+namespace obs {
+class ChromeTraceSink;
+}
+
 namespace service {
 
 /** Admission / QoS policy of the service scheduler. */
@@ -67,6 +100,12 @@ enum class SchedPolicy : u8 {
     Fifo,
     RoundRobin,
     WeightedFair,
+};
+
+/** Admission model of the service scheduler (see file header). */
+enum class AdmissionMode : u8 {
+    BulkSynchronous, ///< dispatch rounds with a completion barrier
+    Continuous,      ///< open-loop: slots refill per completion event
 };
 
 /** Service front-end configuration. */
@@ -84,13 +123,28 @@ struct ServiceConfig
 
     SchedPolicy policy = SchedPolicy::RoundRobin;
 
+    /** Admission model; BulkSynchronous reproduces the pre-open-loop
+     *  scheduler bit-for-bit. */
+    AdmissionMode admission = AdmissionMode::BulkSynchronous;
+
     /**
      * Stop after this many dispatch rounds even if sessions remain
      * unfinished (0 = run to completion). Truncated runs are how
      * policy convergence is measured: under contention the dispatch
      * shares, not the eventual totals, carry the QoS signal.
+     * BulkSynchronous only (continuous mode has no rounds; use
+     * maxCompletions there — mixing them up is fail-fast).
      */
     u64 maxRounds = 0;
+
+    /**
+     * Continuous mode's truncation knob: stop *admitting* after this
+     * many batches have completed (0 = run to completion), then drain
+     * what is still in flight so scheduler accounting and engine
+     * tenant totals stay consistent. The convergence analogue of
+     * maxRounds; fail-fast if set in bulk mode.
+     */
+    u64 maxCompletions = 0;
 };
 
 /** Per-tenant slice of a service run's report. */
@@ -101,14 +155,34 @@ struct TenantReport
     u64 weight = 1;
     bool finished = false; ///< stream fully dispatched and completed
 
-    u64 batches = 0;         ///< batches completed
-    u64 dispatched = 0;      ///< batches admitted (== batches after run)
-    u64 queueWaitRounds = 0; ///< rounds ready but admitted nothing
-    u64 maxInflight = 0;     ///< peak batches in flight in any round
+    u64 batches = 0;    ///< batches completed
+    u64 dispatched = 0; ///< batches admitted (== batches, unless truncated)
+
+    /** Bulk mode: rounds this tenant had ready work denied admission
+     *  (admitted nothing, or capped by the fleet-wide limit below its
+     *  own cap). Always 0 in continuous mode — see queueDelayCycles. */
+    u64 queueWaitRounds = 0;
+
+    u64 maxInflight = 0; ///< peak batches in flight at any instant
 
     /** Σ per-batch max(combinedWindowCycles, 1): the simulated time
      *  this tenant occupied the fleet — the fairness currency. */
     u64 serviceCycles = 0;
+
+    /** Continuous mode: Σ per-batch (admission − arrival) simulated
+     *  cycles — total time batches sat eligible but unadmitted.
+     *  Always 0 in bulk mode (no clock). */
+    u64 queueDelayCycles = 0;
+
+    /** Continuous mode: per-batch queueing delay (arrival → admission)
+     *  in simulated cycles; percentile() gives p50/p95/p99. Empty in
+     *  bulk mode. */
+    obs::LatencyHistogram queueDelay;
+
+    /** Continuous mode: per-batch service latency (admission →
+     *  completion = max(combinedWindowCycles, 1)) in simulated cycles.
+     *  Empty in bulk mode. */
+    obs::LatencyHistogram serviceLatency;
 
     /** Field sums over exactly this tenant's batches (the isolation-
      *  contract totals; matches the engine's TenantTotals entry). */
@@ -119,11 +193,15 @@ struct TenantReport
 struct ServiceReport
 {
     std::vector<TenantReport> tenants; ///< in addSession order
-    u64 rounds = 0;
+    u64 rounds = 0;            ///< bulk mode: dispatch rounds; else 0
     u64 dispatched = 0;        ///< batches admitted across all tenants
-    u64 maxGlobalInflight = 0; ///< peak in-flight batches in any round
+    u64 maxGlobalInflight = 0; ///< peak in-flight batches at any instant
     bool allFinished = false;
     double wallSeconds = 0.0;
+
+    /** Continuous mode: final simulated-clock value — the cycle the
+     *  last batch completed (the open-loop makespan). 0 in bulk mode. */
+    u64 simCycles = 0;
 
     /** Fairness over per-tenant serviceCycles. */
     u64 minServiceCycles = 0;
@@ -132,7 +210,10 @@ struct ServiceReport
     /**
      * Jain's fairness index over per-tenant service cycles:
      * (Σx)² / (n·Σx²) — 1.0 when every tenant received equal service,
-     * 1/n when one tenant received everything.
+     * 1/n when one tenant received everything. An all-idle fleet
+     * (every serviceCycles zero) is *undefined*, not perfectly fair:
+     * reported as 0.0, distinctly outside the index's [1/n, 1] range
+     * (null in the JSON report).
      */
     double jainIndex = 0.0;
 
@@ -205,8 +286,12 @@ class ServiceScheduler
      *     currency (p50/p95/p99 come from here);
      *   sim/service/t<id>/dispatched, batches, queue_wait_rounds —
      *     per-tenant admission counters (queue_wait_rounds counts the
-     *     rounds the tenant was ready but admitted nothing — the
-     *     admission-denial signal).
+     *     bulk-mode rounds the tenant had ready work denied — the
+     *     admission-denial signal);
+     *   sim/service/t<id>/queue_delay_cycles — continuous mode:
+     *     per-batch queueing delay (arrival → admission) histogram;
+     *   sim/service/sim_cycles — continuous mode: the final simulated
+     *     clock (open-loop makespan).
      *
      * Everything is integer scheduler state or simulated cycles, so
      * under WindowMode::Merged the whole subtree is bit-identical
@@ -215,8 +300,18 @@ class ServiceScheduler
      */
     void attachMetrics(obs::MetricRegistry &registry);
 
-    /** Drive every session to completion (or cfg.maxRounds) and return
-     *  the fleet report. Callable once. */
+    /**
+     * Mirror continuous-mode per-batch spans into @p sink: each
+     * admitted batch's queued (arrival → admission) and service
+     * (admission → completion) intervals on the true service clock,
+     * keyed by the engine submit sequence so the spans line up with
+     * the BatchRecords the engine feeds the same sink. No-op in bulk
+     * mode (no clock). Call before run(); the sink must outlive it.
+     */
+    void setTimeline(obs::ChromeTraceSink *sink) { timeline_ = sink; }
+
+    /** Drive every session to completion (or the mode's truncation
+     *  knob) and return the fleet report. Callable once. */
     ServiceReport run();
 
     const ServiceConfig &config() const { return cfg_; }
@@ -226,24 +321,37 @@ class ServiceScheduler
     struct Tenant;
     struct Dispatch;
 
-    /** Policy pick among eligible tenants; -1 when none. */
+    /**
+     * Policy pick among eligible tenants; -1 when none. A tenant is
+     * eligible when its stream has work, it is below its in-flight
+     * cap, and — when @p gateArrivals — its next batch's arrival time
+     * is <= @p now on the simulated clock.
+     */
     int pickNext(const std::vector<unsigned> &inflight,
-                 std::size_t &rrCursor) const;
+                 std::size_t &rrCursor, bool gateArrivals, u64 now) const;
+
+    ServiceReport runBulk();
+    ServiceReport runContinuous();
+    void finalizeReport(ServiceReport &rep) const;
 
     engine::ShardedEngine &engine_;
     ServiceConfig cfg_;
     std::vector<std::unique_ptr<Tenant>> tenants_;
     bool ran_ = false;
 
+    obs::ChromeTraceSink *timeline_ = nullptr;
+
     /** Fleet metric probes (null until attachMetrics). */
     bool metricsActive_ = false;
     obs::Counter *mRounds_ = nullptr;
     obs::Counter *mDispatched_ = nullptr;
     obs::Counter *mCapRounds_ = nullptr;
+    obs::Gauge *mSimCycles_ = nullptr;
 };
 
 } // namespace service
 
+using service::AdmissionMode;
 using service::isolationEqual;
 using service::SchedPolicy;
 using service::ServiceConfig;

@@ -1,5 +1,7 @@
 #include "service/session.h"
 
+#include <cmath>
+
 #include "common/log.h"
 #include "engine/engine.h"
 #include "workloads/patterns.h"
@@ -40,6 +42,51 @@ u64
 TenantSession::totalBatches() const
 {
     return cursor_ ? cursor_->totalBatches() : batchCount_;
+}
+
+void
+TenantSession::setArrivals(const ArrivalSpec &spec)
+{
+    const u64 total = totalBatches();
+    arrivals_.clear();
+    arrivals_.reserve(static_cast<std::size_t>(total));
+    switch (spec.kind) {
+    case ArrivalKind::Closed:
+        return; // empty arrivals_ = every batch ready at cycle 0
+    case ArrivalKind::Poisson: {
+        BUDDY_CHECK(spec.meanGapCycles > 0,
+                    "Poisson arrivals need a nonzero mean gap");
+        // Exponential gaps via inverse transform on the fixed-seed
+        // stream; the rounded integer gap is a pure function of the
+        // seed, so the arrival times reproduce bit-for-bit.
+        Rng rng(spec.seed);
+        u64 t = 0;
+        for (u64 k = 0; k < total; ++k) {
+            const double u = rng.uniform(); // in [0, 1)
+            t += static_cast<u64>(-static_cast<double>(spec.meanGapCycles) *
+                                  std::log1p(-u));
+            arrivals_.push_back(t);
+        }
+        return;
+    }
+    case ArrivalKind::Bursty:
+        BUDDY_CHECK(spec.burstSize >= 1, "bursts need at least one batch");
+        for (u64 k = 0; k < total; ++k)
+            arrivals_.push_back((k / spec.burstSize) *
+                                spec.burstGapCycles);
+        return;
+    case ArrivalKind::Explicit:
+        BUDDY_CHECK(spec.stamps.size() >= total,
+                    "explicit arrival stamps must cover the whole stream");
+        for (u64 k = 0; k < total; ++k) {
+            const u64 t = spec.stamps[static_cast<std::size_t>(k)];
+            BUDDY_CHECK(k == 0 || t >= arrivals_.back(),
+                        "arrival stamps must be non-decreasing");
+            arrivals_.push_back(t);
+        }
+        return;
+    }
+    BUDDY_PANIC("unreachable arrival kind");
 }
 
 bool

@@ -11,6 +11,17 @@
  * so admission control backpressures into the stream instead of
  * queueing unbounded plans.
  *
+ * Open-loop arrival processes: a session may carry an ArrivalSpec
+ * giving every batch of its stream a deterministic *arrival time* in
+ * simulated cycles — a fixed-seed Poisson process, a fixed-cadence
+ * burst train, or explicit per-batch stamps (e.g. carried alongside a
+ * recorded capture). Under the scheduler's continuous-admission mode
+ * (ServiceConfig::admission) a batch only becomes eligible once the
+ * simulated clock passes its arrival time, and the gap between arrival
+ * and admission is accounted as queueing delay. Sessions without a
+ * spec are closed-loop (every batch ready at cycle 0); the
+ * bulk-synchronous scheduler mode ignores arrival times entirely.
+ *
  * Sessions are driven by exactly one scheduler thread at a time and
  * need no locking of their own. A session does not know its tenant id —
  * the scheduler assigns ids at addSession() and tags each plan.
@@ -34,6 +45,73 @@ class ShardedEngine;
 }
 
 namespace service {
+
+/** Arrival-process kinds of an open-loop tenant stream. */
+enum class ArrivalKind : u8 {
+    Closed,   ///< every batch ready at cycle 0 (the pre-arrival model)
+    Poisson,  ///< fixed-seed exponential inter-arrival gaps
+    Bursty,   ///< bursts of batches on a fixed cycle cadence
+    Explicit, ///< caller-supplied per-batch arrival stamps
+};
+
+/**
+ * Deterministic arrival process of one tenant stream: batch k of the
+ * stream arrives (becomes eligible for admission) at a simulated-cycle
+ * time that is a pure function of this spec, so open-loop runs
+ * reproduce bit-for-bit from their seeds. Build via the factories;
+ * arrival times are non-decreasing in k for every kind.
+ */
+struct ArrivalSpec
+{
+    ArrivalKind kind = ArrivalKind::Closed;
+    u64 seed = 0;            ///< Poisson draw seed
+    u64 meanGapCycles = 0;   ///< Poisson mean inter-arrival gap
+    u64 burstSize = 1;       ///< Bursty: batches arriving together
+    u64 burstGapCycles = 0;  ///< Bursty: cadence between burst fronts
+    std::vector<u64> stamps; ///< Explicit: arrival cycle of batch k
+
+    /** Closed-loop: every batch ready at cycle 0 (the default). */
+    static ArrivalSpec
+    closed()
+    {
+        return {};
+    }
+
+    /** Poisson process: exponential gaps with the given mean, drawn
+     *  from a fixed seed (same seed, same arrival times). */
+    static ArrivalSpec
+    poisson(u64 seed, u64 meanGapCycles)
+    {
+        ArrivalSpec s;
+        s.kind = ArrivalKind::Poisson;
+        s.seed = seed;
+        s.meanGapCycles = meanGapCycles;
+        return s;
+    }
+
+    /** Burst train: batches arrive @p burstSize at a time, burst k's
+     *  front at k * @p burstGapCycles. */
+    static ArrivalSpec
+    bursty(u64 burstSize, u64 burstGapCycles)
+    {
+        ArrivalSpec s;
+        s.kind = ArrivalKind::Bursty;
+        s.burstSize = burstSize;
+        s.burstGapCycles = burstGapCycles;
+        return s;
+    }
+
+    /** Explicit per-batch stamps (must be non-decreasing and cover the
+     *  whole stream) — e.g. arrival times carried with a capture. */
+    static ArrivalSpec
+    stamped(std::vector<u64> stamps)
+    {
+        ArrivalSpec s;
+        s.kind = ArrivalKind::Explicit;
+        s.stamps = std::move(stamps);
+        return s;
+    }
+};
 
 /** One simulated client's batch stream (see file header). */
 class TenantSession
@@ -76,6 +154,27 @@ class TenantSession
     bool done() const { return builtBatches() >= totalBatches(); }
 
     /**
+     * Attach an arrival process: materializes one deterministic arrival
+     * time per batch of the stream (non-decreasing). Call before the
+     * session is scheduled; Explicit specs must supply at least
+     * totalBatches() non-decreasing stamps (checked fail-fast).
+     */
+    void setArrivals(const ArrivalSpec &spec);
+
+    /**
+     * Arrival time of batch @p k in simulated cycles: 0 for every batch
+     * of a closed-loop session (no spec attached), else the
+     * materialized stamp. @p k must be within the stream.
+     */
+    u64
+    arrivalCycles(u64 k) const
+    {
+        if (arrivals_.empty())
+            return 0;
+        return arrivals_.at(static_cast<std::size_t>(k));
+    }
+
+    /**
      * Fill @p plan with the stream's next batch. Read destinations
      * point into @p readBuf (resized as needed), which must stay alive
      * and untouched until the plan has executed — the scheduler keeps
@@ -94,10 +193,15 @@ class TenantSession
     std::vector<Addr> vas_;   ///< per-entry VAs of the private allocation
     u64 batchCount_ = 0;
     u64 built_ = 0;
+
+    /** Materialized per-batch arrival cycles; empty = closed-loop. */
+    std::vector<u64> arrivals_;
 };
 
 } // namespace service
 
+using service::ArrivalKind;
+using service::ArrivalSpec;
 using service::TenantSession;
 
 } // namespace buddy

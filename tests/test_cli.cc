@@ -125,6 +125,30 @@ TEST(CliFlags, AcceptedFormsStillParse)
     EXPECT_FALSE(defaults.boolOf("smoke"));
 }
 
+TEST(CliFlagsDeath, DuplicateRegistrationIsAHardError)
+{
+    // Registering a name twice used to silently let the later flag win
+    // at parse/read time; now it dies at registration, across kinds.
+    EXPECT_DEATH(
+        {
+            CliFlags cli = benchFlags();
+            cli.addUint("window", 64, "again");
+        },
+        "flag --window registered twice");
+    EXPECT_DEATH(
+        {
+            CliFlags cli = benchFlags();
+            cli.addBool("codec", "same name, different kind");
+        },
+        "flag --codec registered twice");
+    EXPECT_DEATH(
+        {
+            CliFlags cli = benchFlags();
+            cli.addEnum("sched", "fifo", {{"fifo", 0}}, "again");
+        },
+        "flag --sched registered twice");
+}
+
 TEST(CliFlagsDeath, EnumRejectsUnknownTokensNamingTheAcceptedOnes)
 {
     // The whole point of addEnum: an unknown token is a fail-fast

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,18 +60,36 @@ sameSummary(const BatchSummary &a, const BatchSummary &b)
            a.metadataMisses == b.metadataMisses;
 }
 
-/** Run @p tenants synthetic sessions to completion on one engine. */
+/**
+ * Run @p tenants synthetic sessions to completion on one engine.
+ * @p arrivals, when given, supplies tenant i's arrival process
+ * (continuous-mode runs; bulk mode ignores arrival times).
+ */
 ServiceReport
 runFleet(ShardedEngine &eng, std::size_t tenants, ServiceConfig scfg,
-         u64 batches = kBatches, const std::vector<u64> &weights = {})
+         u64 batches = kBatches, const std::vector<u64> &weights = {},
+         const std::function<ArrivalSpec(std::size_t)> &arrivals = {})
 {
     ServiceScheduler sched(eng, scfg);
-    for (std::size_t i = 0; i < tenants; ++i)
-        sched.addSession(std::make_unique<TenantSession>(
-                             "t" + std::to_string(i), eng, tenantSeed(i),
-                             kEntries, batches),
+    for (std::size_t i = 0; i < tenants; ++i) {
+        auto session = std::make_unique<TenantSession>(
+            "t" + std::to_string(i), eng, tenantSeed(i), kEntries,
+            batches);
+        if (arrivals)
+            session->setArrivals(arrivals(i));
+        sched.addSession(std::move(session),
                          weights.empty() ? 1 : weights[i]);
+    }
     return sched.run();
+}
+
+/** A per-tenant fixed-seed Poisson arrival process. */
+std::function<ArrivalSpec(std::size_t)>
+poissonArrivals(u64 meanGapCycles)
+{
+    return [meanGapCycles](std::size_t i) {
+        return ArrivalSpec::poisson(tenantSeed(1000 + i), meanGapCycles);
+    };
 }
 
 /** Tenant @p i's stream replayed alone on a private engine. */
@@ -405,7 +424,359 @@ TEST(Service, WindowImbalanceSingleShardBatchesAreBalanced)
 }
 
 // ---------------------------------------------------------------------
+// Continuous admission (the open-loop scheduler).
+
+// The isolation contract survives the loss of the round barrier: under
+// continuous admission with Poisson arrivals, every tenant's functional
+// totals still match its solo replay bit-for-bit for all three QoS
+// policies, and the engine's independent per-tenant tally agrees.
+TEST(Service, ContinuousIsolationHoldsUnderEveryPolicy)
+{
+    const EngineConfig cfg = engineConfig(4);
+    for (const SchedPolicy policy :
+         {SchedPolicy::Fifo, SchedPolicy::RoundRobin,
+          SchedPolicy::WeightedFair}) {
+        ShardedEngine eng(cfg);
+        ServiceConfig scfg;
+        scfg.admission = AdmissionMode::Continuous;
+        scfg.policy = policy;
+        const ServiceReport rep = runFleet(eng, 6, scfg, kBatches, {},
+                                           poissonArrivals(512));
+        EXPECT_TRUE(rep.allFinished);
+        EXPECT_EQ(rep.rounds, 0u); // no rounds without a barrier
+        const auto engineTotals = eng.tenantTotals();
+        for (std::size_t i = 0; i < rep.tenants.size(); ++i) {
+            const TenantReport &tr = rep.tenants[i];
+            EXPECT_EQ(tr.batches, kBatches);
+            EXPECT_EQ(tr.dispatched, tr.batches); // every admit completed
+            EXPECT_TRUE(isolationEqual(tr.totals, soloTotals(cfg, i),
+                                       true))
+                << "tenant " << tr.name << " under policy "
+                << static_cast<int>(policy);
+            const auto it = engineTotals.find(tr.tenant);
+            ASSERT_NE(it, engineTotals.end());
+            EXPECT_TRUE(sameSummary(it->second.summary, tr.totals));
+        }
+    }
+}
+
+// A fixed seed reproduces the whole open-loop run bit-for-bit: the
+// simulated clock, per-tenant queueing-delay and service-latency
+// histograms (counts, sums, extrema, and percentiles), and totals.
+TEST(Service, ContinuousFixedSeedReproducesBitForBit)
+{
+    const EngineConfig cfg = engineConfig(4);
+    ServiceConfig scfg;
+    scfg.admission = AdmissionMode::Continuous;
+    scfg.seed = 0x7777;
+    scfg.maxInflightPerTenant = 2;
+    scfg.maxInflightTotal = 6;
+
+    ShardedEngine engA(cfg);
+    ShardedEngine engB(cfg);
+    const auto arrivals = poissonArrivals(700);
+    const ServiceReport a = runFleet(engA, 8, scfg, kBatches, {}, arrivals);
+    const ServiceReport b = runFleet(engB, 8, scfg, kBatches, {}, arrivals);
+
+    EXPECT_GT(a.simCycles, 0u);
+    EXPECT_EQ(a.simCycles, b.simCycles);
+    EXPECT_EQ(a.dispatched, b.dispatched);
+    EXPECT_EQ(a.maxGlobalInflight, b.maxGlobalInflight);
+    EXPECT_DOUBLE_EQ(a.jainIndex, b.jainIndex);
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+        const TenantReport &x = a.tenants[i];
+        const TenantReport &y = b.tenants[i];
+        EXPECT_EQ(x.serviceCycles, y.serviceCycles);
+        EXPECT_EQ(x.queueDelayCycles, y.queueDelayCycles);
+        const auto histEq = [](const obs::LatencyHistogram &h,
+                               const obs::LatencyHistogram &g) {
+            EXPECT_EQ(h.count(), g.count());
+            EXPECT_EQ(h.sum(), g.sum());
+            EXPECT_EQ(h.min(), g.min());
+            EXPECT_EQ(h.max(), g.max());
+            EXPECT_EQ(h.percentile(500), g.percentile(500));
+            EXPECT_EQ(h.percentile(950), g.percentile(950));
+            EXPECT_EQ(h.percentile(990), g.percentile(990));
+        };
+        histEq(x.queueDelay, y.queueDelay);
+        histEq(x.serviceLatency, y.serviceLatency);
+        EXPECT_EQ(x.queueDelay.count(), x.batches);
+        EXPECT_EQ(x.serviceLatency.count(), x.batches);
+        EXPECT_EQ(x.serviceLatency.sum(), x.serviceCycles);
+        EXPECT_TRUE(sameSummary(x.totals, y.totals));
+    }
+}
+
+// The bulk-synchronous scheduler is the config default and reproduces
+// the pre-open-loop behavior: arrival processes are ignored entirely
+// (same rounds, dispatch, queue-wait, and totals as a fleet without
+// them), and no continuous-mode state leaks into the report.
+TEST(Service, BulkModeIsDefaultAndIgnoresArrivals)
+{
+    const EngineConfig cfg = engineConfig(4);
+    ServiceConfig scfg; // admission defaults to BulkSynchronous
+    ASSERT_EQ(scfg.admission, AdmissionMode::BulkSynchronous);
+
+    ShardedEngine engA(cfg);
+    ShardedEngine engB(cfg);
+    const ServiceReport plain = runFleet(engA, 6, scfg);
+    const ServiceReport stamped =
+        runFleet(engB, 6, scfg, kBatches, {}, poissonArrivals(100000));
+
+    EXPECT_EQ(plain.rounds, stamped.rounds);
+    EXPECT_EQ(plain.dispatched, stamped.dispatched);
+    EXPECT_EQ(stamped.simCycles, 0u);
+    ASSERT_EQ(plain.tenants.size(), stamped.tenants.size());
+    for (std::size_t i = 0; i < plain.tenants.size(); ++i) {
+        const TenantReport &p = plain.tenants[i];
+        const TenantReport &s = stamped.tenants[i];
+        EXPECT_EQ(p.dispatched, s.dispatched);
+        EXPECT_EQ(p.queueWaitRounds, s.queueWaitRounds);
+        EXPECT_EQ(p.serviceCycles, s.serviceCycles);
+        EXPECT_TRUE(sameSummary(p.totals, s.totals));
+        // Cycle-based latency accounting is continuous-mode state.
+        EXPECT_EQ(s.queueDelayCycles, 0u);
+        EXPECT_EQ(s.queueDelay.count(), 0u);
+        EXPECT_EQ(s.serviceLatency.count(), 0u);
+    }
+}
+
+// Queueing delay pinned against a hand-computed timeline: one tenant,
+// one slot, closed-loop arrivals. Batch k is admitted the instant
+// batch k-1 completes, so its delay is the sum of the preceding
+// service latencies and the clock ends at the stream's total.
+TEST(Service, ContinuousQueueDelayMatchesHandComputedTimeline)
+{
+    const EngineConfig cfg = engineConfig(2);
+    const u64 batches = 4;
+
+    // Per-batch service cycles from a solo replay of the same stream.
+    std::vector<u64> cycles;
+    {
+        ShardedEngine eng(cfg);
+        TenantSession solo("t0", eng, tenantSeed(0), kEntries, batches);
+        AccessBatch plan;
+        std::vector<u8> readbuf;
+        while (solo.next(plan, readbuf))
+            cycles.push_back(std::max<u64>(
+                eng.execute(plan).combinedWindowCycles, 1));
+    }
+    ASSERT_EQ(cycles.size(), batches);
+
+    ShardedEngine eng(cfg);
+    ServiceConfig scfg;
+    scfg.admission = AdmissionMode::Continuous;
+    scfg.maxInflightPerTenant = 1;
+    const ServiceReport rep = runFleet(eng, 1, scfg, batches);
+
+    u64 clock = 0, expectDelay = 0;
+    for (const u64 c : cycles) {
+        expectDelay += clock; // batch arrived at 0, admitted at `clock`
+        clock += c;
+    }
+    ASSERT_EQ(rep.tenants.size(), 1u);
+    EXPECT_EQ(rep.simCycles, clock);
+    EXPECT_EQ(rep.tenants[0].queueDelayCycles, expectDelay);
+    EXPECT_EQ(rep.tenants[0].serviceCycles, clock);
+    EXPECT_EQ(rep.tenants[0].queueDelay.count(), batches);
+    EXPECT_EQ(rep.tenants[0].queueDelay.min(), 0u); // first batch
+}
+
+// Explicit arrival stamps gate admission: a batch arriving long after
+// the fleet drains makes the clock jump to its arrival (idle gap, zero
+// queueing delay), rather than being admitted early.
+TEST(Service, ContinuousArrivalGapsIdleTheClockForward)
+{
+    const EngineConfig cfg = engineConfig(2);
+    const u64 kFarFuture = 1ull << 40;
+
+    ShardedEngine eng(cfg);
+    ServiceConfig scfg;
+    scfg.admission = AdmissionMode::Continuous;
+    scfg.maxInflightPerTenant = 1;
+    ServiceScheduler sched(eng, scfg);
+    auto session = std::make_unique<TenantSession>(
+        "t0", eng, tenantSeed(0), kEntries, u64{3});
+    session->setArrivals(
+        ArrivalSpec::stamped({100, 100, kFarFuture}));
+    sched.addSession(std::move(session));
+    const ServiceReport rep = sched.run();
+
+    ASSERT_EQ(rep.tenants.size(), 1u);
+    EXPECT_TRUE(rep.allFinished);
+    // The last batch completes after its own far-future arrival, so
+    // the open-loop makespan is dominated by the idle gap...
+    EXPECT_GT(rep.simCycles, kFarFuture);
+    // ...while total queueing delay stays tiny: batch 0 is admitted
+    // the instant the clock jumps to its arrival (delay 0), batch 1
+    // waits only for batch 0's service, and the far-future batch is
+    // admitted at its own arrival (delay 0). Total delay is therefore
+    // bounded by this tenant's own service time — nothing accrues a
+    // gap-sized wait for sitting out the idle jump.
+    EXPECT_LE(rep.tenants[0].queueDelayCycles,
+              rep.tenants[0].serviceCycles);
+    EXPECT_LT(rep.tenants[0].queueDelayCycles, kFarFuture / 2);
+    EXPECT_GT(rep.tenants[0].serviceCycles, 0u);
+}
+
+// Weighted-fair still converges to weight ratios without the round
+// barrier: a saturated closed-loop fleet truncated by maxCompletions
+// splits admissions in proportion to weight, and nobody starves.
+TEST(Service, ContinuousWeightedFairConvergesWithoutRoundBarrier)
+{
+    const EngineConfig cfg = engineConfig(4);
+    const std::vector<u64> weights = {1, 2, 3, 4};
+    ServiceConfig scfg;
+    scfg.admission = AdmissionMode::Continuous;
+    scfg.policy = SchedPolicy::WeightedFair;
+    scfg.maxInflightPerTenant = 8;
+    scfg.maxInflightTotal = 10;
+    scfg.maxCompletions = 100; // truncate: streams outlast it
+    ShardedEngine eng(cfg);
+    const ServiceReport rep =
+        runFleet(eng, weights.size(), scfg, /*batches=*/200, weights);
+
+    EXPECT_FALSE(rep.allFinished);
+    u64 total = 0;
+    const u64 weightSum = 10;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const TenantReport &tr = rep.tenants[i];
+        EXPECT_GT(tr.dispatched, 0u) << "starved tenant " << i;
+        EXPECT_EQ(tr.dispatched, tr.batches); // truncation drains
+        total += tr.dispatched;
+        const double expected = 100.0 *
+                                static_cast<double>(weights[i]) /
+                                static_cast<double>(weightSum);
+        EXPECT_NEAR(static_cast<double>(tr.dispatched), expected,
+                    static_cast<double>(weights[i]) + 1.0)
+            << "tenant " << i;
+    }
+    EXPECT_EQ(total, 100u); // exactly maxCompletions admitted + drained
+    EXPECT_GT(rep.weightedJainIndex, 0.95);
+    EXPECT_LT(rep.jainIndex, rep.weightedJainIndex);
+}
+
+// ---------------------------------------------------------------------
+// Arrival processes (TenantSession::setArrivals).
+
+TEST(Service, ArrivalSpecsAreDeterministicAndMonotone)
+{
+    ShardedEngine eng(engineConfig(1));
+    const u64 batches = 32;
+
+    TenantSession a("a", eng, tenantSeed(0), 16, batches);
+    TenantSession b("b", eng, tenantSeed(1), 16, batches);
+    a.setArrivals(ArrivalSpec::poisson(0xfeed, 500));
+    b.setArrivals(ArrivalSpec::poisson(0xfeed, 500));
+    u64 prev = 0;
+    bool gapped = false;
+    for (u64 k = 0; k < batches; ++k) {
+        EXPECT_EQ(a.arrivalCycles(k), b.arrivalCycles(k)); // same seed
+        EXPECT_GE(a.arrivalCycles(k), prev); // non-decreasing
+        gapped = gapped || a.arrivalCycles(k) > prev;
+        prev = a.arrivalCycles(k);
+    }
+    EXPECT_TRUE(gapped); // the process actually spreads arrivals out
+
+    TenantSession c("c", eng, tenantSeed(2), 16, batches);
+    c.setArrivals(ArrivalSpec::bursty(4, 1000));
+    for (u64 k = 0; k < batches; ++k)
+        EXPECT_EQ(c.arrivalCycles(k), (k / 4) * 1000);
+
+    TenantSession d("d", eng, tenantSeed(3), 16, u64{3});
+    d.setArrivals(ArrivalSpec::stamped({5, 5, 9}));
+    EXPECT_EQ(d.arrivalCycles(0), 5u);
+    EXPECT_EQ(d.arrivalCycles(2), 9u);
+
+    // No spec: closed-loop, everything ready at cycle 0.
+    TenantSession e("e", eng, tenantSeed(4), 16, u64{2});
+    EXPECT_EQ(e.arrivalCycles(1), 0u);
+}
+
+TEST(ServiceDeath, ArrivalSpecsFailFastOnBadInput)
+{
+    ShardedEngine eng(engineConfig(1));
+    TenantSession s("s", eng, tenantSeed(0), 16, u64{4});
+    EXPECT_DEATH(s.setArrivals(ArrivalSpec::poisson(1, 0)),
+                 "nonzero mean gap");
+    EXPECT_DEATH(s.setArrivals(ArrivalSpec::stamped({1, 2})),
+                 "cover the whole stream");
+    EXPECT_DEATH(s.setArrivals(ArrivalSpec::stamped({1, 2, 3, 2})),
+                 "non-decreasing");
+}
+
+// ---------------------------------------------------------------------
+// Report semantics (the bugfix pins).
+
+// An all-idle fleet has an *undefined* fairness index, reported as 0.0
+// — distinctly outside Jain's [1/n, 1] range — not as a fake 1.0.
+TEST(Service, AllIdleFleetReportsUndefinedJainNotPerfect)
+{
+    for (const AdmissionMode admission :
+         {AdmissionMode::BulkSynchronous, AdmissionMode::Continuous}) {
+        ShardedEngine eng(engineConfig(2));
+        ServiceConfig scfg;
+        scfg.admission = admission;
+        // Zero-batch streams: sessions exist but never produce work.
+        const ServiceReport rep = runFleet(eng, 3, scfg, /*batches=*/0);
+        EXPECT_TRUE(rep.allFinished);
+        EXPECT_EQ(rep.dispatched, 0u);
+        EXPECT_EQ(rep.maxServiceCycles, 0u);
+        EXPECT_DOUBLE_EQ(rep.jainIndex, 0.0);
+        EXPECT_DOUBLE_EQ(rep.weightedJainIndex, 0.0);
+    }
+}
+
+// Bulk-mode queue-wait counts partial-admission rounds too: a tenant
+// granted some slots but capped by the fleet-wide limit below its own
+// cap is still waiting. Fifo with 2 tenants into 5 global slots: t0
+// takes its full cap of 4, t1 gets the 1 leftover and accrues wait
+// every round until t0 drains (the pre-fix counter reported 0 here,
+// only ever counting rounds with *nothing* admitted).
+TEST(Service, BulkQueueWaitCountsPartialAdmissionRounds)
+{
+    ShardedEngine eng(engineConfig(4));
+    ServiceConfig scfg;
+    scfg.policy = SchedPolicy::Fifo;
+    scfg.maxInflightPerTenant = 4;
+    scfg.maxInflightTotal = 5;
+    const ServiceReport rep = runFleet(eng, 2, scfg, /*batches=*/16);
+
+    ASSERT_EQ(rep.tenants.size(), 2u);
+    const TenantReport &t0 = rep.tenants[0];
+    const TenantReport &t1 = rep.tenants[1];
+    // t0: 4 per round for 4 rounds, never denied.
+    EXPECT_EQ(t0.queueWaitRounds, 0u);
+    EXPECT_EQ(t0.maxInflight, 4u);
+    // t1: 1 per round for rounds 1-4 (partial admission -> wait), then
+    // its full cap of 4 for rounds 5-7 (no wait).
+    EXPECT_EQ(rep.rounds, 7u);
+    EXPECT_EQ(t1.queueWaitRounds, 4u);
+    EXPECT_GE(t1.maxInflight, 1u);
+    EXPECT_TRUE(rep.allFinished);
+}
+
+// ---------------------------------------------------------------------
 // Scheduler state-machine guards.
+
+// Truncation knobs are per-mode: crossing them is a config bug caught
+// fail-fast, not a silently ignored setting.
+TEST(ServiceDeath, TruncationKnobsAreModeChecked)
+{
+    ShardedEngine eng(engineConfig(2));
+
+    ServiceConfig contRounds;
+    contRounds.admission = AdmissionMode::Continuous;
+    contRounds.maxRounds = 5;
+    EXPECT_DEATH(ServiceScheduler(eng, contRounds).run(),
+                 "maxRounds is a bulk-synchronous knob");
+
+    ServiceConfig bulkCompletions;
+    bulkCompletions.maxCompletions = 5;
+    EXPECT_DEATH(ServiceScheduler(eng, bulkCompletions).run(),
+                 "maxCompletions is a continuous-mode knob");
+}
 
 TEST(ServiceDeath, RunIsSingleShotAndSessionsAreAddedFirst)
 {
