@@ -13,7 +13,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "common/log.h"
+#include "common/check.h"
 #include "common/types.h"
 
 namespace buddy {

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fail-fast invariant checking, active in every build type.
+ *
+ * BUDDY_CHECK is the repo's assert(): it verifies an internal invariant
+ * and aborts with a file:line message when it does not hold. Unlike the
+ * standard assert it is never compiled out — release binaries, benches,
+ * and sanitizer builds all keep the checks, so malformed inputs (e.g. a
+ * truncated or corrupt trace image) die with a diagnostic instead of
+ * silently mis-parsing. Checks on hot paths are expected to be cheap
+ * branch-on-register tests; anything heavier belongs in tests.
+ *
+ * User/configuration errors (bad CLI flags, missing files) are not
+ * invariant violations — report those with BUDDY_FATAL from
+ * common/log.h instead.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace buddy {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+} // namespace buddy
+
+/** Abort with a message: an internal invariant is broken (a bug). */
+#define BUDDY_PANIC(msg) ::buddy::panicImpl(__FILE__, __LINE__, msg)
+
+/** Invariant check that is active in all build types (unlike assert). */
+#define BUDDY_CHECK(cond, msg)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            BUDDY_PANIC("check failed: " #cond " -- " msg);                  \
+        }                                                                    \
+    } while (0)

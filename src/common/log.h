@@ -1,8 +1,9 @@
 /**
  * @file
  * Minimal logging / fatal-error helpers in the spirit of gem5's
- * base/logging.hh. panic() flags an internal invariant violation (a bug in
- * this library); fatal() flags a user/configuration error.
+ * base/logging.hh. fatal() flags a user/configuration error; the
+ * invariant-violation side (BUDDY_PANIC / BUDDY_CHECK) lives in
+ * common/check.h and is re-exported here for existing includers.
  */
 
 #pragma once
@@ -10,14 +11,9 @@
 #include <cstdio>
 #include <cstdlib>
 
-namespace buddy {
+#include "common/check.h"
 
-[[noreturn]] inline void
-panicImpl(const char *file, int line, const char *msg)
-{
-    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
-    std::abort();
-}
+namespace buddy {
 
 [[noreturn]] inline void
 fatalImpl(const char *file, int line, const char *msg)
@@ -28,13 +24,4 @@ fatalImpl(const char *file, int line, const char *msg)
 
 } // namespace buddy
 
-#define BUDDY_PANIC(msg) ::buddy::panicImpl(__FILE__, __LINE__, msg)
 #define BUDDY_FATAL(msg) ::buddy::fatalImpl(__FILE__, __LINE__, msg)
-
-/** Invariant check that is active in all build types (unlike assert). */
-#define BUDDY_CHECK(cond, msg)                                               \
-    do {                                                                     \
-        if (!(cond)) {                                                       \
-            BUDDY_PANIC("check failed: " #cond " -- " msg);                  \
-        }                                                                    \
-    } while (0)

@@ -3,7 +3,7 @@
 #include <cstring>
 
 #include "common/bitstream.h"
-#include "common/log.h"
+#include "common/check.h"
 
 namespace buddy {
 
@@ -95,7 +95,12 @@ tryMode(const u8 *data, const ModeSpec &m, u64 &base, bool *use_base,
             base = raw;
             have_base = true;
         }
-        const i64 d = val - signExtend(base, m.baseBytes);
+        // Subtract in u64: an 8-byte val/base pair with opposite signs
+        // overflows i64 (UB), while the two's-complement wrap is exactly
+        // the delta the decoder's wrapping add reconstructs from.
+        const i64 d = static_cast<i64>(
+            static_cast<u64>(val) -
+            static_cast<u64>(signExtend(base, m.baseBytes)));
         if (!fitsSigned(d, m.deltaBytes))
             return false;
         use_base[i] = true;
@@ -208,7 +213,12 @@ BdiCompressor::decompressFrom(const u8 *payload, std::size_t size_bits,
         const bool use_base = br.getBit();
         const u64 draw = br.get(spec->deltaBytes * 8);
         const i64 d = signExtend(draw, spec->deltaBytes);
-        const i64 val = use_base ? base + d : d;
+        // Add in u64 (mirror of the encoder's wrapping subtract): only
+        // the low baseBytes*8 bits are stored, so the wrap is harmless.
+        const i64 val =
+            use_base ? static_cast<i64>(static_cast<u64>(base) +
+                                        static_cast<u64>(d))
+                     : d;
         const u64 enc = static_cast<u64>(val);
         std::memcpy(out + static_cast<std::size_t>(i) * spec->baseBytes,
                     &enc, spec->baseBytes);

@@ -3,7 +3,7 @@
 #include <array>
 
 #include "common/bitstream.h"
-#include "common/log.h"
+#include "common/check.h"
 
 namespace buddy {
 

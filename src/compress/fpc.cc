@@ -3,7 +3,7 @@
 #include <cstring>
 
 #include "common/bitstream.h"
-#include "common/log.h"
+#include "common/check.h"
 
 namespace buddy {
 

@@ -19,7 +19,7 @@
 
 #include <array>
 
-#include "common/log.h"
+#include "common/check.h"
 #include "common/types.h"
 
 namespace buddy {

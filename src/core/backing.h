@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "api/backing_store.h"
-#include "common/log.h"
+#include "common/check.h"
 #include "common/types.h"
 #include "timing/link_model.h"
 

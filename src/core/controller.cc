@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "api/codec_registry.h"
+#include "common/check.h"
 
 namespace buddy {
 

@@ -14,7 +14,7 @@
 #include <map>
 #include <optional>
 
-#include "common/log.h"
+#include "common/check.h"
 #include "common/types.h"
 
 namespace buddy {

@@ -18,7 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/log.h"
+#include "common/check.h"
 #include "common/stats.h"
 #include "common/types.h"
 

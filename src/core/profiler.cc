@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/log.h"
+#include "common/check.h"
 
 namespace buddy {
 

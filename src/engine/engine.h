@@ -140,6 +140,7 @@ struct WindowImbalanceStats
     u64 maxMax = 0;     ///< largest per-batch max observed
     u64 ratioHist[kRatioBuckets] = {}; ///< per-batch max/mean buckets
 
+    // buddy-lint: allow-begin(float-cycle) derived read-out ratios over the integer accumulators above; never fed back into any cycle total
     /** Mean over batches of the min-over-shards makespan. */
     double
     meanMin() const
@@ -179,6 +180,7 @@ struct WindowImbalanceStats
         const double mean = meanShard();
         return mean > 0.0 ? meanMax() / mean : 1.0;
     }
+    // buddy-lint: allow-end(float-cycle)
 };
 
 /** SplitMix64 — the engine's fixed shard-hash / seed-derivation mix. */
@@ -364,6 +366,7 @@ class ShardedEngine
     u64 buddyBytesReserved() const;
 
     /** Achieved capacity compression ratio across all shards. */
+    // buddy-lint: allow(float-cycle) derived read-out ratio, not a cycle accumulator
     double compressionRatio() const;
 
     /** Merged metadata-cache accesses / misses across all shards. */

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/check.h"
 #include "common/log.h"
 #include "core/controller.h"
 #include "engine/engine.h"
@@ -31,6 +32,12 @@ constexpr u8 kTagBatch = 0xFE;
 constexpr u8 kTagFooter = 0xFF;
 
 const u8 kZeroEntry[kEntryBytes] = {};
+
+// Upper bound on entry indices (VA / 128) accepted from a trace image.
+// Real captures address at most a few GiB of VA space; a corrupt varint
+// decoding to an astronomic index would otherwise wrap the * kEntryBytes
+// multiplication below and alias a small VA instead of failing.
+constexpr u64 kMaxEntryIndex = u64{1} << 50;
 
 void
 putVarint(std::vector<u8> &out, u64 v)
@@ -64,12 +71,30 @@ struct Reader
         unsigned shift = 0;
         for (;;) {
             const u8 b = byte();
+            // The tenth byte can only contribute the topmost bit
+            // (64 - 9*7 = 1): a larger payload or a continuation bit
+            // there is an over-long encoding whose high bits would be
+            // shifted out silently. Reject instead of truncating.
+            if (shift == 63)
+                BUDDY_CHECK(b <= 1,
+                            "over-long trace varint (more than 64 bits)");
             v |= static_cast<u64>(b & 0x7F) << shift;
             if (!(b & 0x80))
                 return v;
             shift += 7;
-            BUDDY_CHECK(shift < 64, "malformed trace varint");
+            BUDDY_CHECK(shift < 64,
+                        "over-long trace varint (more than 64 bits)");
         }
+    }
+
+    /** A varint used as an entry index (VA / kEntryBytes): bounded so
+     *  the caller's * kEntryBytes scaling cannot wrap u64. */
+    u64
+    entryIndex()
+    {
+        const u64 idx = varint();
+        BUDDY_CHECK(idx < kMaxEntryIndex, "trace entry index out of range");
+        return idx;
     }
 
     const u8 *
@@ -283,13 +308,19 @@ TraceReplayer::loadImage(std::vector<u8> image)
     loadedVersion_ = version;
 
     const u64 alloc_count = r.varint();
+    // Each allocation record occupies at least 4 bytes (empty name:
+    // 1-byte nameLen + 1-byte va + 1-byte bytes + target). Bounding the
+    // count against the remaining image keeps a corrupt varint from
+    // driving a multi-exabyte reserve() below.
+    BUDDY_CHECK(alloc_count <= (image_.size() - r.pos) / 4,
+                "trace allocation count exceeds image size");
     allocs_.reserve(alloc_count);
     for (u64 i = 0; i < alloc_count; ++i) {
         TraceAllocation a;
         const u64 name_len = r.varint();
         const u8 *name = r.raw(name_len);
         a.name.assign(reinterpret_cast<const char *>(name), name_len);
-        a.va = r.varint() * kEntryBytes;
+        a.va = r.entryIndex() * kEntryBytes;
         a.bytes = r.varint();
         a.target = static_cast<CompressionTarget>(r.byte());
         allocs_.push_back(std::move(a));
@@ -316,10 +347,15 @@ TraceReplayer::loadImage(std::vector<u8> image)
 
         Op op;
         const u8 kind = tag & 0x0F;
+        const u8 flags = tag & 0xF0;
         BUDDY_CHECK(kind <= static_cast<u8>(AccessKind::Probe),
                     "unknown trace op kind");
+        BUDDY_CHECK(flags == 0 || flags == kTagZeroWrite,
+                    "unknown trace op flag bits");
+        BUDDY_CHECK(flags == 0 || kind == static_cast<u8>(AccessKind::Write),
+                    "zero-write flag on a non-write trace op");
         op.kind = static_cast<AccessKind>(kind);
-        op.va = r.varint() * kEntryBytes;
+        op.va = r.entryIndex() * kEntryBytes;
         if (op.kind == AccessKind::Write)
             op.payload = (tag & kTagZeroWrite) ? kZeroEntry
                                                : r.raw(kEntryBytes);

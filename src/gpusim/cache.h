@@ -12,7 +12,7 @@
 
 #include <vector>
 
-#include "common/log.h"
+#include "common/check.h"
 #include "common/stats.h"
 #include "common/types.h"
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "core/profiler.h"
 
 namespace buddy {

@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include "common/check.h"
+
 namespace buddy {
 namespace obs {
 

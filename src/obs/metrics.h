@@ -38,7 +38,7 @@
 #include <memory>
 #include <string>
 
-#include "common/log.h"
+#include "common/check.h"
 #include "common/types.h"
 
 namespace buddy {

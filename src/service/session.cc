@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/log.h"
+#include "common/check.h"
 #include "engine/engine.h"
 #include "workloads/patterns.h"
 

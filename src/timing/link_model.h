@@ -48,7 +48,7 @@
 #include <algorithm>
 #include <string>
 
-#include "common/log.h"
+#include "common/check.h"
 #include "common/types.h"
 
 namespace buddy {

@@ -19,10 +19,11 @@
 
 #pragma once
 
+// buddy-lint: allow-file(float-cycle) documented fractional-rate layer: SimTime is double by design (rates well below one sector/cycle); feeds only the gpusim memory system, never the bit-identical sim/ cycle totals
 #include <algorithm>
 #include <vector>
 
-#include "common/log.h"
+#include "common/check.h"
 #include "common/types.h"
 
 namespace buddy {

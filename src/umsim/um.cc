@@ -4,7 +4,7 @@
 #include <list>
 #include <unordered_map>
 
-#include "common/log.h"
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace buddy {

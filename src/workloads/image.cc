@@ -1,6 +1,6 @@
 #include "workloads/image.h"
 
-#include "common/log.h"
+#include "common/check.h"
 #include "workloads/patterns.h"
 
 namespace buddy {

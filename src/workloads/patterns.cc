@@ -3,7 +3,7 @@
 #include <cmath>
 #include <cstring>
 
-#include "common/log.h"
+#include "common/check.h"
 
 namespace buddy {
 

@@ -605,5 +605,163 @@ TEST(TraceTiming, FuzzedBatchShapesRoundTrip)
     }
 }
 
+// ------------------------------------------------------ corrupt traces --
+//
+// Malformed captures must die fast with a diagnostic (BUDDY_CHECK in
+// the decode path) — never crash on an out-of-bounds read and never
+// silently mis-parse. The suite runs under ASan/UBSan in CI, so any
+// buffer overrun the bounds checks missed would surface here.
+
+/** A small valid capture to corrupt. */
+std::vector<u8>
+validImage()
+{
+    ShardedEngine eng(timedEngineConfig(2, "host-um"));
+    return recordWorkload(eng, 64, /*seed=*/7);
+}
+
+/** Wrap a raw byte image in a replayer load. */
+void
+loadBytes(std::vector<u8> image)
+{
+    TraceReplayer replayer;
+    replayer.loadImage(std::move(image));
+}
+
+TEST(TraceCorruption, BadMagicDies)
+{
+    std::vector<u8> image = validImage();
+    image[0] = 'X';
+    EXPECT_DEATH(loadBytes(image), "bad magic");
+}
+
+TEST(TraceCorruption, EmptyImageDies)
+{
+    EXPECT_DEATH(loadBytes({}), "truncated trace");
+}
+
+TEST(TraceCorruption, UnsupportedVersionDies)
+{
+    std::vector<u8> image = validImage();
+    image[4] = 99;
+    EXPECT_DEATH(loadBytes(image), "unsupported trace version");
+    image[4] = 1; // pre-oldest-readable
+    EXPECT_DEATH(loadBytes(image), "unsupported trace version");
+}
+
+TEST(TraceCorruption, TruncatedFooterDies)
+{
+    const std::vector<u8> whole = validImage();
+    // Chop bytes off the end: the footer loses fields, then its tag.
+    for (std::size_t cut : {std::size_t{1}, std::size_t{3},
+                            std::size_t{8}}) {
+        ASSERT_GT(whole.size(), cut);
+        std::vector<u8> image(whole.begin(), whole.end() - cut);
+        EXPECT_DEATH(loadBytes(image), "truncated trace");
+    }
+}
+
+TEST(TraceCorruption, MidBatchEofDies)
+{
+    // Truncate to roughly half the op stream: the image ends inside a
+    // batch, before any batch mark or footer.
+    const std::vector<u8> whole = validImage();
+    std::vector<u8> image(whole.begin(),
+                          whole.begin() + whole.size() / 2);
+    EXPECT_DEATH(loadBytes(image), "truncated trace");
+}
+
+TEST(TraceCorruption, TrailingBytesAfterFooterDie)
+{
+    std::vector<u8> image = validImage();
+    image.push_back(0x00);
+    EXPECT_DEATH(loadBytes(image), "trailing bytes after trace footer");
+}
+
+TEST(TraceCorruption, OverlongVarintDies)
+{
+    // magic + version, then an alloc-count varint with continuation
+    // bits past the 64-bit capacity (ten 0xFF bytes keep continuing).
+    std::vector<u8> image = {'B', 'D', 'Y', 'T', 5};
+    for (int i = 0; i < 10; ++i)
+        image.push_back(0xFF);
+    image.push_back(0x00);
+    EXPECT_DEATH(loadBytes(image), "over-long trace varint");
+}
+
+TEST(TraceCorruption, TenByteVarintTopBitsRejected)
+{
+    // A ten-byte varint whose final byte carries more than the one bit
+    // that fits in a u64: the high bits would be silently shifted out.
+    std::vector<u8> image = {'B', 'D', 'Y', 'T', 5};
+    for (int i = 0; i < 9; ++i)
+        image.push_back(0x80); // zero payload, keep continuing
+    image.push_back(0x02);     // 10th byte: pays into bit 64 — invalid
+    EXPECT_DEATH(loadBytes(image), "over-long trace varint");
+}
+
+TEST(TraceCorruption, HugeAllocCountDies)
+{
+    // An alloc count far beyond what the remaining bytes could hold
+    // must be rejected before it drives a giant reserve().
+    std::vector<u8> image = {'B', 'D', 'Y', 'T', 5};
+    // varint 2^62: nine continuation bytes with zero payload, then 4.
+    for (int i = 0; i < 8; ++i)
+        image.push_back(0x80);
+    image.push_back(0x84);
+    image.push_back(0x00);
+    EXPECT_DEATH(loadBytes(image),
+                 "allocation count exceeds image size");
+}
+
+TEST(TraceCorruption, UnknownOpTagDies)
+{
+    // Rebuild a minimal image: no allocations, one op with corrupt tag
+    // flag bits (0x20 is neither clear nor the zero-write flag).
+    std::vector<u8> image = {'B', 'D', 'Y', 'T', 5, 0x00};
+    image.push_back(0x22); // kind=2 (probe) with junk flag bits
+    EXPECT_DEATH(loadBytes(image), "unknown trace op flag bits");
+}
+
+TEST(TraceCorruption, ZeroWriteFlagOnNonWriteDies)
+{
+    std::vector<u8> image = {'B', 'D', 'Y', 'T', 5, 0x00};
+    image.push_back(0x10); // zero-write flag on a read op
+    EXPECT_DEATH(loadBytes(image), "zero-write flag on a non-write");
+}
+
+TEST(TraceCorruption, EntryIndexOutOfRangeDies)
+{
+    // An op whose entry index would wrap u64 once scaled by 128.
+    std::vector<u8> image = {'B', 'D', 'Y', 'T', 5, 0x00};
+    image.push_back(0x02); // probe
+    for (int i = 0; i < 8; ++i)
+        image.push_back(0xFF); // index varint: 2^56-ish payload
+    image.push_back(0x7F);
+    EXPECT_DEATH(loadBytes(image), "entry index out of range");
+}
+
+TEST(TraceCorruption, BatchCountMismatchDies)
+{
+    std::vector<u8> image = {'B', 'D', 'Y', 'T', 5, 0x00};
+    image.push_back(0x02); // probe of entry 0
+    image.push_back(0x00);
+    image.push_back(0xFE); // batch mark claiming 2 ops, but only 1 ran
+    image.push_back(0x02);
+    EXPECT_DEATH(loadBytes(image), "op count mismatch");
+}
+
+TEST(TraceCorruption, FooterInsideBatchDies)
+{
+    // An op stream that hits the footer without a closing batch mark.
+    std::vector<u8> image = {'B', 'D', 'Y', 'T', 5, 0x00};
+    image.push_back(0x02); // probe of entry 0
+    image.push_back(0x00);
+    image.push_back(0xFF); // footer tag
+    for (int i = 0; i < 16; ++i)
+        image.push_back(0x00); // footer totals (all zero)
+    EXPECT_DEATH(loadBytes(image), "unterminated batch");
+}
+
 } // namespace
 } // namespace buddy

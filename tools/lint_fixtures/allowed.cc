@@ -1,0 +1,18 @@
+// Fixture: a properly-justified allow annotation suppresses the finding
+// — trailing on the flagged line, or on the line directly above it.
+// expect-clean
+
+#include <chrono>
+
+namespace fixture {
+
+double
+wallSeconds()
+{
+    // buddy-lint: allow(wall-clock) wall/-subtree throughput report line
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::steady_clock::now(); // buddy-lint: allow(wall-clock) same report line, trailing form
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace fixture

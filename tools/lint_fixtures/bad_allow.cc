@@ -1,0 +1,18 @@
+// Fixture: an allow annotation without a justification string is
+// itself a violation (bad-allow) and does NOT suppress the finding.
+// expect-lint: bad-allow
+// expect-lint: wall-clock
+
+#include <chrono>
+
+namespace fixture {
+
+long
+sample()
+{
+    // buddy-lint: allow(wall-clock)
+    const auto t0 = std::chrono::steady_clock::now();
+    return t0.time_since_epoch().count();
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: a header without #pragma once and with a header-scope
+// using-namespace — both header-hygiene violations.
+// expect-lint: header-hygiene
+
+#include <vector>
+
+using namespace std;
+
+namespace fixture {
+
+inline vector<int>
+ids()
+{
+    return {1, 2, 3};
+}
+
+} // namespace fixture

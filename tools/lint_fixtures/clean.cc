@@ -1,0 +1,35 @@
+// Fixture: deterministic code with near-miss spellings — member
+// functions named time()/clock(), an ordered map walk, comments naming
+// rand() — must NOT be flagged.
+// expect-clean
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+class SimClock
+{
+  public:
+    std::uint64_t time() const { return now_; }
+    void advance(std::uint64_t cycles) { now_ += cycles; }
+
+  private:
+    std::uint64_t now_ = 0;
+};
+
+// rand() in a comment, and "std::random_device" in a string, are fine:
+inline const char *kNote = "never use std::random_device here";
+
+inline std::uint64_t
+total(const std::map<int, std::uint64_t> &ordered, SimClock &clock)
+{
+    std::uint64_t sum = 0;
+    for (const auto &kv : ordered)
+        sum += kv.second;
+    clock.advance(sum);
+    return sum + clock.time();
+}
+
+} // namespace fixture

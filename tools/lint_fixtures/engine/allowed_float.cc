@@ -1,0 +1,21 @@
+// Fixture: the block (allow-begin/allow-end) and file-level
+// (allow-file) escape hatches, both with justifications, in the
+// float-cycle engine scope.
+// expect-clean
+
+// buddy-lint: allow-file(rng) exercises the file-level hatch; no rng use below anyway
+
+namespace fixture {
+
+using Cycles = unsigned long long;
+
+// buddy-lint: allow-begin(float-cycle) derived read-out ratio, never accumulated back into cycle totals
+double
+utilization(Cycles busy, Cycles total)
+{
+    return total ? static_cast<double>(busy) / static_cast<double>(total)
+                 : 0.0;
+}
+// buddy-lint: allow-end(float-cycle)
+
+} // namespace fixture

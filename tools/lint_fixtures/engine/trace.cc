@@ -1,0 +1,21 @@
+// Fixture: the trace layer (engine/trace.*) is serialization code, so
+// explicit begin()/end() iteration over an unordered container must be
+// flagged there too (the non-range-for detection path).
+// expect-lint: hash-order-iter
+
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::vector<unsigned>
+serializeOrder(const std::unordered_set<unsigned> &live)
+{
+    std::unordered_set<unsigned> pending = live;
+    std::vector<unsigned> out;
+    for (auto it = pending.begin(); it != pending.end(); ++it)
+        out.push_back(*it);
+    return out;
+}
+
+} // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: iterating a hash-ordered container in metrics-export code
+// (the obs/ scope) must be flagged — hash order is not a stable order.
+// expect-lint: hash-order-iter
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class Exporter
+{
+  public:
+    void
+    exportAll() const
+    {
+        for (const auto &kv : counters_) {
+            std::printf("%s %llu\n", kv.first.c_str(),
+                        static_cast<unsigned long long>(kv.second));
+        }
+    }
+
+  private:
+    std::unordered_map<std::string, unsigned long long> counters_;
+};
+
+} // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: every class of nondeterministic/unseeded randomness must be
+// flagged; the sanctioned home is src/common/rng.h only.
+// expect-lint: rng
+
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+unsigned
+sample()
+{
+    std::random_device rd;
+    std::mt19937 unseeded;
+    std::default_random_engine eng;
+    srand(42);
+    return rd() + unseeded() + eng() + static_cast<unsigned>(rand());
+}
+
+} // namespace fixture

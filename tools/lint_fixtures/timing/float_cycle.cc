@@ -1,0 +1,18 @@
+// Fixture: float arithmetic in simulated-cycle accounting (the timing/
+// scope) must be flagged — float accumulation is order-sensitive, so
+// cross-shard cycle merges would stop being bit-identical.
+// expect-lint: float-cycle
+
+namespace fixture {
+
+using Cycles = unsigned long long;
+
+Cycles
+charge(Cycles busy, unsigned requests)
+{
+    double perRequest = static_cast<double>(busy) / requests;
+    float scale = 1.5f;
+    return static_cast<Cycles>(perRequest * scale);
+}
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: every class of wall-clock source must be flagged.
+// A comment mentioning steady_clock::now or time( must NOT fire — the
+// linter strips comments and string literals before matching.
+// expect-lint: wall-clock
+
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long
+sample()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::high_resolution_clock::now();
+    std::time_t wall = std::time(nullptr);
+    std::clock_t cpu = clock();
+    const char *msg = "calling time( from a string is fine";
+    (void)t0;
+    (void)t1;
+    (void)msg;
+    return static_cast<long>(wall) + static_cast<long>(cpu);
+}
+
+} // namespace fixture
